@@ -1,0 +1,39 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the real protocol stack on simulated time, prints the same rows/series the
+paper plots, and archives them under ``benchmarks/results/`` so the run
+can be diffed against EXPERIMENTS.md.
+
+The paper issues 1 M operations per configuration; the simulation's
+numbers are deterministic and converge with far fewer, so the default op
+count is small.  Set ``REPRO_BENCH_OPS`` to raise it.
+"""
+
+import os
+import pathlib
+import sys
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Baseline operations per configuration point (paper: 1_000_000).
+DEFAULT_OPS = int(os.environ.get("REPRO_BENCH_OPS", "200"))
+
+
+@pytest.fixture(scope="session")
+def bench_ops():
+    return DEFAULT_OPS
+
+
+def scaled_ops(size: int, base: int = DEFAULT_OPS) -> int:
+    """Fewer ops for large payloads so sweeps stay fast; ≥20 always."""
+    return max(20, min(base, base * 256 // max(size, 1)))
+
+
+def report(name: str, text: str) -> None:
+    """Print a figure/table reproduction and archive it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}", file=sys.stderr)

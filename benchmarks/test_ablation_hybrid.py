@@ -1,0 +1,98 @@
+"""Ablation (paper §4.2, discussion): the ByteExpress+PRP hybrid.
+
+The paper proposes switching to PRP above a threshold (~256 B).  This
+ablation sweeps the threshold, locates the empirical crossover, and shows
+the hybrid tracking the lower envelope of the two methods.
+"""
+
+import pytest
+
+from conftest import report, scaled_ops
+from repro.core.hybrid import HybridPolicy
+from repro.metrics import format_table
+from repro.testbed import make_block_testbed
+from repro.transfer.hybrid_transfer import HybridTransfer
+from repro.workloads import fixed_size_payloads
+
+SIZES = (32, 64, 128, 192, 256, 320, 384, 448, 512, 1024, 4096)
+
+
+def _mean_latency(method, size):
+    return method.run_workload(
+        fixed_size_payloads(size, scaled_ops(size)), cdw10=0).mean_latency_ns
+
+
+@pytest.fixture(scope="module")
+def envelope():
+    tb = make_block_testbed()
+    return {
+        size: {"byteexpress": _mean_latency(tb.method("byteexpress"), size),
+               "prp": _mean_latency(tb.method("prp"), size)}
+        for size in SIZES
+    }
+
+
+def test_ablation_report(envelope, benchmark):
+    crossover = next((s for s in SIZES
+                      if envelope[s]["byteexpress"] > envelope[s]["prp"]),
+                     None)
+    rows = [(s, f"{envelope[s]['byteexpress'] / 1000:.2f}",
+             f"{envelope[s]['prp'] / 1000:.2f}",
+             "byteexpress" if envelope[s]["byteexpress"] <= envelope[s]["prp"]
+             else "prp")
+            for s in SIZES]
+    report("ablation_hybrid", format_table(
+        ["payload (B)", "byteexpress us", "prp us", "winner"], rows,
+        title=f"Hybrid ablation — empirical crossover at {crossover} B "
+              "(paper: 'around 256 B')"))
+    assert crossover is not None
+    assert 256 <= crossover <= 512
+
+    tb = make_block_testbed()
+    benchmark(lambda: tb.method("hybrid").write(b"x" * 256))
+
+
+def test_hybrid_with_tuned_threshold_tracks_lower_envelope(envelope):
+    """With the threshold set at the measured crossover, the hybrid's
+    latency equals the better branch at every size."""
+    crossover = next(s for s in SIZES
+                     if envelope[s]["byteexpress"] > envelope[s]["prp"])
+    tb = make_block_testbed()
+    hybrid = HybridTransfer(tb.method("byteexpress"), tb.method("prp"),
+                            policy=HybridPolicy(threshold=crossover - 1))
+    for size in SIZES:
+        got = _mean_latency(hybrid, size)
+        best = min(envelope[size].values())
+        assert got == pytest.approx(best, rel=0.03)
+
+
+def test_default_threshold_tracks_envelope_outside_crossover_band(envelope):
+    """The paper's suggested fixed 256 B threshold is near-optimal: it can
+    only lose inside the (256, crossover) band, never elsewhere."""
+    tb = make_block_testbed()
+    for size in SIZES:
+        if 256 < size < 512:
+            continue  # the band where a fixed threshold may misroute
+        got = _mean_latency(tb.method("hybrid"), size)
+        best = min(envelope[size].values())
+        assert got == pytest.approx(best, rel=0.03)
+
+
+def test_threshold_sweep_optimum_near_crossover(envelope):
+    """Sweeping the policy threshold over a mixed workload: the best
+    threshold should sit at/near the latency crossover, not at 0 or inf."""
+    tb = make_block_testbed()
+    mixed = [bytes(s) for s in (32, 64, 128, 256, 512, 1024, 4096)] * 5
+
+    def total_latency(threshold):
+        hybrid = HybridTransfer(tb.method("byteexpress"), tb.method("prp"),
+                                policy=HybridPolicy(threshold=threshold))
+        return sum(hybrid.write(p, cdw10=0).latency_ns for p in mixed)
+
+    by_threshold = {t: total_latency(t) for t in (0, 64, 256, 384, 4096,
+                                                  1 << 20)}
+    best = min(by_threshold, key=by_threshold.get)
+    assert best in (256, 384)  # near the crossover
+    # Degenerate policies are strictly worse.
+    assert by_threshold[best] < by_threshold[0]
+    assert by_threshold[best] < by_threshold[1 << 20]

@@ -1,0 +1,77 @@
+"""Ablation (paper §5): PCIe generation variants.
+
+The paper's testbed is Gen2 x8 and notes that Gen4/Gen5 links "could
+influence the relative impact of data movement optimisations."  This
+sweep quantifies it: faster links shrink PRP's wire time (its 4 KB data
+phase), so ByteExpress's *latency* edge narrows with generation, while
+its *traffic* reduction — a byte-count property — is unchanged.
+"""
+
+import pytest
+
+from conftest import report, scaled_ops
+from repro.metrics import format_table, reduction_pct
+from repro.sim.config import LinkConfig, SimConfig
+from repro.testbed import make_block_testbed
+from repro.workloads import fixed_size_payloads
+
+GENERATIONS = (1, 2, 3, 4, 5)
+SIZE = 64
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for gen in GENERATIONS:
+        cfg = SimConfig(link=LinkConfig(generation=gen)).nand_off()
+        tb = make_block_testbed(config=cfg)
+        for method in ("prp", "byteexpress"):
+            agg = tb.method(method).run_workload(
+                fixed_size_payloads(SIZE, scaled_ops(SIZE)), cdw10=0)
+            out[(gen, method)] = (agg.pcie_bytes / agg.ops,
+                                  agg.mean_latency_ns)
+    return out
+
+
+def test_ablation_report(sweep, benchmark):
+    rows = []
+    for gen in GENERATIONS:
+        lat_red = reduction_pct(sweep[(gen, "prp")][1],
+                                sweep[(gen, "byteexpress")][1])
+        traf_red = reduction_pct(sweep[(gen, "prp")][0],
+                                 sweep[(gen, "byteexpress")][0])
+        rows.append([f"Gen{gen}",
+                     f"{sweep[(gen, 'prp')][1] / 1000:.2f}",
+                     f"{sweep[(gen, 'byteexpress')][1] / 1000:.2f}",
+                     f"{lat_red:.1f}%", f"{traf_red:.1f}%"])
+    report("ablation_pcie_gen", format_table(
+        ["link", "prp us", "byteexpress us", "latency cut", "traffic cut"],
+        rows,
+        title=f"PCIe generation ablation — {SIZE} B payloads "
+              "(paper testbed: Gen2 x8)"))
+
+    cfg = SimConfig(link=LinkConfig(generation=5)).nand_off()
+    tb = make_block_testbed(config=cfg)
+    benchmark(lambda: tb.method("byteexpress").write(b"x" * SIZE))
+
+
+def test_latency_edge_narrows_with_generation(sweep):
+    reductions = [reduction_pct(sweep[(g, "prp")][1],
+                                sweep[(g, "byteexpress")][1])
+                  for g in GENERATIONS]
+    assert reductions == sorted(reductions, reverse=True)
+
+
+def test_byteexpress_still_wins_at_gen5(sweep):
+    assert sweep[(5, "byteexpress")][1] < sweep[(5, "prp")][1]
+
+
+def test_traffic_reduction_is_generation_invariant(sweep):
+    cuts = {g: reduction_pct(sweep[(g, "prp")][0],
+                             sweep[(g, "byteexpress")][0])
+            for g in GENERATIONS}
+    assert max(cuts.values()) - min(cuts.values()) < 1e-9
+
+
+def test_gen1_prp_hurts_most(sweep):
+    assert sweep[(1, "prp")][1] > sweep[(2, "prp")][1] > sweep[(5, "prp")][1]

@@ -1,0 +1,69 @@
+"""Energy estimate per operation by transfer method.
+
+The paper's introduction charges PRP's traffic bloat with "increased
+latency and unnecessary power consumption".  This bench turns the TLP
+accounting into an estimated link-energy figure per op (model documented
+in :mod:`repro.metrics.energy`) — ByteExpress's traffic cut translates
+directly into dynamic-energy savings for small payloads.
+"""
+
+import pytest
+
+from conftest import report, scaled_ops
+from repro.metrics import EnergyModel, format_table, measure_energy
+from repro.testbed import make_block_testbed
+from repro.workloads import fixed_size_payloads
+
+SIZES = (32, 128, 1024)
+METHODS = ("prp", "bandslim", "byteexpress")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for method in METHODS:
+        for size in SIZES:
+            tb = make_block_testbed()
+            tb.traffic.reset()
+            t0 = tb.clock.now
+            ops = scaled_ops(size)
+            agg = tb.method(method).run_workload(
+                fixed_size_payloads(size, ops), cdw10=0)
+            assert agg.ops == ops
+            out[(method, size)] = measure_energy(
+                tb.traffic, tb.clock.now - t0, ops)
+    return out
+
+
+def test_energy_report(sweep, benchmark):
+    rows = []
+    for size in SIZES:
+        row = [size]
+        for method in METHODS:
+            row.append(f"{sweep[(method, size)].nj_per_op:.1f}")
+        rows.append(row)
+    report("energy_per_op", format_table(
+        ["payload (B)"] + [f"{m} nJ/op" for m in METHODS], rows,
+        title="Estimated PCIe link energy per write "
+              "(model: 40 pJ/B + 250 pJ/TLP + idle floor)"))
+
+    tb = make_block_testbed()
+    model = EnergyModel()
+    benchmark(lambda: model.dynamic_nj(tb.traffic))
+
+
+def test_byteexpress_saves_energy_for_small_payloads(sweep):
+    for size in (32, 128):
+        assert sweep[("byteexpress", size)].nj_per_op < \
+            sweep[("prp", size)].nj_per_op
+
+
+def test_dynamic_energy_tracks_traffic_cut(sweep):
+    prp = sweep[("prp", 32)]
+    be = sweep[("byteexpress", 32)]
+    assert be.dynamic_nj < prp.dynamic_nj / 5
+
+
+def test_bandslim_energy_grows_with_fragments(sweep):
+    assert sweep[("bandslim", 1024)].nj_per_op > \
+        2 * sweep[("bandslim", 32)].nj_per_op

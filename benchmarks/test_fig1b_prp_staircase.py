@@ -1,0 +1,49 @@
+"""Figure 1(b): PCIe traffic and transfer latency for PRP writes, 1-16 KB.
+
+Paper: on the OpenSSD with NAND disabled, both traffic and latency climb
+as a staircase aligned to 4 KB boundaries regardless of the requested
+size.  We sweep the same range over the simulated stack and assert the
+staircase shape.
+"""
+
+import pytest
+
+from conftest import report, scaled_ops
+from repro.metrics import format_table
+from repro.testbed import make_block_testbed
+from repro.workloads import FIGURE1B_SIZES, fixed_size_payloads
+
+
+def _run_sweep():
+    tb = make_block_testbed()
+    rows = []
+    per_op = {}
+    for size in FIGURE1B_SIZES:
+        ops = scaled_ops(size)
+        agg = tb.method("prp").run_workload(
+            fixed_size_payloads(size, ops), cdw10=0)
+        per_op[size] = (agg.pcie_bytes / agg.ops, agg.mean_latency_ns)
+        rows.append((size, f"{agg.pcie_bytes / agg.ops:.0f}",
+                     f"{agg.mean_latency_ns / 1000:.2f}"))
+    return rows, per_op
+
+
+def test_fig1b_staircase(benchmark):
+    rows, per_op = _run_sweep()
+    report("fig1b_prp_staircase", format_table(
+        ["payload (B)", "PCIe traffic (B/op)", "latency (us/op)"], rows,
+        title="Figure 1(b) — PRP writes, NAND off (4 KB staircase)"))
+
+    # Traffic within one 4 KB step is flat...
+    assert per_op[1024][0] == per_op[4096][0]
+    assert per_op[5120][0] == per_op[8192][0]
+    # ...and jumps across page boundaries.
+    assert per_op[5120][0] > per_op[4096][0]
+    assert per_op[12288][0] > per_op[8192][0]
+    # Latency shows the same steps.
+    assert per_op[1024][1] == pytest.approx(per_op[4096][1], rel=1e-6)
+    assert per_op[5120][1] > per_op[4096][1]
+
+    # pytest-benchmark kernel: one representative PRP write.
+    tb = make_block_testbed()
+    benchmark(lambda: tb.method("prp").write(b"x" * 1024))

@@ -1,0 +1,34 @@
+"""Figure 1(c): traffic amplification factor for sub-1 KB PRP payloads.
+
+Paper: a 32-byte request generates over 130x more PCIe traffic than its
+size under PRP.
+"""
+
+import pytest
+
+from conftest import report, scaled_ops
+from repro.metrics import format_table
+from repro.testbed import make_block_testbed
+from repro.workloads import FIGURE1C_SIZES, fixed_size_payloads
+
+
+def test_fig1c_amplification(benchmark):
+    tb = make_block_testbed()
+    rows = []
+    amp = {}
+    for size in FIGURE1C_SIZES:
+        agg = tb.method("prp").run_workload(
+            fixed_size_payloads(size, scaled_ops(size)), cdw10=0)
+        amp[size] = agg.amplification
+        rows.append((size, f"{agg.amplification:.1f}x"))
+    report("fig1c_amplification", format_table(
+        ["payload (B)", "traffic amplification"], rows,
+        title="Figure 1(c) — PRP traffic amplification, sub-1 KB "
+              "(paper: >130x at 32 B)"))
+
+    assert amp[32] > 130          # the paper's headline number
+    assert amp[1024] < amp[32]    # amplification shrinks with size
+    assert all(amp[a] >= amp[b]
+               for a, b in zip(FIGURE1C_SIZES, FIGURE1C_SIZES[1:]))
+
+    benchmark(lambda: tb.method("prp").write(b"x" * 32))

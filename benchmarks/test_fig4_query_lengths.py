@@ -1,0 +1,39 @@
+"""Figure 4: lengths of full SQL strings vs table/predicate segments for
+the CSD query corpus (VPIC, Laghos, Asteroid, TPC-H Q1/Q2).
+
+Paper: scientific workloads' payloads are under 100 B even as full
+strings; TPC-H queries isolate to single-table filter segments that are
+also under 100 B.
+"""
+
+import pytest
+
+from conftest import report
+from repro.csd.queries import CORPUS, by_name
+from repro.metrics import format_table
+
+
+def test_fig4_report(benchmark):
+    rows = [(q.name, q.full_len, q.segment_len, repr(q.segment))
+            for q in CORPUS]
+    report("fig4_query_lengths", format_table(
+        ["workload", "full SQL (B)", "segment (B)", "segment"], rows,
+        title="Figure 4 — pushdown message sizes "
+              "(paper: segments <100 B; scientific full strings <100 B)"))
+
+    benchmark(lambda: [q.segment for q in CORPUS])
+
+
+def test_scientific_full_strings_small():
+    for name in ("vpic", "laghos", "asteroid"):
+        assert by_name(name).full_len < 100
+
+
+def test_every_segment_under_100b():
+    assert all(q.segment_len < 100 for q in CORPUS)
+
+
+def test_tpch_isolation_shrinks_queries():
+    for name in ("tpch_q1", "tpch_q2"):
+        q = by_name(name)
+        assert q.segment_len < q.full_len

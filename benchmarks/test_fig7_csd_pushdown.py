@@ -1,0 +1,111 @@
+"""Figure 7: PCIe traffic and throughput for SQL predicate pushdown,
+sending (left) the full SQL string and (right) only the table+predicate
+segment, for every Figure-4 query.
+
+Paper: both inline methods cut traffic by ~98 % vs PRP (Asteroid case);
+ByteExpress beats PRP throughput on all predicate-only sends, and also
+beats both PRP and BandSlim on full strings for the sub-100 B scientific
+workloads.
+"""
+
+import pytest
+
+from conftest import DEFAULT_OPS, report
+from repro.csd.pushdown import CsdClient
+from repro.csd.queries import CORPUS, by_name
+from repro.metrics import format_table
+from repro.testbed import make_csd_testbed
+
+METHODS = ("prp", "bandslim", "byteexpress")
+#: Figure 7 measures transfer rates: tasks are queued, not executed
+#: per-send (execution cost is method-independent).
+TASKS = DEFAULT_OPS
+
+
+def _run():
+    results = {}
+    for method in METHODS:
+        tb = make_csd_testbed(execute_inline=False)
+        client = CsdClient(tb.driver, tb.method(method))
+        for query in CORPUS:
+            if not tb.personality.store.exists(query.schema.name):
+                setup_client = CsdClient(tb.driver, tb.method("prp"))
+                setup_client.create_table(query.schema)
+        for query in CORPUS:
+            for form, message in (("full", query.full_sql),
+                                  ("segment", query.segment)):
+                t0, b0 = tb.clock.now, tb.traffic.total_bytes
+                for _ in range(TASKS):
+                    client.pushdown(message)
+                elapsed = tb.clock.now - t0
+                results[(method, query.name, form)] = {
+                    "traffic_per_op": (tb.traffic.total_bytes - b0) / TASKS,
+                    "kops": TASKS / elapsed * 1e6,
+                }
+    return results
+
+
+@pytest.fixture(scope="module")
+def results():
+    return _run()
+
+
+def test_fig7_report(results, benchmark):
+    rows = []
+    for query in CORPUS:
+        for form in ("full", "segment"):
+            row = [f"{query.name}/{form}"]
+            for method in METHODS:
+                r = results[(method, query.name, form)]
+                row += [f"{r['traffic_per_op']:.0f}", f"{r['kops']:.1f}"]
+            rows.append(row)
+    headers = ["query/form"]
+    for method in METHODS:
+        headers += [f"{method} B/op", f"{method} Kops/s"]
+    report("fig7_csd_pushdown", format_table(
+        headers, rows,
+        title=f"Figure 7 — CSD pushdown transfer, {TASKS} tasks per point"))
+
+    tb = make_csd_testbed(execute_inline=False)
+    client = CsdClient(tb.driver, tb.method("byteexpress"))
+    CsdClient(tb.driver, tb.method("prp")).create_table(
+        by_name("vpic").schema)
+    benchmark(lambda: client.pushdown("particles;energy > 1.2"))
+
+
+class TestTrafficShape:
+    def test_inline_methods_cut_98pct_on_asteroid(self, results):
+        """Paper: 'both methods cut traffic by nearly 98%' (Asteroid)."""
+        for method in ("bandslim", "byteexpress"):
+            for form in ("full", "segment"):
+                red = 1 - (results[(method, "asteroid", form)]["traffic_per_op"]
+                           / results[("prp", "asteroid", form)]["traffic_per_op"])
+                assert red > 0.88, (method, form, red)
+
+    def test_all_messages_under_4kb_so_inline_always_wins_traffic(self, results):
+        for query in CORPUS:
+            for form in ("full", "segment"):
+                assert results[("byteexpress", query.name, form)]["traffic_per_op"] < \
+                    results[("prp", query.name, form)]["traffic_per_op"]
+
+
+class TestThroughputShape:
+    def test_byteexpress_beats_prp_on_all_segments(self, results):
+        """Paper: higher throughput than PRP for every predicate-only send."""
+        for query in CORPUS:
+            assert results[("byteexpress", query.name, "segment")]["kops"] > \
+                results[("prp", query.name, "segment")]["kops"]
+
+    def test_byteexpress_wins_full_strings_for_sub100b_workloads(self, results):
+        """Paper: VPIC/Laghos/Asteroid full strings (<100 B) — ByteExpress
+        outperforms both PRP and BandSlim."""
+        for name in ("vpic", "laghos", "asteroid"):
+            be = results[("byteexpress", name, "full")]["kops"]
+            assert be > results[("prp", name, "full")]["kops"]
+            assert be > results[("bandslim", name, "full")]["kops"]
+
+    def test_bandslim_no_better_than_prp_on_long_full_strings(self, results):
+        """Paper: BandSlim's throughput was similar to or slightly below
+        PRP (it fragments the longer strings heavily)."""
+        assert results[("bandslim", "tpch_q1", "full")]["kops"] <= \
+            results[("prp", "tpch_q1", "full")]["kops"] * 1.05

@@ -1,0 +1,76 @@
+"""Latency phase breakdown: where each method's time goes.
+
+Complements Table 1: decomposes a 64 B write's end-to-end latency into
+the protocol phases the span accounting records — driver submit, device
+SQ fetch (incl. inline chunks), data transfer, completion handling — and
+shows that ByteExpress's win is precisely the removal of the PRP data
+phase, bought for one extra chunk fetch.
+"""
+
+import pytest
+
+from conftest import report
+from repro.metrics import format_table
+from repro.testbed import make_block_testbed
+
+PHASES = ("drv.sq_submit", "ctrl.sq_fetch", "ctrl.data_transfer",
+          "ctrl.completion", "drv.completion")
+SIZE = 64
+
+
+def _breakdown(method):
+    tb = make_block_testbed()
+    tb.clock.reset_spans()
+    stats = tb.method(method).write(bytes(SIZE))
+    totals = tb.clock.span_totals()
+    accounted = sum(totals.get(p, 0.0) for p in PHASES)
+    return stats.latency_ns, totals, accounted
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    return {m: _breakdown(m) for m in ("prp", "sgl", "byteexpress")}
+
+
+def test_breakdown_report(breakdowns, benchmark):
+    rows = []
+    for method, (latency, totals, accounted) in breakdowns.items():
+        row = [method] + [f"{totals.get(p, 0.0):.0f}" for p in PHASES]
+        row += [f"{latency - accounted:.0f}", f"{latency:.0f}"]
+        rows.append(row)
+    report("phase_breakdown", format_table(
+        ["method"] + list(PHASES) + ["other(ns)", "total(ns)"], rows,
+        title=f"Latency phase breakdown — {SIZE} B write"))
+
+    tb = make_block_testbed()
+    benchmark(lambda: tb.method("byteexpress").write(bytes(SIZE)))
+
+
+def test_phases_account_for_most_of_latency(breakdowns):
+    """The span-tracked phases plus fixed software overheads cover the
+    whole latency — nothing unexplained."""
+    for method, (latency, totals, accounted) in breakdowns.items():
+        assert accounted <= latency
+        # Unaccounted = passthrough entry + doorbell writes (untracked).
+        assert latency - accounted < 1000, method
+
+
+def test_byteexpress_eliminates_data_phase(breakdowns):
+    assert breakdowns["byteexpress"][1].get("ctrl.data_transfer", 0.0) == 0.0
+    assert breakdowns["prp"][1]["ctrl.data_transfer"] > 2000
+
+
+def test_byteexpress_pays_in_fetch_phase(breakdowns):
+    be_fetch = breakdowns["byteexpress"][1]["ctrl.sq_fetch"]
+    prp_fetch = breakdowns["prp"][1]["ctrl.sq_fetch"]
+    assert be_fetch == pytest.approx(prp_fetch + 400, abs=50)
+
+
+def test_completion_and_submit_phases_comparable(breakdowns):
+    """Everything except fetch/data is method-independent overhead."""
+    ref = breakdowns["prp"][1]
+    for method, (_, totals, _) in breakdowns.items():
+        assert totals["ctrl.completion"] == pytest.approx(
+            ref["ctrl.completion"], rel=0.01)
+        assert totals["drv.completion"] == pytest.approx(
+            ref["drv.completion"], rel=0.01)

@@ -1,0 +1,76 @@
+"""Table 1: driver SQ-submit and controller SQ-fetch overheads.
+
+Paper (ns):
+
+    NVMe PRP (all)      submit ~60    fetch ~2400
+    ByteExpress (64 B)  submit ~100   fetch ~2800
+    ByteExpress (128 B) submit ~130   fetch ~3200
+    ByteExpress (256 B) submit ~180   fetch ~4000
+
+We measure the same two phases with clock spans around the real code
+paths and reproduce the table.
+"""
+
+import pytest
+
+from conftest import report
+from repro.metrics import format_table
+from repro.testbed import make_block_testbed
+
+PAPER = {
+    "NVMe PRP (ALL)": (60, 2400),
+    "ByteExpress (64B)": (100, 2800),
+    "ByteExpress (128B)": (130, 3200),
+    "ByteExpress (256B)": (180, 4000),
+}
+
+
+def _measure(method, size):
+    tb = make_block_testbed()
+    tb.clock.reset_spans()
+    tb.method(method).write(bytes(size))
+    totals = tb.clock.span_totals()
+    return totals["drv.sq_submit"], totals["ctrl.sq_fetch"]
+
+
+@pytest.fixture(scope="module")
+def measured():
+    out = {"NVMe PRP (ALL)": _measure("prp", 64)}
+    for size in (64, 128, 256):
+        out[f"ByteExpress ({size}B)"] = _measure("byteexpress", size)
+    return out
+
+
+def test_table1_report(measured, benchmark):
+    rows = []
+    for system, (submit, fetch) in measured.items():
+        p_submit, p_fetch = PAPER[system]
+        rows.append([system, f"{submit:.0f}", f"~{p_submit}",
+                     f"{fetch:.0f}", f"~{p_fetch}"])
+    report("table1_overheads", format_table(
+        ["system", "submit ns", "paper", "fetch ns", "paper"], rows,
+        title="Table 1 — ByteExpress overheads (driver submit / "
+              "controller fetch)"))
+
+    tb = make_block_testbed()
+    benchmark(lambda: tb.method("byteexpress").write(bytes(64)))
+
+
+@pytest.mark.parametrize("system", list(PAPER))
+def test_within_15pct_of_paper(measured, system):
+    submit, fetch = measured[system]
+    p_submit, p_fetch = PAPER[system]
+    assert submit == pytest.approx(p_submit, rel=0.15)
+    assert fetch == pytest.approx(p_fetch, rel=0.15)
+
+
+def test_increments_are_per_chunk(measured):
+    """The paper's structural claim: ~30 ns submit and ~400 ns fetch per
+    additional 64 B chunk."""
+    s64, f64 = measured["ByteExpress (64B)"]
+    s128, f128 = measured["ByteExpress (128B)"]
+    s256, f256 = measured["ByteExpress (256B)"]
+    assert s128 - s64 == pytest.approx(30, abs=10)
+    assert f128 - f64 == pytest.approx(400, abs=60)
+    assert s256 - s128 == pytest.approx(60, abs=15)
+    assert f256 - f128 == pytest.approx(800, abs=100)

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``      — identify the simulated controller + configuration
+* ``sweep``     — Figure-5 style size sweep across transfer methods
+* ``kv``        — KV-SSD workload run (mixgraph | fillrandom)
+* ``pushdown``  — CSD pushdown run over the Figure-4 corpus
+* ``replay``    — replay a recorded KV trace against a chosen method
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.csd.pushdown import CsdClient
+from repro.csd.queries import CORPUS
+from repro.kvssd import KVStore
+from repro.metrics import format_table
+from repro.metrics.ascii_plot import ascii_chart
+from repro.sim.config import LinkConfig, SimConfig
+from repro.testbed import make_block_testbed, make_csd_testbed, make_kv_testbed
+from repro.workloads import (
+    FillRandomWorkload,
+    MixGraphWorkload,
+    fixed_size_payloads,
+    load_trace,
+)
+
+_ALL_METHODS = ("prp", "sgl", "bandslim", "byteexpress", "hybrid")
+
+
+def _config(args) -> SimConfig:
+    cfg = SimConfig(link=LinkConfig(generation=args.gen),
+                    lba_bytes=args.lba)
+    return cfg if getattr(args, "nand", False) else cfg.nand_off()
+
+
+def cmd_info(args) -> int:
+    tb = make_block_testbed(config=_config(args))
+    ident = tb.driver.identify
+    link = tb.ssd.config.link
+    print(f"model        : {ident.model}")
+    print(f"firmware     : {ident.firmware}  (ByteExpress: "
+          f"{'yes' if ident.byteexpress else 'no'})")
+    print(f"link         : PCIe Gen{link.generation} x{link.lanes} "
+          f"({link.bytes_per_ns:.1f} GB/s effective)")
+    print(f"I/O queues   : {len(tb.driver.io_qids)} of "
+          f"{ident.num_io_queues} supported, depth "
+          f"{tb.ssd.config.sq_depth}")
+    print(f"LBA size     : {tb.ssd.config.lba_bytes} B")
+    print(f"max transfer : {ident.max_transfer_bytes // 1024} KiB")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    methods = [m for m in args.methods.split(",")]
+    for m in methods:
+        if m not in _ALL_METHODS:
+            print(f"unknown method {m!r}; pick from {_ALL_METHODS}",
+                  file=sys.stderr)
+            return 2
+    rows = []
+    latency_series = {m: [] for m in methods}
+    for method in methods:
+        tb = make_block_testbed(config=_config(args), include_mmio=False)
+        for size in sizes:
+            agg = tb.method(method).run_workload(
+                fixed_size_payloads(size, args.ops), cdw10=0)
+            latency_series[method].append((size, agg.mean_latency_ns / 1000))
+            rows.append([method, size, f"{agg.pcie_bytes / agg.ops:.0f}",
+                         f"{agg.mean_latency_ns / 1000:.2f}"])
+    print(format_table(["method", "payload (B)", "PCIe B/op", "us/op"],
+                       rows, title=f"sweep ({args.ops} ops/point)"))
+    print()
+    print(ascii_chart(latency_series, log_x=True, log_y=True,
+                      title="mean latency (us) vs payload size (B)",
+                      y_label="us/op"))
+    return 0
+
+
+def cmd_kv(args) -> int:
+    rows = []
+    for method in args.methods.split(","):
+        tb = make_kv_testbed()
+        store = KVStore(tb.driver, tb.method(method))
+        if args.workload == "mixgraph":
+            workload = MixGraphWorkload(ops=args.ops, seed=args.seed)
+        else:
+            workload = FillRandomWorkload(ops=args.ops, seed=args.seed,
+                                          value_size=args.value_size)
+        t0, b0 = tb.clock.now, tb.traffic.total_bytes
+        for op in workload:
+            store.put(op.key, op.value)
+        elapsed = tb.clock.now - t0
+        rows.append([method,
+                     f"{(tb.traffic.total_bytes - b0) / args.ops:.0f}",
+                     f"{args.ops / elapsed * 1e6:.1f}",
+                     tb.personality.index.flushes,
+                     tb.ssd.nand.programs])
+    print(format_table(
+        ["PUT path", "PCIe B/op", "Kops/s", "LSM flushes", "NAND programs"],
+        rows, title=f"{args.workload} x{args.ops}, NAND on"))
+    return 0
+
+
+def cmd_pushdown(args) -> int:
+    tb = make_csd_testbed(execute_inline=False)
+    setup = CsdClient(tb.driver, tb.method("prp"))
+    for query in CORPUS:
+        setup.create_table(query.schema)
+    rows = []
+    for method in args.methods.split(","):
+        client = CsdClient(tb.driver, tb.method(method))
+        for query in CORPUS:
+            message = query.segment if args.segment else query.full_sql
+            t0, b0 = tb.clock.now, tb.traffic.total_bytes
+            for _ in range(args.ops):
+                client.pushdown(message)
+            elapsed = tb.clock.now - t0
+            rows.append([method, query.name, len(message.encode()),
+                         f"{(tb.traffic.total_bytes - b0) / args.ops:.0f}",
+                         f"{args.ops / elapsed * 1e6:.1f}"])
+    form = "segment" if args.segment else "full SQL"
+    print(format_table(
+        ["method", "query", "msg B", "PCIe B/op", "Kops/s"], rows,
+        title=f"pushdown transfer ({form}, {args.ops} tasks/point)"))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    tb = make_kv_testbed()
+    store = KVStore(tb.driver, tb.method(args.method))
+    t0, b0 = tb.clock.now, tb.traffic.total_bytes
+    counts = {"put": 0, "get": 0, "delete": 0}
+    for op in load_trace(args.trace):
+        if op.op == "put":
+            store.put(op.key, op.value)
+        elif op.op == "get":
+            try:
+                store.get(op.key, max_value_len=65536)
+            except Exception:
+                pass
+        elif op.op == "delete":
+            try:
+                store.delete(op.key)
+            except Exception:
+                pass
+        counts[op.op] = counts.get(op.op, 0) + 1
+    total = sum(counts.values())
+    if total == 0:
+        print("empty trace", file=sys.stderr)
+        return 2
+    elapsed = tb.clock.now - t0
+    print(f"replayed {total} ops ({counts}) via {args.method}: "
+          f"{total / elapsed * 1e6:.1f} Kops/s, "
+          f"{(tb.traffic.total_bytes - b0) / total:.0f} PCIe B/op")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--gen", type=int, default=2, choices=(1, 2, 3, 4, 5),
+                       help="PCIe generation (default: 2, the paper's)")
+        p.add_argument("--lba", type=int, default=4096,
+                       help="PRP fetch granularity in bytes")
+
+    p = sub.add_parser("info", help="describe the simulated device")
+    common(p)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("sweep", help="size sweep across methods (Figure 5)")
+    common(p)
+    p.add_argument("--sizes", default="32,64,128,256,512,1024,4096")
+    p.add_argument("--methods", default="prp,bandslim,byteexpress")
+    p.add_argument("--ops", type=int, default=100)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("kv", help="KV-SSD workload (Figure 6)")
+    p.add_argument("--workload", choices=("mixgraph", "fillrandom"),
+                   default="mixgraph")
+    p.add_argument("--methods", default="prp,bandslim,byteexpress")
+    p.add_argument("--ops", type=int, default=500)
+    p.add_argument("--value-size", type=int, default=128)
+    p.add_argument("--seed", type=int, default=0x5EED)
+    p.set_defaults(func=cmd_kv)
+
+    p = sub.add_parser("pushdown", help="CSD pushdown (Figure 7)")
+    p.add_argument("--methods", default="prp,bandslim,byteexpress")
+    p.add_argument("--ops", type=int, default=100)
+    p.add_argument("--segment", action="store_true",
+                   help="send table;predicate segments instead of full SQL")
+    p.set_defaults(func=cmd_pushdown)
+
+    p = sub.add_parser("replay", help="replay a recorded KV trace")
+    p.add_argument("trace", help="JSONL trace file (see repro.workloads.trace)")
+    p.add_argument("--method", default="byteexpress")
+    p.set_defaults(func=cmd_replay)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

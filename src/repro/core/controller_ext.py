@@ -1,0 +1,88 @@
+"""Device-side ByteExpress fetch (the ``get_nvme_cmd`` patch).
+
+The paper extends the OpenSSD firmware's command-fetch routine by <20
+lines: after DMA-fetching a command, the controller checks the reserved
+field; a non-zero value means the next N submission-queue entries are
+payload chunks, which it fetches *from the same queue* before resuming
+round-robin polling (paper §3.3.2, device half — queue-local retrieval
+preserves inter-SQ ordering).
+
+Timing: the paper reports ~400 ns per inline SQ-entry fetch, inclusive of
+the DMA issue/receive/copy path (§4.2, Table 1).  We charge exactly that
+per chunk and account the wire TLPs separately for traffic, so Table 1 and
+the traffic figures are both reproduced from one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.chunking import CHUNK_SIZE, join_chunks
+from repro.core.inline_command import InlineInfo
+from repro.host.memory import HostMemory
+from repro.pcie import tlp as tlpmod
+from repro.pcie.link import PCIeLink
+from repro.pcie.traffic import CAT_INLINE_CHUNK
+from repro.sim.clock import SimClock
+from repro.sim.config import TimingModel
+
+
+@dataclass
+class DeviceSqState:
+    """The controller's view of one submission queue.
+
+    Populated from the Create-SQ admin command: base address, depth, and
+    the controller's private head pointer (how far it has consumed).
+    """
+
+    qid: int
+    base_addr: int
+    depth: int
+    head: int = 0
+
+    def slot_addr(self, index: int) -> int:
+        return self.base_addr + (index % self.depth) * CHUNK_SIZE
+
+    def advance(self, count: int = 1) -> None:
+        self.head = (self.head + count) % self.depth
+
+
+class InlineFetchError(Exception):
+    """Raised when the advertised chunk count exceeds the doorbell'd tail."""
+
+
+def fetch_inline_payload(
+    state: DeviceSqState,
+    info: InlineInfo,
+    shadow_tail: int,
+    host_memory: HostMemory,
+    link: PCIeLink,
+    clock: SimClock,
+    timing: TimingModel,
+) -> bytes:
+    """Fetch ``info.chunks`` payload entries following the command.
+
+    ``state.head`` must already point past the command's slot.  The
+    doorbell guarantees the chunks are visible: the driver rings it only
+    after inserting the full sequence, so a chunk count reaching beyond
+    ``shadow_tail`` indicates a malformed (or hostile) command and fails
+    the command rather than stalling the queue.
+    """
+    available = (shadow_tail - state.head) % state.depth
+    if info.chunks > available:
+        raise InlineFetchError(
+            f"SQ{state.qid}: command advertises {info.chunks} inline chunks "
+            f"but only {available} entries are visible past the doorbell")
+
+    chunks: List[bytes] = []
+    for _ in range(info.chunks):
+        raw = host_memory.read(state.slot_addr(state.head), CHUNK_SIZE)
+        chunks.append(raw)
+        state.advance()
+        # Traffic: a real 64 B DMA fetch per chunk; time: the calibrated
+        # all-in per-entry cost (wire share included — do not double charge).
+        link.record_only(CAT_INLINE_CHUNK,
+                         tlpmod.device_dma_read(CHUNK_SIZE, link.config))
+        clock.advance(timing.chunk_fetch_ns)
+    return join_chunks(chunks, info.payload_len)

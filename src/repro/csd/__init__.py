@@ -1,0 +1,74 @@
+"""Computational-storage (CSD) substrate: schemas, tables, SQL predicate
+parsing, in-device filtering, the Figure-4 query corpus, and the pushdown
+client/personality pair."""
+
+from repro.csd.filter import FilterExecutor, FilterResult
+from repro.csd.pushdown import (
+    CsdClient,
+    CsdPersonality,
+    PushdownTask,
+    parse_task_message,
+)
+from repro.csd.queries import (
+    ASTEROID,
+    CORPUS,
+    LAGHOS,
+    TPCH_Q1,
+    TPCH_Q2,
+    VPIC,
+    CorpusQuery,
+    by_name,
+)
+from repro.csd.schema import Column, ColumnType, TableSchema
+from repro.csd.sql import (
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    SelectQuery,
+    SqlError,
+    evaluate,
+    extract_segment,
+    parse_predicate,
+    parse_query,
+    predicate_columns,
+)
+from repro.csd.table import DeviceTable, TableError, TableStore
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "DeviceTable",
+    "TableStore",
+    "TableError",
+    "SqlError",
+    "parse_query",
+    "parse_predicate",
+    "extract_segment",
+    "evaluate",
+    "predicate_columns",
+    "SelectQuery",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "ColumnRef",
+    "Literal",
+    "FilterExecutor",
+    "FilterResult",
+    "CsdClient",
+    "CsdPersonality",
+    "PushdownTask",
+    "parse_task_message",
+    "CorpusQuery",
+    "CORPUS",
+    "VPIC",
+    "LAGHOS",
+    "ASTEROID",
+    "TPCH_Q1",
+    "TPCH_Q2",
+    "by_name",
+]

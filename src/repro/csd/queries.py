@@ -1,0 +1,178 @@
+"""The Figure-4 query corpus.
+
+The paper characterises pushdown message sizes using example queries from
+prior CSD studies: the VPIC particle-in-cell simulation, the Laghos
+hydrodynamics dataset, the LANL deep-water asteroid-impact dataset, and
+TPC-H Q1/Q2 as used by YourSQL/Biscuit (filtering on a single table —
+``lineitem`` for Q1, ``region`` for Q2).
+
+For each workload we provide the full SQL string, the table+predicate
+segment (Figure 4's two bars; Figure 7 sends both forms), a schema, and a
+deterministic synthetic row generator so the filters actually execute.
+Scientific full strings are under 100 bytes and TPC-H segments are under
+100 bytes, matching the size properties Figure 4 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.csd.schema import Column, ColumnType, TableSchema
+from repro.csd.sql import extract_segment
+from repro.sim.rng import make_rng
+
+I64 = ColumnType.INT64
+F64 = ColumnType.FLOAT64
+S = ColumnType.STR
+
+
+@dataclass(frozen=True)
+class CorpusQuery:
+    """One Figure-4 workload."""
+
+    name: str
+    full_sql: str
+    schema: TableSchema
+    make_rows: Callable[[int, int], List[Tuple[object, ...]]]
+
+    @property
+    def segment(self) -> str:
+        """The table+predicate segment (Figure 4, right bar)."""
+        return extract_segment(self.full_sql)
+
+    @property
+    def full_len(self) -> int:
+        return len(self.full_sql.encode("utf-8"))
+
+    @property
+    def segment_len(self) -> int:
+        return len(self.segment.encode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# row generators
+# ---------------------------------------------------------------------------
+def _vpic_rows(n: int, seed: int) -> List[Tuple[object, ...]]:
+    rng = make_rng(seed, "vpic")
+    return [(int(i), float(e), float(ux), float(uy), float(uz))
+            for i, e, ux, uy, uz in zip(
+                range(n),
+                rng.exponential(1.0, n),          # particle energy
+                rng.normal(0, 0.4, n), rng.normal(0, 0.4, n),
+                rng.normal(0, 0.4, n))]
+
+
+def _laghos_rows(n: int, seed: int) -> List[Tuple[object, ...]]:
+    rng = make_rng(seed, "laghos")
+    return [(int(i), float(e), float(rho), float(v))
+            for i, e, rho, v in zip(
+                range(n),
+                rng.gamma(2.0, 300.0, n),         # internal energy
+                rng.uniform(0.5, 2.5, n),         # density
+                rng.normal(0, 1.0, n))]
+
+
+def _asteroid_rows(n: int, seed: int) -> List[Tuple[object, ...]]:
+    rng = make_rng(seed, "asteroid")
+    return [(int(i), float(v02), float(prs), float(tev))
+            for i, v02, prs, tev in zip(
+                range(n),
+                rng.beta(0.5, 2.0, n),            # water volume fraction
+                rng.lognormal(18.0, 2.0, n),      # pressure (Pa)
+                rng.exponential(0.4, n))]         # temperature (eV)
+
+
+_TPCH_FLAGS = ("A", "N", "R")
+_TPCH_STATUS = ("O", "F")
+_TPCH_DATES = tuple(f"19{yy:02d}-{mm:02d}-{dd:02d}"
+                    for yy in (94, 95, 96, 97, 98)
+                    for mm in (1, 4, 7, 9, 12) for dd in (2, 15, 28))
+_TPCH_REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+
+def _lineitem_rows(n: int, seed: int) -> List[Tuple[object, ...]]:
+    rng = make_rng(seed, "lineitem")
+    return [(int(k), int(q), float(p), float(d),
+             str(_TPCH_FLAGS[f]), str(_TPCH_STATUS[s]), str(_TPCH_DATES[t]))
+            for k, q, p, d, f, s, t in zip(
+                range(n),
+                rng.integers(1, 51, n),
+                rng.uniform(900.0, 105000.0, n),
+                rng.uniform(0.0, 0.11, n),
+                rng.integers(0, len(_TPCH_FLAGS), n),
+                rng.integers(0, len(_TPCH_STATUS), n),
+                rng.integers(0, len(_TPCH_DATES), n))]
+
+
+def _region_rows(n: int, seed: int) -> List[Tuple[object, ...]]:
+    # TPC-H region is a 5-row dimension table; n is ignored by design.
+    del n, seed
+    return [(i, name, f"{name.lower()} region comment")
+            for i, name in enumerate(_TPCH_REGIONS)]
+
+
+# ---------------------------------------------------------------------------
+# the corpus
+# ---------------------------------------------------------------------------
+def _schema(name: str, *cols: Tuple[str, ColumnType]) -> TableSchema:
+    return TableSchema(name, tuple(Column(n, t) for n, t in cols))
+
+
+VPIC = CorpusQuery(
+    name="vpic",
+    full_sql="SELECT * FROM particles WHERE energy > 1.2",
+    schema=_schema("particles", ("pid", I64), ("energy", F64),
+                   ("ux", F64), ("uy", F64), ("uz", F64)),
+    make_rows=_vpic_rows,
+)
+
+LAGHOS = CorpusQuery(
+    name="laghos",
+    full_sql="SELECT * FROM zones WHERE e > 662.0 AND rho < 2.0",
+    schema=_schema("zones", ("zid", I64), ("e", F64), ("rho", F64),
+                   ("v", F64)),
+    make_rows=_laghos_rows,
+)
+
+ASTEROID = CorpusQuery(
+    name="asteroid",
+    full_sql="SELECT * FROM cells WHERE v02 > 0.4 AND prs > 300000000.0",
+    schema=_schema("cells", ("cid", I64), ("v02", F64), ("prs", F64),
+                   ("tev", F64)),
+    make_rows=_asteroid_rows,
+)
+
+TPCH_Q1 = CorpusQuery(
+    name="tpch_q1",
+    full_sql=("SELECT l_returnflag, l_linestatus, l_quantity, "
+              "l_extendedprice, l_discount FROM lineitem "
+              "WHERE l_shipdate <= DATE '1998-09-02' "
+              "ORDER BY l_returnflag, l_linestatus"),
+    schema=_schema("lineitem", ("l_orderkey", I64), ("l_quantity", I64),
+                   ("l_extendedprice", F64), ("l_discount", F64),
+                   ("l_returnflag", S), ("l_linestatus", S),
+                   ("l_shipdate", S)),
+    make_rows=_lineitem_rows,
+)
+
+TPCH_Q2 = CorpusQuery(
+    name="tpch_q2",
+    full_sql=("SELECT r_regionkey, r_name FROM region "
+              "WHERE r_name = 'EUROPE' ORDER BY r_regionkey"),
+    schema=_schema("region", ("r_regionkey", I64), ("r_name", S),
+                   ("r_comment", S)),
+    make_rows=_region_rows,
+)
+
+#: Figure 4's workloads, left-to-right.
+CORPUS = (VPIC, LAGHOS, ASTEROID, TPCH_Q1, TPCH_Q2)
+
+
+def by_name(name: str) -> CorpusQuery:
+    for query in CORPUS:
+        if query.name == name:
+            return query
+    raise KeyError(f"no corpus query named {name!r}")

@@ -1,0 +1,127 @@
+"""Table schemas for the computational-storage device.
+
+The key observation the paper leans on (§2.2.2) is that *the SSD already
+stores the table schema*, so a pushdown task only needs a table identifier
+and a predicate.  This module defines the schema objects the device keeps
+and the row wire format used when the host loads data into the device.
+
+Row wire format: per column — INT64 little-endian 8 B; FLOAT64 IEEE 8 B;
+STR as u16 length + UTF-8 bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+class ColumnType(enum.Enum):
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STR = "str"
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    ctype: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(f"bad column name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    name: str
+    columns: Tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("a table needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate column names")
+
+    def column_index(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise KeyError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    # ------------------------------------------------------------------
+    # row codec
+    # ------------------------------------------------------------------
+    def validate_row(self, row: Sequence[object]) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} values, schema has {len(self.columns)}")
+        for value, col in zip(row, self.columns):
+            if col.ctype is ColumnType.INT64 and not isinstance(value, int):
+                raise TypeError(f"column {col.name}: expected int")
+            if col.ctype is ColumnType.FLOAT64 and not isinstance(value, (int, float)):
+                raise TypeError(f"column {col.name}: expected float")
+            if col.ctype is ColumnType.STR and not isinstance(value, str):
+                raise TypeError(f"column {col.name}: expected str")
+
+    def pack_row(self, row: Sequence[object]) -> bytes:
+        self.validate_row(row)
+        out = bytearray()
+        for value, col in zip(row, self.columns):
+            if col.ctype is ColumnType.INT64:
+                out += struct.pack("<q", value)
+            elif col.ctype is ColumnType.FLOAT64:
+                out += struct.pack("<d", float(value))
+            else:
+                raw = value.encode("utf-8")
+                if len(raw) > 0xFFFF:
+                    raise ValueError("string value too long")
+                out += struct.pack("<H", len(raw)) + raw
+        return bytes(out)
+
+    def unpack_rows(self, raw: bytes) -> List[Tuple[object, ...]]:
+        """Decode a concatenation of packed rows."""
+        rows: List[Tuple[object, ...]] = []
+        pos = 0
+        while pos < len(raw):
+            values: List[object] = []
+            for col in self.columns:
+                if col.ctype is ColumnType.INT64:
+                    (v,) = struct.unpack_from("<q", raw, pos)
+                    pos += 8
+                elif col.ctype is ColumnType.FLOAT64:
+                    (v,) = struct.unpack_from("<d", raw, pos)
+                    pos += 8
+                else:
+                    (n,) = struct.unpack_from("<H", raw, pos)
+                    pos += 2
+                    v = raw[pos:pos + n].decode("utf-8")
+                    pos += n
+                values.append(v)
+            rows.append(tuple(values))
+        return rows
+
+    # ------------------------------------------------------------------
+    # schema codec (for the CSD create-table command)
+    # ------------------------------------------------------------------
+    def pack(self) -> bytes:
+        parts = [self.name]
+        for col in self.columns:
+            parts.append(f"{col.name}:{col.ctype.value}")
+        return ";".join(parts).encode("utf-8")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "TableSchema":
+        parts = raw.decode("utf-8").split(";")
+        if len(parts) < 2:
+            raise ValueError("schema needs a table name and one column")
+        columns = []
+        for spec in parts[1:]:
+            name, _, ctype = spec.partition(":")
+            columns.append(Column(name, ColumnType(ctype)))
+        return cls(parts[0], tuple(columns))

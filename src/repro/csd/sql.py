@@ -1,0 +1,344 @@
+"""SQL SELECT/WHERE parsing for predicate pushdown.
+
+CSD prototypes (YourSQL, Biscuit) early-execute SELECT-WHERE filters inside
+the SSD.  The pushdown message is either a full SQL string or just the
+table-and-predicate segment (Figure 4 / Figure 7 compare both), so the
+device needs a parser for both forms.
+
+Supported grammar (sufficient for the paper's query corpus):
+
+    query      := SELECT select_list FROM ident [WHERE expr]
+                  [GROUP BY ...] [ORDER BY ...] [';']
+    expr       := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | primary
+    primary    := '(' expr ')' | comparison
+    comparison := operand ('='|'!='|'<>'|'<'|'<='|'>'|'>=') operand
+    operand    := ident | number | string | DATE string
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+
+class SqlError(Exception):
+    """Parse or evaluation failure."""
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Union[int, float, str]
+
+
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str
+    left: Operand
+    right: Operand
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Not:
+    inner: "Expr"
+
+
+Expr = Union[Comparison, And, Or, Not]
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    select_list: str
+    table: str
+    where: Optional[Expr]
+    #: Raw text of the WHERE clause (for segment extraction).
+    where_text: str = ""
+
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+_TOKEN_RE = re.compile(r"""
+      (?P<ws>\s+)
+    | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?
+               |\d+(?:[eE][+-]?\d+)?)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+    | (?P<string>'(?:[^']|'')*')
+    | (?P<op><=|>=|<>|!=|=|<|>)
+    | (?P<punct>[(),;*])
+""", re.VERBOSE)
+
+_KEYWORDS = {"select", "from", "where", "and", "or", "not", "group",
+             "order", "by", "date", "asc", "desc", "limit", "between"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def tokenize(sql: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        m = _TOKEN_RE.match(sql, pos)
+        if m is None:
+            raise SqlError(f"unexpected character {sql[pos]!r} at {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        text = m.group()
+        if kind == "ident" and text.lower() in _KEYWORDS:
+            kind, text = "keyword", text.lower()
+        tokens.append(_Token(kind, text, m.start()))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: List[_Token], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.i = 0
+
+    def peek(self) -> Optional[_Token]:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise SqlError("unexpected end of input")
+        self.i += 1
+        return tok
+
+    def expect_keyword(self, word: str) -> _Token:
+        tok = self.next()
+        if tok.kind != "keyword" or tok.text != word:
+            raise SqlError(f"expected {word.upper()!r}, got {tok.text!r}")
+        return tok
+
+    def accept_keyword(self, word: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.kind == "keyword" and tok.text == word:
+            self.i += 1
+            return True
+        return False
+
+    # -- expression grammar -------------------------------------------------
+    def parse_expr(self) -> Expr:
+        left = self.parse_and()
+        while self.accept_keyword("or"):
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.accept_keyword("and"):
+            left = And(left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            return Not(self.parse_not())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        tok = self.peek()
+        if tok is not None and tok.kind == "punct" and tok.text == "(":
+            self.next()
+            inner = self.parse_expr()
+            closing = self.next()
+            if closing.text != ")":
+                raise SqlError("expected ')'")
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Comparison:
+        left = self.parse_operand()
+        op_tok = self.next()
+        if op_tok.kind != "op":
+            raise SqlError(f"expected comparison operator, got {op_tok.text!r}")
+        op = "!=" if op_tok.text == "<>" else op_tok.text
+        right = self.parse_operand()
+        return Comparison(op, left, right)
+
+    def parse_operand(self) -> Operand:
+        tok = self.next()
+        if tok.kind == "ident":
+            return ColumnRef(tok.text)
+        if tok.kind == "number":
+            text = tok.text
+            if "." in text or "e" in text.lower():
+                return Literal(float(text))
+            return Literal(int(text))
+        if tok.kind == "string":
+            return Literal(tok.text[1:-1].replace("''", "'"))
+        if tok.kind == "keyword" and tok.text == "date":
+            string = self.next()
+            if string.kind != "string":
+                raise SqlError("DATE must be followed by a string literal")
+            return Literal(string.text[1:-1])
+        raise SqlError(f"bad operand {tok.text!r}")
+
+
+def parse_predicate(text: str) -> Expr:
+    """Parse a bare predicate expression (the pushdown segment form)."""
+    parser = _Parser(tokenize(text), text)
+    expr = parser.parse_expr()
+    if parser.peek() is not None:
+        raise SqlError(f"trailing tokens after predicate: "
+                       f"{parser.peek().text!r}")
+    return expr
+
+
+def parse_query(sql: str) -> SelectQuery:
+    """Parse a full SELECT statement (the full-string pushdown form)."""
+    tokens = tokenize(sql)
+    parser = _Parser(tokens, sql)
+    parser.expect_keyword("select")
+
+    select_start = parser.peek()
+    depth = 0
+    select_tokens: List[_Token] = []
+    while True:
+        tok = parser.peek()
+        if tok is None:
+            raise SqlError("missing FROM clause")
+        if tok.kind == "keyword" and tok.text == "from" and depth == 0:
+            break
+        if tok.kind == "punct" and tok.text == "(":
+            depth += 1
+        if tok.kind == "punct" and tok.text == ")":
+            depth -= 1
+        select_tokens.append(parser.next())
+    if not select_tokens:
+        raise SqlError("empty select list")
+    select_list = sql[select_tokens[0].pos:
+                      select_tokens[-1].pos + len(select_tokens[-1].text)]
+
+    parser.expect_keyword("from")
+    table_tok = parser.next()
+    if table_tok.kind != "ident":
+        raise SqlError(f"expected table name, got {table_tok.text!r}")
+
+    where: Optional[Expr] = None
+    where_text = ""
+    if parser.accept_keyword("where"):
+        where_start = parser.peek()
+        if where_start is None:
+            raise SqlError("empty WHERE clause")
+        where = parser.parse_expr()
+        last = parser.tokens[parser.i - 1]
+        where_text = sql[where_start.pos:last.pos + len(last.text)]
+
+    # Tolerate (and ignore) trailing GROUP BY / ORDER BY / LIMIT clauses —
+    # filtering is the only device-side operation.
+    while parser.peek() is not None:
+        tok = parser.next()
+        if tok.kind == "punct" and tok.text == ";":
+            break
+    return SelectQuery(select_list=select_list.strip(), table=table_tok.text,
+                       where=where, where_text=where_text.strip())
+
+
+def extract_segment(sql: str) -> str:
+    """The table-and-predicate segment of a query (Figure 4's right bars).
+
+    Format: ``<table>;<predicate>`` — what a binary-frugal host would send
+    instead of the full SQL string.
+    """
+    query = parse_query(sql)
+    if query.where is None:
+        return query.table
+    return f"{query.table};{query.where_text}"
+
+
+# ---------------------------------------------------------------------------
+# evaluation
+# ---------------------------------------------------------------------------
+def evaluate(expr: Expr, row: dict) -> bool:
+    """Evaluate a predicate over a row (mapping of column name → value)."""
+    if isinstance(expr, And):
+        return evaluate(expr.left, row) and evaluate(expr.right, row)
+    if isinstance(expr, Or):
+        return evaluate(expr.left, row) or evaluate(expr.right, row)
+    if isinstance(expr, Not):
+        return not evaluate(expr.inner, row)
+    if isinstance(expr, Comparison):
+        left = _resolve(expr.left, row)
+        right = _resolve(expr.right, row)
+        return _compare(expr.op, left, right)
+    raise SqlError(f"cannot evaluate {expr!r}")
+
+
+def _resolve(operand: Operand, row: dict):
+    if isinstance(operand, ColumnRef):
+        try:
+            return row[operand.name]
+        except KeyError:
+            raise SqlError(f"unknown column {operand.name!r}")
+    return operand.value
+
+
+def _compare(op: str, left, right) -> bool:
+    if isinstance(left, str) != isinstance(right, str):
+        raise SqlError(
+            f"type mismatch comparing {left!r} {op} {right!r}")
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise SqlError(f"unknown operator {op!r}")
+
+
+def predicate_columns(expr: Expr) -> List[str]:
+    """All column names referenced by a predicate."""
+    if isinstance(expr, (And, Or)):
+        return predicate_columns(expr.left) + predicate_columns(expr.right)
+    if isinstance(expr, Not):
+        return predicate_columns(expr.inner)
+    if isinstance(expr, Comparison):
+        out = []
+        for operand in (expr.left, expr.right):
+            if isinstance(operand, ColumnRef):
+                out.append(operand.name)
+        return out
+    return []

@@ -1,0 +1,503 @@
+"""Host NVMe driver model (the ``nvme_queue_rq`` / passthrough layer).
+
+Owns the queue pairs, the per-queue submission locks, PRP/SGL construction,
+doorbell writes and completion handling — the pieces of the Linux driver
+the paper touches.  The ByteExpress change is confined to
+:func:`repro.core.driver_ext.submit_with_inline_payload`, mirroring the
+paper's <30-line ``nvme_queue_rq`` patch; everything else here is the
+stock driver behaviour.
+
+Synchronous semantics: ``passthru`` and the lower-level submit/wait pair
+model the NVMe passthrough ioctl used by KV-SSD and CSD user libraries
+(paper §2.1) at queue depth 1, which is how the paper's microbenchmarks
+issue their 1 M operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.driver_ext import submit_plain, submit_with_inline_payload
+from repro.nvme.command import NvmeCommand
+from repro.nvme.completion import NvmeCompletion
+from repro.nvme.constants import PAGE_SIZE, AdminOpcode, StatusCode
+from repro.nvme.identify import IDENTIFY_SIZE, IdentifyController
+from repro.nvme.passthrough import PassthruRequest, PassthruResult
+from repro.nvme.prp import PrpMapping, build_prps
+from repro.nvme.queues import CompletionQueue, SubmissionQueue
+from repro.nvme.registers import (
+    CC_ENABLE,
+    CSTS_READY,
+    REG_ACQ_LO,
+    REG_AQA,
+    REG_ASQ_LO,
+    REG_CC,
+    REG_CSTS,
+    aqa_value,
+)
+from repro.nvme.sgl import build_sgl
+from repro.pcie.mmio import cq_doorbell_offset, sq_doorbell_offset
+from repro.pcie.traffic import CAT_DOORBELL
+from repro.ssd.device import OpenSsd
+
+
+class DriverError(Exception):
+    """Driver-level failures (no completion, bad arguments)."""
+
+
+@dataclass
+class _QueueResources:
+    sq: SubmissionQueue
+    cq: CompletionQueue
+    #: Reusable page-aligned data buffer (sync QD=1 makes reuse safe).
+    scratch: int
+    scratch_pages: int
+    next_cid: int = 0
+    #: PRP list pages to release once the in-flight command completes.
+    pending_list_pages: List[int] = field(default_factory=list)
+
+
+#: Scratch buffer size per queue (covers the largest microbench transfer).
+_SCRATCH_BYTES = 64 * 1024
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batched submission."""
+
+    ops: int
+    elapsed_ns: float
+    pcie_bytes: int
+    statuses: List[int]
+
+    @property
+    def ok(self) -> bool:
+        return all(s == StatusCode.SUCCESS for s in self.statuses)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.elapsed_ns / self.ops if self.ops else 0.0
+
+
+#: Admin queue depth used during bring-up.
+_ADMIN_DEPTH = 64
+
+
+class NvmeDriver:
+    """The host half of the stack.
+
+    Construction performs the real NVMe bring-up sequence: allocate the
+    admin queue pair, program AQA/ASQ/ACQ, set CC.EN and wait for
+    CSTS.RDY, Identify the controller, then create each I/O queue pair
+    through Create-CQ/Create-SQ admin commands.
+    """
+
+    def __init__(self, ssd: OpenSsd) -> None:
+        self.ssd = ssd
+        self.clock = ssd.clock
+        self.timing = ssd.config.timing
+        self.link = ssd.link
+        self.memory = ssd.host_memory
+        self._queues: Dict[int, _QueueResources] = {}
+        self._admin = self._make_resources(0, _ADMIN_DEPTH, _ADMIN_DEPTH)
+        self._enable_controller()
+        self.identify = self._identify_controller()
+        for qid in range(1, ssd.config.num_io_queues + 1):
+            self._create_io_queue_pair(qid)
+
+    # ------------------------------------------------------------------
+    # bring-up
+    # ------------------------------------------------------------------
+    def _make_resources(self, qid: int, sq_depth: int,
+                        cq_depth: int) -> _QueueResources:
+        sq = SubmissionQueue(qid, sq_depth, self.memory)
+        cq = CompletionQueue(qid, cq_depth, self.memory)
+        scratch_pages = _SCRATCH_BYTES // PAGE_SIZE
+        scratch = self.memory.alloc_pages(scratch_pages)[0]
+        return _QueueResources(sq, cq, scratch, scratch_pages)
+
+    def _enable_controller(self) -> None:
+        bar = self.ssd.bar
+        bar.write32(REG_AQA, aqa_value(_ADMIN_DEPTH, _ADMIN_DEPTH))
+        bar.write32(REG_ASQ_LO, self._admin.sq.base_addr)
+        bar.write32(REG_ACQ_LO, self._admin.cq.base_addr)
+        for reg in (REG_AQA, REG_ASQ_LO, REG_ACQ_LO):
+            self.link.host_mmio_write(4, CAT_DOORBELL)
+        bar.write32(REG_CC, CC_ENABLE)
+        self.link.host_mmio_write(4, CAT_DOORBELL)
+        if not bar.read32(REG_CSTS) & CSTS_READY:
+            raise DriverError("controller failed to come ready (CSTS.RDY=0)")
+
+    def _admin_command(self, cmd: NvmeCommand,
+                       read_len: int = 0) -> NvmeCompletion:
+        """Submit one admin command synchronously."""
+        res = self._admin
+        cmd.cid = self._alloc_cid(res)
+        if read_len:
+            if read_len > res.scratch_pages * PAGE_SIZE:
+                raise DriverError("admin read exceeds scratch buffer")
+            cmd.prp1 = res.scratch
+        with self.clock.span("drv.sq_submit"):
+            with res.sq.lock:
+                submit_plain(res.sq, cmd, self.clock, self.timing)
+        self._ring_sq_doorbell(res)
+        return self._wait_on(res)
+
+    def _identify_controller(self) -> IdentifyController:
+        cmd = NvmeCommand(opcode=AdminOpcode.IDENTIFY, cdw10=1)
+        cqe = self._admin_command(cmd, read_len=IDENTIFY_SIZE)
+        if not cqe.ok:
+            raise DriverError(f"IDENTIFY failed with status {cqe.status:#x}")
+        return IdentifyController.unpack(
+            self.memory.read(self._admin.scratch, IDENTIFY_SIZE))
+
+    def _create_io_queue_pair(self, qid: int) -> None:
+        if qid > self.identify.num_io_queues:
+            raise DriverError(
+                f"controller supports {self.identify.num_io_queues} I/O "
+                f"queues, cannot create qid {qid}")
+        res = self._make_resources(qid, self.ssd.config.sq_depth,
+                                   self.ssd.config.cq_depth)
+        create_cq = NvmeCommand(
+            opcode=AdminOpcode.CREATE_CQ, prp1=res.cq.base_addr,
+            cdw10=qid | ((res.cq.depth - 1) << 16), cdw11=0b11)
+        cqe = self._admin_command(create_cq)
+        if not cqe.ok:
+            raise DriverError(f"CREATE_CQ {qid} failed: {cqe.status:#x}")
+        create_sq = NvmeCommand(
+            opcode=AdminOpcode.CREATE_SQ, prp1=res.sq.base_addr,
+            cdw10=qid | ((res.sq.depth - 1) << 16),
+            cdw11=0b1 | (qid << 16))
+        cqe = self._admin_command(create_sq)
+        if not cqe.ok:
+            raise DriverError(f"CREATE_SQ {qid} failed: {cqe.status:#x}")
+        self._queues[qid] = res
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @property
+    def io_qids(self) -> List[int]:
+        return sorted(self._queues)
+
+    def queue(self, qid: int) -> _QueueResources:
+        try:
+            return self._queues[qid]
+        except KeyError:
+            raise DriverError(f"no such I/O queue: {qid}")
+
+    def _alloc_cid(self, res: _QueueResources) -> int:
+        cid = res.next_cid
+        res.next_cid = (res.next_cid + 1) & 0xFFFF
+        return cid
+
+    def _stage_data(self, res: _QueueResources, data: bytes) -> int:
+        """Copy the user payload into the queue's DMA-able scratch buffer."""
+        if len(data) > res.scratch_pages * PAGE_SIZE:
+            raise DriverError(
+                f"payload of {len(data)} B exceeds scratch buffer")
+        self.memory.write(res.scratch, data)
+        return res.scratch
+
+    def _ring_sq_doorbell(self, res: _QueueResources) -> None:
+        """Publish the SQ tail: one posted 4-byte MMIO write."""
+        tail = res.sq.ring_doorbell()
+        self.ssd.bar.write32(sq_doorbell_offset(res.sq.qid), tail)
+        self.link.host_mmio_write(4, CAT_DOORBELL)
+        self.clock.advance(self.timing.doorbell_write_ns)
+
+    def _ring_cq_doorbell(self, res: _QueueResources) -> None:
+        self.ssd.bar.write32(cq_doorbell_offset(res.cq.qid), res.cq.head)
+        self.link.host_mmio_write(4, CAT_DOORBELL)
+        self.clock.advance(self.timing.doorbell_write_ns)
+
+    # ------------------------------------------------------------------
+    # submission primitives
+    # ------------------------------------------------------------------
+    def submit_write_prp(self, cmd: NvmeCommand, data: bytes,
+                         qid: int, ring: bool = True) -> int:
+        """Stock write path: stage data, build PRPs, insert SQE, doorbell."""
+        if not data:
+            raise DriverError("PRP write requires a payload")
+        res = self.queue(qid)
+        addr = self._stage_data(res, data)
+        mapping = build_prps(self.memory, addr, len(data))
+        res.pending_list_pages.extend(mapping.list_pages)
+        cmd.cid = self._alloc_cid(res)
+        cmd.prp1 = mapping.prp1
+        cmd.prp2 = mapping.prp2
+        cmd.cdw12 = len(data)
+        with self.clock.span("drv.sq_submit"):
+            with res.sq.lock:
+                submit_plain(res.sq, cmd, self.clock, self.timing)
+        if ring:
+            self._ring_sq_doorbell(res)
+        return cmd.cid
+
+    def submit_write_sgl(self, cmd: NvmeCommand, data: bytes,
+                         qid: int, ring: bool = True) -> int:
+        """SGL write path (§5 comparison): byte-granular data pointer."""
+        if not data:
+            raise DriverError("SGL write requires a payload")
+        res = self.queue(qid)
+        addr = self._stage_data(res, data)
+        mapping = build_sgl(self.memory, [(addr, len(data))])
+        res.pending_list_pages.extend(mapping.segment_pages)
+        cmd.cid = self._alloc_cid(res)
+        cmd.use_sgl()
+        desc = mapping.inline.pack()
+        cmd.prp1 = int.from_bytes(desc[:8], "little")
+        cmd.prp2 = int.from_bytes(desc[8:], "little")
+        cmd.cdw12 = len(data)
+        with self.clock.span("drv.sq_submit"):
+            with res.sq.lock:
+                submit_plain(res.sq, cmd, self.clock, self.timing)
+        if ring:
+            self._ring_sq_doorbell(res)
+        return cmd.cid
+
+    def submit_write_inline(self, cmd: NvmeCommand, data: bytes,
+                            qid: int, ring: bool = True) -> int:
+        """ByteExpress path: command + payload chunks under one SQ lock.
+
+        Refused when the controller's Identify page does not advertise
+        ByteExpress support — on stock firmware the chunks would be
+        misparsed as commands, so feature detection is mandatory.
+        """
+        if not self.identify.byteexpress:
+            raise DriverError(
+                "controller firmware does not support ByteExpress "
+                "(Identify vendor capability byte is clear)")
+        res = self.queue(qid)
+        cmd.cid = self._alloc_cid(res)
+        cmd.cdw12 = len(data)
+        with self.clock.span("drv.sq_submit"):
+            with res.sq.lock:
+                submit_with_inline_payload(res.sq, cmd, data, self.clock,
+                                           self.timing)
+        if ring:
+            self._ring_sq_doorbell(res)
+        return cmd.cid
+
+    def submit_write_inline_tagged(self, cmd: NvmeCommand, data: bytes,
+                                   qid: int, payload_id: int,
+                                   ring: bool = True) -> int:
+        """ByteExpress tagged mode (§3.3.2 future work): self-describing
+        chunks that the controller may fetch interleaved across queues."""
+        from repro.core.inline_command import make_inline_command
+        from repro.core.reassembly import split_tagged
+
+        if not data:
+            raise DriverError("inline submission requires a payload")
+        if not self.identify.byteexpress:
+            raise DriverError(
+                "controller firmware does not support ByteExpress")
+        res = self.queue(qid)
+        cmd.cid = self._alloc_cid(res)
+        cmd.cdw12 = len(data)
+        cmd.cdw3 = payload_id
+        make_inline_command(cmd, len(data))
+        chunks = split_tagged(data, payload_id)
+        with self.clock.span("drv.sq_submit"):
+            with res.sq.lock:
+                if res.sq.space() < 1 + len(chunks):
+                    raise DriverError(f"SQ{qid} cannot hold tagged submission")
+                res.sq.push_raw(cmd.pack())
+                self.clock.advance(self.timing.sqe_submit_ns)
+                for chunk in chunks:
+                    res.sq.push_raw(chunk)
+                    self.clock.advance(self.timing.chunk_submit_ns)
+        if ring:
+            self._ring_sq_doorbell(res)
+        return cmd.cid
+
+    def submit_raw(self, cmd: NvmeCommand, qid: int,
+                   ring: bool = True) -> int:
+        """Insert a command with no driver-managed data phase (BandSlim
+        fragments, flushes, result-fetch commands)."""
+        res = self.queue(qid)
+        cmd.cid = self._alloc_cid(res)
+        with self.clock.span("drv.sq_submit"):
+            with res.sq.lock:
+                submit_plain(res.sq, cmd, self.clock, self.timing)
+        if ring:
+            self._ring_sq_doorbell(res)
+        return cmd.cid
+
+    def submit_read_prp(self, cmd: NvmeCommand, read_len: int,
+                        qid: int, ring: bool = True) -> Tuple[int, int]:
+        """Read path: point PRP1 at the scratch buffer for the return data.
+
+        Returns (cid, buffer_addr); fetch the data after the completion.
+        """
+        res = self.queue(qid)
+        if read_len > res.scratch_pages * PAGE_SIZE:
+            raise DriverError(f"read of {read_len} B exceeds scratch buffer")
+        cmd.cid = self._alloc_cid(res)
+        cmd.prp1 = res.scratch
+        cmd.cdw13 = read_len
+        with self.clock.span("drv.sq_submit"):
+            with res.sq.lock:
+                submit_plain(res.sq, cmd, self.clock, self.timing)
+        if ring:
+            self._ring_sq_doorbell(res)
+        return cmd.cid, res.scratch
+
+    def submit_read_sgl(self, cmd: NvmeCommand, want: int, total: int,
+                        qid: int, ring: bool = True) -> Tuple[int, int]:
+        """Small-read optimisation (§5): receive the first *want* bytes of
+        a *total*-byte (LBA-granular) read; a bit-bucket descriptor
+        discards the rest on the device, saving the return traffic.
+
+        Returns (cid, buffer_addr).
+        """
+        from repro.nvme.sgl import build_read_sgl
+
+        res = self.queue(qid)
+        if want > res.scratch_pages * PAGE_SIZE:
+            raise DriverError(f"read of {want} B exceeds scratch buffer")
+        if total < want:
+            raise DriverError("total read length smaller than wanted bytes")
+        mapping = build_read_sgl(self.memory, res.scratch, want,
+                                 total - want)
+        res.pending_list_pages.extend(mapping.segment_pages)
+        cmd.cid = self._alloc_cid(res)
+        cmd.use_sgl()
+        desc = mapping.inline.pack()
+        cmd.prp1 = int.from_bytes(desc[:8], "little")
+        cmd.prp2 = int.from_bytes(desc[8:], "little")
+        cmd.cdw13 = total
+        with self.clock.span("drv.sq_submit"):
+            with res.sq.lock:
+                submit_plain(res.sq, cmd, self.clock, self.timing)
+        if ring:
+            self._ring_sq_doorbell(res)
+        return cmd.cid, res.scratch
+
+    # ------------------------------------------------------------------
+    # batched submission (queue depth > 1)
+    # ------------------------------------------------------------------
+    def write_batch(self, payloads: List[bytes], opcode: int,
+                    method: str = "byteexpress",
+                    qid: Optional[int] = None,
+                    cdw10s: Optional[List[int]] = None) -> "BatchResult":
+        """Submit many writes with ONE doorbell ring, then reap them all.
+
+        Models asynchronous submission at queue depth ``len(payloads)``:
+        the tail-pointer update is published once for the whole batch, so
+        doorbell MMIO cost and traffic amortise — one of the per-command
+        overheads §4.2 charges BandSlim for.  Supports the ``prp`` and
+        ``byteexpress`` paths (the mechanisms whose submission is a single
+        command).
+        """
+        if not payloads:
+            raise DriverError("empty batch")
+        if method not in ("prp", "byteexpress"):
+            raise DriverError(f"write_batch does not support {method!r}")
+        qid = qid if qid is not None else self.io_qids[0]
+        res = self.queue(qid)
+        cdw10s = cdw10s if cdw10s is not None else [0] * len(payloads)
+        if len(cdw10s) != len(payloads):
+            raise DriverError("cdw10s length mismatch")
+
+        start_ns = self.clock.now
+        start_bytes = self.link.counter.total_bytes
+        temp_pages: List[int] = []
+        for payload, cdw10 in zip(payloads, cdw10s):
+            cmd = NvmeCommand(opcode=opcode, nsid=1, cdw10=cdw10)
+            if method == "byteexpress":
+                self.submit_write_inline(cmd, payload, qid, ring=False)
+                continue
+            # PRP: every in-flight op needs a private DMA buffer.
+            pages = self.memory.alloc_pages(
+                max(1, (len(payload) + PAGE_SIZE - 1) // PAGE_SIZE))
+            temp_pages.extend(pages)
+            self.memory.write(pages[0], payload)
+            mapping = build_prps(self.memory, pages[0], len(payload))
+            res.pending_list_pages.extend(mapping.list_pages)
+            cmd.cid = self._alloc_cid(res)
+            cmd.prp1, cmd.prp2 = mapping.prp1, mapping.prp2
+            cmd.cdw12 = len(payload)
+            with self.clock.span("drv.sq_submit"):
+                with res.sq.lock:
+                    submit_plain(res.sq, cmd, self.clock, self.timing)
+        self._ring_sq_doorbell(res)
+
+        statuses = []
+        for _ in payloads:
+            statuses.append(self._wait_on(res).status)
+        for page in temp_pages:
+            self.memory.free_page(page)
+        return BatchResult(ops=len(payloads),
+                           elapsed_ns=self.clock.now - start_ns,
+                           pcie_bytes=(self.link.counter.total_bytes
+                                       - start_bytes),
+                           statuses=statuses)
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def wait(self, qid: int) -> NvmeCompletion:
+        """Drive the device until one completion arrives on *qid*."""
+        return self._wait_on(self.queue(qid))
+
+    def _wait_on(self, res: _QueueResources) -> NvmeCompletion:
+        cqe = res.cq.poll()
+        if cqe is None:
+            self.ssd.controller.process_all()
+            cqe = res.cq.poll()
+        if cqe is None:
+            raise DriverError(f"no completion arrived on CQ{res.cq.qid}")
+        with self.clock.span("drv.completion"):
+            self.clock.advance(self.timing.completion_handle_ns)
+            res.sq.note_sq_head(cqe.sq_head)
+            self._ring_cq_doorbell(res)
+        for page in res.pending_list_pages:
+            self.memory.free_page(page)
+        res.pending_list_pages.clear()
+        return cqe
+
+    # ------------------------------------------------------------------
+    # passthrough ioctl
+    # ------------------------------------------------------------------
+    def passthru(self, req: PassthruRequest, method: str = "prp",
+                 qid: Optional[int] = None) -> PassthruResult:
+        """Synchronous NVMe passthrough: the KV-SSD/CSD user-API entry.
+
+        *method* selects the host→device transfer path: ``prp`` (stock),
+        ``sgl``, or ``byteexpress``.  BandSlim and MMIO have their own
+        orchestration layers in :mod:`repro.transfer` because they do not
+        map onto a single command submission.
+        """
+        qid = qid if qid is not None else self.io_qids[0]
+        start_ns = self.clock.now
+        start_bytes = self.link.counter.total_bytes
+        self.clock.advance(self.timing.passthrough_ns)
+
+        cmd = NvmeCommand(opcode=req.opcode, nsid=req.nsid,
+                          cdw10=req.cdw10, cdw11=req.cdw11, cdw12=req.cdw12,
+                          cdw13=req.cdw13, cdw14=req.cdw14, cdw15=req.cdw15)
+        read_buf: Optional[int] = None
+        if req.is_write:
+            if method == "prp":
+                self.submit_write_prp(cmd, req.data, qid)
+            elif method == "sgl":
+                self.submit_write_sgl(cmd, req.data, qid)
+            elif method == "byteexpress":
+                self.submit_write_inline(cmd, req.data, qid)
+            else:
+                raise DriverError(f"unknown transfer method {method!r}")
+        elif req.read_len:
+            _, read_buf = self.submit_read_prp(cmd, req.read_len, qid)
+        else:
+            self.submit_raw(cmd, qid)
+
+        cqe = self.wait(qid)
+        data = None
+        if read_buf is not None and cqe.ok:
+            data = self.memory.read(read_buf, req.read_len)
+        return PassthruResult(
+            status=cqe.status, result=cqe.result, data=data,
+            latency_ns=self.clock.now - start_ns,
+            pcie_bytes=self.link.counter.total_bytes - start_bytes)

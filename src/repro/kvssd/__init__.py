@@ -1,0 +1,49 @@
+"""KV-SSD substrate: value log, LSM index, KV command set, device
+personality, and the host key-value API."""
+
+from repro.kvssd.api import KeyNotFoundError, KvError, KVStore
+from repro.kvssd.commands import (
+    MAX_INLINE_KEY,
+    KvEncodingError,
+    decode_batch_payload,
+    decode_key_list,
+    decode_store_payload,
+    encode_batch_payload,
+    encode_store_payload,
+    make_delete_command,
+    make_exist_command,
+    make_list_command,
+    make_retrieve_command,
+    make_store_command,
+    pack_key_fields,
+    unpack_key_fields,
+)
+from repro.kvssd.kvssd import KvSsdPersonality
+from repro.kvssd.lsm import TOMBSTONE, LsmIndex, SsTable
+from repro.kvssd.value_log import LogPointer, ValueLog
+
+__all__ = [
+    "KVStore",
+    "KvError",
+    "KeyNotFoundError",
+    "KvSsdPersonality",
+    "ValueLog",
+    "LogPointer",
+    "LsmIndex",
+    "SsTable",
+    "TOMBSTONE",
+    "encode_store_payload",
+    "decode_store_payload",
+    "pack_key_fields",
+    "unpack_key_fields",
+    "make_store_command",
+    "make_retrieve_command",
+    "make_delete_command",
+    "make_exist_command",
+    "make_list_command",
+    "decode_key_list",
+    "encode_batch_payload",
+    "decode_batch_payload",
+    "KvEncodingError",
+    "MAX_INLINE_KEY",
+]

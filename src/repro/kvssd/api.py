@@ -1,0 +1,137 @@
+"""Host-side key-value API over NVMe passthrough (paper §2.1, Figure 2).
+
+The user-level library a KV-SSD application links against: PUT/GET/DELETE/
+EXIST calls are translated into KV commands and submitted through the
+NVMe driver.  The PUT payload path is pluggable — the Figure 6 benchmark
+instantiates one store per transfer method and replays identical
+workloads through each.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kvssd.commands import (
+    MAX_INLINE_KEY,
+    decode_key_list,
+    encode_store_payload,
+    make_delete_command,
+    make_exist_command,
+    make_list_command,
+    make_retrieve_command,
+)
+from repro.host.driver import NvmeDriver
+from repro.nvme.constants import KvOpcode, StatusCode
+from repro.transfer.base import TransferMethod, TransferStats
+
+
+class KvError(Exception):
+    """Host-visible key-value operation failure."""
+
+
+class KeyNotFoundError(KvError):
+    """GET/DELETE/EXIST on a missing key."""
+
+
+class KVStore:
+    """A key-value store client bound to one KV-SSD."""
+
+    def __init__(self, driver: NvmeDriver, put_method: TransferMethod,
+                 qid: Optional[int] = None) -> None:
+        self.driver = driver
+        self.put_method = put_method
+        self.qid = qid if qid is not None else driver.io_qids[0]
+
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> TransferStats:
+        """Store one pair; returns the transfer measurement for the op."""
+        self._check_key(key)
+        payload = encode_store_payload(key, value)
+        stats = self.put_method.write(payload, opcode=KvOpcode.STORE,
+                                      qid=self.qid)
+        if not stats.ok:
+            raise KvError(f"STORE failed with status {stats.status:#x}")
+        return stats
+
+    def get(self, key: bytes, max_value_len: int = 4096) -> bytes:
+        """Fetch the value for *key* (keys are limited to 16 bytes)."""
+        self._check_key(key)
+        cmd = make_retrieve_command(key)
+        start = self.driver.clock.now
+        _, buf = self.driver.submit_read_prp(cmd, max_value_len, self.qid)
+        cqe = self.driver.wait(self.qid)
+        if cqe.status == StatusCode.KV_KEY_NOT_FOUND:
+            raise KeyNotFoundError(key.hex())
+        if not cqe.ok:
+            raise KvError(f"RETRIEVE failed with status {cqe.status:#x}")
+        value_len = cqe.result
+        if value_len > max_value_len:
+            raise KvError(
+                f"value of {value_len} B exceeds buffer of {max_value_len} B")
+        del start
+        return self.driver.memory.read(buf, value_len)
+
+    def delete(self, key: bytes) -> None:
+        self._check_key(key)
+        cmd = make_delete_command(key)
+        self.driver.submit_raw(cmd, self.qid)
+        cqe = self.driver.wait(self.qid)
+        if cqe.status == StatusCode.KV_KEY_NOT_FOUND:
+            raise KeyNotFoundError(key.hex())
+        if not cqe.ok:
+            raise KvError(f"DELETE failed with status {cqe.status:#x}")
+
+    def exists(self, key: bytes) -> bool:
+        self._check_key(key)
+        cmd = make_exist_command(key)
+        self.driver.submit_raw(cmd, self.qid)
+        cqe = self.driver.wait(self.qid)
+        if cqe.status == StatusCode.KV_KEY_NOT_FOUND:
+            return False
+        if not cqe.ok:
+            raise KvError(f"EXIST failed with status {cqe.status:#x}")
+        return True
+
+    def put_batch(self, pairs) -> TransferStats:
+        """Compound PUT: many pairs in one command (§2.2.1 bulk-PUT).
+
+        Amortises per-command protocol cost at the price of per-pair
+        persistence granularity — all pairs complete (and become durable)
+        together.
+        """
+        from repro.kvssd.commands import encode_batch_payload
+        from repro.nvme.constants import VendorOpcode
+
+        pairs = list(pairs)
+        for key, _ in pairs:
+            self._check_key(key)
+        payload = encode_batch_payload(pairs)
+        stats = self.put_method.write(payload,
+                                      opcode=VendorOpcode.KV_BATCH_STORE,
+                                      qid=self.qid)
+        if not stats.ok:
+            raise KvError(f"batch STORE failed with status "
+                          f"{stats.status:#x}")
+        return stats
+
+    def list_keys(self, start_key: bytes = b"\x00",
+                  max_keys: int = 64, max_len: int = 8192) -> list:
+        """Enumerate up to *max_keys* keys ≥ *start_key*, in order."""
+        self._check_key(start_key)
+        cmd = make_list_command(start_key, max_keys)
+        _, buf = self.driver.submit_read_prp(cmd, max_len, self.qid)
+        cqe = self.driver.wait(self.qid)
+        if not cqe.ok:
+            raise KvError(f"LIST failed with status {cqe.status:#x}")
+        raw = self.driver.memory.read(buf, max_len)
+        return list(decode_key_list(raw))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not key:
+            raise KvError("empty key")
+        if len(key) > MAX_INLINE_KEY:
+            raise KvError(
+                f"key of {len(key)} B exceeds the {MAX_INLINE_KEY} B "
+                f"in-command key field")

@@ -1,0 +1,176 @@
+"""NVMe Key-Value command set codec (TP 4015-style, adapted to the model).
+
+Encoding conventions used by this KV-SSD:
+
+* **STORE**: the host→device payload is ``key_len u16 | key | value``;
+  CDW14 additionally carries the key length so the device can validate.
+  The payload travels by whichever transfer method is selected (PRP,
+  BandSlim, ByteExpress, ...), which is exactly the data path the paper's
+  Figure 6 compares.
+* **RETRIEVE / DELETE / EXIST**: the key (≤16 B, the KV command set's
+  fixed key field) rides inside the command itself — packed into the
+  unused metadata pointer and CDW10/11 — with CDW14 holding the key
+  length.  RETRIEVE returns the value through the normal read data path
+  and reports the value length in the CQE result field.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.nvme.command import NvmeCommand
+from repro.nvme.constants import KvOpcode
+
+#: The NVMe KV command set's fixed in-command key field size.
+MAX_INLINE_KEY = 16
+
+_STORE_HEADER = struct.Struct("<H")
+
+
+class KvEncodingError(Exception):
+    """Key/value cannot be represented in the command set."""
+
+
+def encode_store_payload(key: bytes, value: bytes) -> bytes:
+    """Serialise a STORE payload (key_len | key | value)."""
+    if not key:
+        raise KvEncodingError("empty key")
+    if len(key) > 0xFFFF:
+        raise KvEncodingError("key exceeds 16-bit length field")
+    return _STORE_HEADER.pack(len(key)) + key + value
+
+
+def decode_store_payload(payload: bytes) -> Tuple[bytes, bytes]:
+    """Inverse of :func:`encode_store_payload`."""
+    if len(payload) < _STORE_HEADER.size:
+        raise KvEncodingError("truncated STORE payload")
+    (key_len,) = _STORE_HEADER.unpack_from(payload)
+    body = payload[_STORE_HEADER.size:]
+    if len(body) < key_len:
+        raise KvEncodingError("STORE payload shorter than its key")
+    return body[:key_len], body[key_len:]
+
+
+def pack_key_fields(cmd: NvmeCommand, key: bytes) -> None:
+    """Place a ≤16 B key into the command's key field (mptr + CDW10/11)."""
+    if not key:
+        raise KvEncodingError("empty key")
+    if len(key) > MAX_INLINE_KEY:
+        raise KvEncodingError(
+            f"key of {len(key)} B exceeds the {MAX_INLINE_KEY} B key field")
+    padded = key + b"\x00" * (MAX_INLINE_KEY - len(key))
+    cmd.mptr = int.from_bytes(padded[:8], "little")
+    cmd.cdw10 = int.from_bytes(padded[8:12], "little")
+    cmd.cdw11 = int.from_bytes(padded[12:16], "little")
+    cmd.cdw14 = len(key)
+
+
+def unpack_key_fields(cmd: NvmeCommand) -> bytes:
+    """Recover the in-command key (device side)."""
+    key_len = cmd.cdw14
+    if not 0 < key_len <= MAX_INLINE_KEY:
+        raise KvEncodingError(f"bad in-command key length {key_len}")
+    raw = (cmd.mptr.to_bytes(8, "little")
+           + cmd.cdw10.to_bytes(4, "little")
+           + cmd.cdw11.to_bytes(4, "little"))
+    return raw[:key_len]
+
+
+def make_store_command(key: bytes, nsid: int = 1) -> NvmeCommand:
+    """A STORE command shell; the payload is attached by the driver."""
+    cmd = NvmeCommand(opcode=KvOpcode.STORE, nsid=nsid)
+    if len(key) > 0xFFFF:
+        raise KvEncodingError("key exceeds 16-bit length field")
+    cmd.cdw14 = len(key)
+    return cmd
+
+
+def make_retrieve_command(key: bytes, nsid: int = 1) -> NvmeCommand:
+    cmd = NvmeCommand(opcode=KvOpcode.RETRIEVE, nsid=nsid)
+    pack_key_fields(cmd, key)
+    return cmd
+
+
+def make_delete_command(key: bytes, nsid: int = 1) -> NvmeCommand:
+    cmd = NvmeCommand(opcode=KvOpcode.DELETE, nsid=nsid)
+    pack_key_fields(cmd, key)
+    return cmd
+
+
+def make_exist_command(key: bytes, nsid: int = 1) -> NvmeCommand:
+    cmd = NvmeCommand(opcode=KvOpcode.EXIST, nsid=nsid)
+    pack_key_fields(cmd, key)
+    return cmd
+
+
+def make_list_command(start_key: bytes, max_keys: int,
+                      nsid: int = 1) -> NvmeCommand:
+    """LIST: enumerate keys ≥ *start_key*; CDW15 bounds the count."""
+    if max_keys <= 0:
+        raise KvEncodingError("max_keys must be positive")
+    cmd = NvmeCommand(opcode=KvOpcode.LIST, nsid=nsid, cdw15=max_keys)
+    pack_key_fields(cmd, start_key)
+    return cmd
+
+
+_PAIR_HEADER = struct.Struct("<HI")
+
+
+def encode_batch_payload(pairs) -> bytes:
+    """Serialise a compound STORE: u16 count | (u16 klen|u32 vlen|k|v)*.
+
+    The bulk-PUT alternative of §2.2.1 — one command carries many pairs,
+    trading per-pair persistence granularity for protocol amortisation.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        raise KvEncodingError("empty batch")
+    if len(pairs) > 0xFFFF:
+        raise KvEncodingError("batch exceeds 16-bit count field")
+    out = bytearray(len(pairs).to_bytes(2, "little"))
+    for key, value in pairs:
+        if not key:
+            raise KvEncodingError("empty key in batch")
+        if len(key) > 0xFFFF or len(value) >= (1 << 32):
+            raise KvEncodingError("key/value exceeds field width")
+        out += _PAIR_HEADER.pack(len(key), len(value)) + key + value
+    return bytes(out)
+
+
+def decode_batch_payload(raw: bytes):
+    """Inverse of :func:`encode_batch_payload`."""
+    if len(raw) < 2:
+        raise KvEncodingError("truncated batch payload")
+    count = int.from_bytes(raw[:2], "little")
+    pairs = []
+    pos = 2
+    for _ in range(count):
+        if pos + _PAIR_HEADER.size > len(raw):
+            raise KvEncodingError("truncated batch pair header")
+        klen, vlen = _PAIR_HEADER.unpack_from(raw, pos)
+        pos += _PAIR_HEADER.size
+        if pos + klen + vlen > len(raw):
+            raise KvEncodingError("truncated batch pair body")
+        pairs.append((raw[pos:pos + klen], raw[pos + klen:pos + klen + vlen]))
+        pos += klen + vlen
+    return pairs
+
+
+def decode_key_list(raw: bytes) -> Tuple[bytes, ...]:
+    """Decode a LIST response: u32 count | (u16 key_len | key)*."""
+    if len(raw) < 4:
+        raise KvEncodingError("truncated key list")
+    count = int.from_bytes(raw[:4], "little")
+    keys = []
+    pos = 4
+    for _ in range(count):
+        if pos + 2 > len(raw):
+            raise KvEncodingError("truncated key list entry")
+        key_len = int.from_bytes(raw[pos:pos + 2], "little")
+        pos += 2
+        if pos + key_len > len(raw):
+            raise KvEncodingError("truncated key in list")
+        keys.append(raw[pos:pos + key_len])
+        pos += key_len
+    return tuple(keys)

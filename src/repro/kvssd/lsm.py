@@ -1,0 +1,229 @@
+"""LSM-tree key index for the KV-SSD.
+
+An iLSM/PinK-style in-storage LSM tree mapping keys to value-log pointers:
+a sorted memtable absorbs writes; full memtables flush to immutable,
+sorted SSTables (serialised to NAND through the FTL, so flush/compaction
+I/O is charged to the NAND model); L0 tables may overlap and are searched
+newest-first; deeper levels are kept as one non-overlapping sorted run
+each and are merged by whole-level compaction when the level above
+overflows.  Following PinK, the key/pointer entries of every level are
+pinned in device DRAM, bounding read tail latency — lookups never touch
+NAND for index data, only for values.
+
+Tombstones implement deletion; iterators (SYSTOR '23's extension) walk a
+merged view of memtable + all levels.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.kvssd.value_log import LogPointer
+from repro.ssd.ftl import PageMappingFtl
+
+#: Serialised index entry: key_len u16 | tombstone u8 | segment u32 |
+#: offset u32 | length u32 | key bytes.
+_ENTRY = struct.Struct("<HBIII")
+
+#: Marker pointer stored for deletions.
+TOMBSTONE = LogPointer(segment=0xFFFFFFFF, offset=0xFFFFFFFF, length=0)
+
+
+def _serialize_entries(entries: List[Tuple[bytes, LogPointer]]) -> bytes:
+    out = bytearray()
+    for key, ptr in entries:
+        tomb = 1 if ptr == TOMBSTONE else 0
+        out += _ENTRY.pack(len(key), tomb, ptr.segment & 0xFFFFFFFF,
+                           ptr.offset & 0xFFFFFFFF, ptr.length & 0xFFFFFFFF)
+        out += key
+    return bytes(out)
+
+
+def _deserialize_entries(raw: bytes) -> List[Tuple[bytes, LogPointer]]:
+    entries: List[Tuple[bytes, LogPointer]] = []
+    pos = 0
+    while pos < len(raw):
+        key_len, tomb, seg, off, length = _ENTRY.unpack_from(raw, pos)
+        pos += _ENTRY.size
+        key = raw[pos:pos + key_len]
+        pos += key_len
+        ptr = TOMBSTONE if tomb else LogPointer(seg, off, length)
+        entries.append((key, ptr))
+    return entries
+
+
+@dataclass
+class SsTable:
+    """One immutable sorted run, pinned in DRAM, persisted to NAND pages."""
+
+    entries: List[Tuple[bytes, LogPointer]]
+    lpns: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        keys = [k for k, _ in self.entries]
+        if keys != sorted(keys):
+            raise ValueError("SSTable entries must be sorted")
+
+    @property
+    def min_key(self) -> bytes:
+        return self.entries[0][0]
+
+    @property
+    def max_key(self) -> bytes:
+        return self.entries[-1][0]
+
+    def get(self, key: bytes) -> Optional[LogPointer]:
+        lo, hi = 0, len(self.entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.entries[mid][0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self.entries) and self.entries[lo][0] == key:
+            return self.entries[lo][1]
+        return None
+
+
+class LsmIndex:
+    """The in-device LSM tree."""
+
+    def __init__(self, ftl: PageMappingFtl, lpn_base: int,
+                 memtable_entries: int = 4096,
+                 l0_tables: int = 4, level_ratio: int = 4) -> None:
+        if memtable_entries < 1:
+            raise ValueError("memtable must hold at least one entry")
+        self.ftl = ftl
+        self.lpn_base = lpn_base
+        self.memtable_entries = memtable_entries
+        self.l0_tables = l0_tables
+        self.level_ratio = level_ratio
+        self._memtable: Dict[bytes, LogPointer] = {}
+        #: levels[0] is L0 (list of possibly-overlapping tables, newest
+        #: last); levels[i>0] hold at most one sorted run each.
+        self.levels: List[List[SsTable]] = [[]]
+        self._next_lpn = lpn_base
+        self.flushes = 0
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, ptr: LogPointer) -> None:
+        if not key:
+            raise ValueError("empty key")
+        self._memtable[key] = ptr
+        if len(self._memtable) >= self.memtable_entries:
+            self.flush_memtable()
+
+    def delete(self, key: bytes) -> None:
+        self.put(key, TOMBSTONE)
+
+    def flush_memtable(self) -> None:
+        if not self._memtable:
+            return
+        entries = sorted(self._memtable.items())
+        self._memtable.clear()
+        table = self._persist(SsTable(entries))
+        self.levels[0].append(table)
+        self.flushes += 1
+        if len(self.levels[0]) > self.l0_tables:
+            self._compact(0)
+
+    def _persist(self, table: SsTable) -> SsTable:
+        """Write the table's serialised form to NAND pages via the FTL."""
+        raw = _serialize_entries(table.entries)
+        page_bytes = self.ftl.nand.geometry.page_bytes
+        for off in range(0, len(raw), page_bytes):
+            lpn = self._next_lpn
+            self._next_lpn += 1
+            self.ftl.write(lpn, raw[off:off + page_bytes])
+            table.lpns.append(lpn)
+        return table
+
+    def _compact(self, level: int) -> None:
+        """Merge *level* into *level*+1 as one fresh sorted run."""
+        while len(self.levels) <= level + 1:
+            self.levels.append([])
+        sources = self.levels[level] + self.levels[level + 1]
+        merged: Dict[bytes, LogPointer] = {}
+        # Oldest-first so newer tables overwrite older mappings; L0 is
+        # ordered oldest→newest, deeper levels hold a single older run.
+        for table in self.levels[level + 1] + self.levels[level]:
+            for key, ptr in table.entries:
+                merged[key] = ptr
+        for table in sources:
+            for lpn in table.lpns:
+                self.ftl.trim(lpn)
+        is_last = (level + 1 == len(self.levels) - 1)
+        entries = sorted((k, p) for k, p in merged.items()
+                         if not (is_last and p == TOMBSTONE))
+        self.levels[level] = []
+        self.levels[level + 1] = (
+            [self._persist(SsTable(entries))] if entries else [])
+        self.compactions += 1
+        # Cascade when the level run grows beyond the size ratio.
+        limit = self.memtable_entries * (self.level_ratio ** (level + 1))
+        run = self.levels[level + 1]
+        if run and len(run[0].entries) > limit:
+            self._compact(level + 1)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Optional[LogPointer]:
+        """Lookup; returns None for missing or deleted keys."""
+        ptr = self._memtable.get(key)
+        if ptr is None:
+            for table in reversed(self.levels[0]):
+                if table.min_key <= key <= table.max_key:
+                    ptr = table.get(key)
+                    if ptr is not None:
+                        break
+        if ptr is None:
+            for level in self.levels[1:]:
+                for table in level:
+                    if table.min_key <= key <= table.max_key:
+                        ptr = table.get(key)
+                if ptr is not None:
+                    break
+        if ptr is None or ptr == TOMBSTONE:
+            return None
+        return ptr
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[Tuple[bytes, LogPointer]]:
+        """Merged in-order iteration over [start, end) (SYSTOR '23 API)."""
+        if start >= end:
+            return
+        view: Dict[bytes, LogPointer] = {}
+        for level in reversed(self.levels[1:]):
+            for table in level:
+                for key, ptr in table.entries:
+                    if start <= key < end:
+                        view[key] = ptr
+        for table in self.levels[0]:
+            for key, ptr in table.entries:
+                if start <= key < end:
+                    view[key] = ptr
+        for key, ptr in self._memtable.items():
+            if start <= key < end:
+                view[key] = ptr
+        for key in sorted(view):
+            if view[key] != TOMBSTONE:
+                yield key, view[key]
+
+    # ------------------------------------------------------------------
+    @property
+    def memtable_size(self) -> int:
+        return len(self._memtable)
+
+    @property
+    def total_entries(self) -> int:
+        """Live index entries across memtable and all levels (with dups)."""
+        total = len(self._memtable)
+        for level in self.levels:
+            for table in level:
+                total += len(table.entries)
+        return total

@@ -1,0 +1,29 @@
+"""Measurement helpers: latency summaries, throughput, report tables."""
+
+from repro.metrics.ascii_plot import ascii_chart
+from repro.metrics.energy import EnergyModel, EnergyReport, measure_energy
+from repro.metrics.pipeline import PipelineEstimate, estimate_pipeline
+from repro.metrics.reporting import format_bytes, format_table
+from repro.metrics.stats import (
+    LatencyRecorder,
+    LatencySummary,
+    reduction_pct,
+    summarize_latencies,
+    throughput_kops,
+)
+
+__all__ = [
+    "LatencySummary",
+    "LatencyRecorder",
+    "summarize_latencies",
+    "throughput_kops",
+    "reduction_pct",
+    "format_table",
+    "format_bytes",
+    "EnergyModel",
+    "EnergyReport",
+    "measure_energy",
+    "PipelineEstimate",
+    "estimate_pipeline",
+    "ascii_chart",
+]

@@ -1,0 +1,82 @@
+"""Terminal line charts for sweep results.
+
+Renders multi-series (x, y) data as an ASCII scatter chart with log-x
+support — enough to eyeball the Figure-5 curves and crossovers straight
+from the CLI without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Plot glyphs assigned to series in order.
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(series: Dict[str, Sequence[Tuple[float, float]]],
+                width: int = 64, height: int = 16,
+                log_x: bool = False, log_y: bool = False,
+                title: str = "", y_label: str = "") -> str:
+    """Render named point series on one chart.
+
+    >>> out = ascii_chart({"a": [(1, 1), (2, 2)]}, width=20, height=5)
+    >>> "a" in out
+    True
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+
+    def tx(v: float) -> float:
+        if log_x:
+            if v <= 0:
+                raise ValueError("log-x requires positive x values")
+            return math.log10(v)
+        return v
+
+    def ty(v: float) -> float:
+        if log_y:
+            if v <= 0:
+                raise ValueError("log-y requires positive y values")
+            return math.log10(v)
+        return v
+
+    points = [(tx(x), ty(y)) for pts in series.values() for x, y in pts]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, pts) in zip(_GLYPHS, series.items()):
+        for x, y in pts:
+            col = int((tx(x) - x_lo) / x_span * (width - 1))
+            row = int((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    raw_y_hi = 10 ** y_hi if log_y else y_hi
+    raw_y_lo = 10 ** y_lo if log_y else y_lo
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{raw_y_hi:>10.4g}"
+        elif i == height - 1:
+            label = f"{raw_y_lo:>10.4g}"
+        else:
+            label = " " * 10
+        lines.append(f"{label} |{''.join(row)}|")
+    raw_x_lo = 10 ** x_lo if log_x else x_lo
+    raw_x_hi = 10 ** x_hi if log_x else x_hi
+    axis = f"{raw_x_lo:<.4g}".ljust(width // 2) + f"{raw_x_hi:>.4g}"
+    lines.append(" " * 11 + "+" + "-" * width + "+")
+    lines.append(" " * 12 + axis)
+    legend = "   ".join(f"{glyph}={name}"
+                        for glyph, name in zip(_GLYPHS, series))
+    lines.append(" " * 12 + legend + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)

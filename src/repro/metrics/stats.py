@@ -1,0 +1,72 @@
+"""Latency / throughput statistics.
+
+The paper reports means with 1st–99th percentile error bars (Figure 6);
+this module provides the same summaries over per-operation samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary of a latency sample set (all values in nanoseconds)."""
+
+    count: int
+    mean: float
+    p1: float
+    p50: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean / 1000.0
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    """Mean and the paper's 1st/50th/99th percentiles."""
+    if len(samples) == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    arr = np.asarray(samples, dtype=np.float64)
+    p1, p50, p99 = np.percentile(arr, [1, 50, 99])
+    return LatencySummary(count=len(arr), mean=float(arr.mean()),
+                          p1=float(p1), p50=float(p50), p99=float(p99),
+                          minimum=float(arr.min()), maximum=float(arr.max()))
+
+
+class LatencyRecorder:
+    """Streaming collector for per-op latencies."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, latency_ns: float) -> None:
+        if latency_ns < 0:
+            raise ValueError("negative latency")
+        self._samples.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def summary(self) -> LatencySummary:
+        return summarize_latencies(self._samples)
+
+
+def throughput_kops(ops: int, elapsed_ns: float) -> float:
+    """Thousands of operations per second of simulated time."""
+    if elapsed_ns <= 0:
+        raise ValueError("elapsed time must be positive")
+    return ops / elapsed_ns * 1e6
+
+
+def reduction_pct(baseline: float, improved: float) -> float:
+    """Percentage reduction of *improved* relative to *baseline*."""
+    if baseline == 0:
+        return 0.0
+    return (1.0 - improved / baseline) * 100.0

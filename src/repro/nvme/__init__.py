@@ -1,0 +1,64 @@
+"""NVMe protocol substrate: SQE/CQE codecs, queues, PRP, SGL, passthrough."""
+
+from repro.nvme.command import NvmeCommand
+from repro.nvme.completion import NvmeCompletion
+from repro.nvme.constants import (
+    ADMIN_QID,
+    BANDSLIM_FRAGMENT_CAPACITY,
+    CQE_SIZE,
+    PAGE_SIZE,
+    PRP_ENTRY_SIZE,
+    SGL_DESC_SIZE,
+    SQE_SIZE,
+    AdminOpcode,
+    IoOpcode,
+    KvOpcode,
+    Psdt,
+    StatusCode,
+    VendorOpcode,
+)
+from repro.nvme.passthrough import PassthruRequest, PassthruResult
+from repro.nvme.prp import PrpMapping, PrpSegment, build_prps, page_count, walk_prps
+from repro.nvme.queues import (
+    CompletionQueue,
+    LockNotHeldError,
+    QueueFullError,
+    QueueLock,
+    SubmissionQueue,
+)
+from repro.nvme.sgl import SglDescriptor, SglMapping, SglType, build_sgl, walk_sgl
+
+__all__ = [
+    "NvmeCommand",
+    "NvmeCompletion",
+    "IoOpcode",
+    "KvOpcode",
+    "VendorOpcode",
+    "AdminOpcode",
+    "StatusCode",
+    "Psdt",
+    "SQE_SIZE",
+    "CQE_SIZE",
+    "PAGE_SIZE",
+    "PRP_ENTRY_SIZE",
+    "SGL_DESC_SIZE",
+    "BANDSLIM_FRAGMENT_CAPACITY",
+    "ADMIN_QID",
+    "PassthruRequest",
+    "PassthruResult",
+    "PrpMapping",
+    "PrpSegment",
+    "build_prps",
+    "walk_prps",
+    "page_count",
+    "SubmissionQueue",
+    "CompletionQueue",
+    "QueueLock",
+    "QueueFullError",
+    "LockNotHeldError",
+    "SglDescriptor",
+    "SglMapping",
+    "SglType",
+    "build_sgl",
+    "walk_sgl",
+]

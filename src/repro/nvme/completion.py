@@ -1,0 +1,54 @@
+"""The 16-byte NVMe completion queue entry (CQE) codec.
+
+====  ===========================================
+DW    contents
+====  ===========================================
+0     command-specific result
+1     reserved
+2     SQ head pointer (15:0) | SQ id (31:16)
+3     command id (15:0) | phase (16) | status (31:17)
+====  ===========================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.nvme.constants import CQE_SIZE, StatusCode
+
+_CQE_STRUCT = struct.Struct("<IIHHHH")
+assert _CQE_STRUCT.size == CQE_SIZE
+
+
+@dataclass
+class NvmeCompletion:
+    """One completion-queue entry."""
+
+    result: int = 0
+    sq_head: int = 0
+    sq_id: int = 0
+    cid: int = 0
+    phase: int = 0
+    status: int = StatusCode.SUCCESS
+
+    def pack(self) -> bytes:
+        if not 0 <= self.result < (1 << 32):
+            raise ValueError("result exceeds 32 bits")
+        if not 0 <= self.status < (1 << 15):
+            raise ValueError("status exceeds 15 bits")
+        dw3_hi = (self.status << 1) | (self.phase & 1)
+        return _CQE_STRUCT.pack(self.result, 0, self.sq_head, self.sq_id,
+                                self.cid, dw3_hi)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "NvmeCompletion":
+        if len(raw) != CQE_SIZE:
+            raise ValueError(f"CQE must be {CQE_SIZE} bytes, got {len(raw)}")
+        result, _rsvd, sq_head, sq_id, cid, dw3_hi = _CQE_STRUCT.unpack(raw)
+        return cls(result=result, sq_head=sq_head, sq_id=sq_id, cid=cid,
+                   phase=dw3_hi & 1, status=dw3_hi >> 1)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == StatusCode.SUCCESS

@@ -1,0 +1,70 @@
+"""Identify Controller data structure (admin opcode 0x06, CNS 1).
+
+A faithful-enough subset of the 4096-byte Identify Controller page:
+vendor ids, serial/model/firmware strings in their spec offsets, and the
+fields the driver actually consumes (number of queues, MDTS, SQES/CQES).
+A vendor-specific byte advertises ByteExpress support so a driver can
+feature-detect instead of blindly repurposing the reserved field.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+IDENTIFY_SIZE = 4096
+
+#: Offset (in the vendor-specific area, bytes 3072+) of the ByteExpress
+#: capability byte: non-zero means the firmware honours inline payloads.
+BYTEEXPRESS_CAP_OFFSET = 3072
+
+
+@dataclass
+class IdentifyController:
+    """The fields this stack models."""
+
+    vid: int = 0x1DE5            # fictitious vendor id
+    ssvid: int = 0x1DE5
+    serial: str = "BYTEXPRS0001"
+    model: str = "OpenSSD Cosmos+ (simulated)"
+    firmware: str = "BXP1.0"
+    #: Maximum data transfer size, as a power-of-two multiple of 4 KB.
+    mdts: int = 5                # 2^5 * 4 KB = 128 KB
+    #: Number of I/O queue pairs supported.
+    num_io_queues: int = 16
+    #: ByteExpress inline transfer supported by this firmware.
+    byteexpress: bool = True
+
+    def pack(self) -> bytes:
+        buf = bytearray(IDENTIFY_SIZE)
+        struct.pack_into("<HH", buf, 0, self.vid, self.ssvid)
+        buf[4:24] = self.serial.encode("ascii")[:20].ljust(20)
+        buf[24:64] = self.model.encode("ascii")[:40].ljust(40)
+        buf[64:72] = self.firmware.encode("ascii")[:8].ljust(8)
+        buf[77] = self.mdts
+        # SQES/CQES: required 6 (64 B) and 4 (16 B), min==max.
+        buf[512] = 0x66
+        buf[513] = 0x44
+        struct.pack_into("<H", buf, 520, self.num_io_queues)
+        buf[BYTEEXPRESS_CAP_OFFSET] = 1 if self.byteexpress else 0
+        return bytes(buf)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "IdentifyController":
+        if len(raw) != IDENTIFY_SIZE:
+            raise ValueError(f"identify page must be {IDENTIFY_SIZE} bytes")
+        vid, ssvid = struct.unpack_from("<HH", raw, 0)
+        (num_io_queues,) = struct.unpack_from("<H", raw, 520)
+        return cls(
+            vid=vid, ssvid=ssvid,
+            serial=raw[4:24].decode("ascii").rstrip(),
+            model=raw[24:64].decode("ascii").rstrip(),
+            firmware=raw[64:72].decode("ascii").rstrip(),
+            mdts=raw[77],
+            num_io_queues=num_io_queues,
+            byteexpress=bool(raw[BYTEEXPRESS_CAP_OFFSET]),
+        )
+
+    @property
+    def max_transfer_bytes(self) -> int:
+        return (1 << self.mdts) * 4096

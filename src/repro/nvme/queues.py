@@ -1,0 +1,169 @@
+"""NVMe submission / completion queue rings.
+
+Both rings live in *host* memory (the device reaches them by DMA), exactly
+as on the paper's testbed.  The host owns the SQ tail and CQ head; the
+device owns the SQ head (reported back through CQEs) and CQ tail.
+
+Ordering discipline (paper §3.3.2, challenge #2): the Linux NVMe driver
+serialises SQ insertion with a per-queue spinlock.  ByteExpress relies on
+inserting the command *and* its inline chunks under one lock acquisition so
+they occupy consecutive slots.  :class:`QueueLock` models that lock and the
+submission queue refuses writes when it is not held, turning a would-be
+race into a hard test failure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.host.memory import HostMemory
+from repro.nvme.completion import NvmeCompletion
+from repro.nvme.constants import CQE_SIZE, SQE_SIZE
+
+
+class QueueFullError(Exception):
+    """Raised when pushing to a submission queue with no free slots."""
+
+
+class LockNotHeldError(Exception):
+    """Raised when the SQ is mutated outside its lock (ordering violation)."""
+
+
+class QueueLock:
+    """Non-reentrant per-queue lock, as in the kernel driver.
+
+    The simulation is single-threaded; the lock exists to *assert* the
+    driver's locking discipline rather than to provide mutual exclusion.
+    """
+
+    def __init__(self) -> None:
+        self._held = False
+        self.acquisitions = 0
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def __enter__(self) -> "QueueLock":
+        if self._held:
+            raise RuntimeError("SQ lock is not reentrant")
+        self._held = True
+        self.acquisitions += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._held = False
+
+
+class SubmissionQueue:
+    """Host-side view of one submission queue ring."""
+
+    def __init__(self, qid: int, depth: int, memory: HostMemory) -> None:
+        if depth < 2:
+            raise ValueError("SQ depth must be at least 2")
+        self.qid = qid
+        self.depth = depth
+        self.memory = memory
+        self.base_addr = memory.alloc_buffer(depth * SQE_SIZE)
+        self.tail = 0          # next free slot (host-owned)
+        self.head = 0          # last slot the device reported consuming
+        #: Device-visible tail, updated only by the doorbell write.
+        self.shadow_tail = 0
+        self.lock = QueueLock()
+
+    # -- geometry ----------------------------------------------------------
+    def slot_addr(self, index: int) -> int:
+        return self.base_addr + (index % self.depth) * SQE_SIZE
+
+    def space(self) -> int:
+        """Free slots (one slot is always kept open to distinguish full)."""
+        return (self.head - self.tail - 1) % self.depth
+
+    def is_full(self) -> bool:
+        return self.space() == 0
+
+    # -- host operations -----------------------------------------------------
+    def push_raw(self, entry: bytes) -> int:
+        """Write one 64 B entry at the tail; returns the slot index used.
+
+        Requires the queue lock to be held — this is the invariant that
+        makes ByteExpress's consecutive-slot layout sound.
+        """
+        if not self.lock.held:
+            raise LockNotHeldError(f"SQ{self.qid} written without its lock")
+        if len(entry) != SQE_SIZE:
+            raise ValueError(f"SQ entries are {SQE_SIZE} bytes")
+        if self.is_full():
+            raise QueueFullError(f"SQ{self.qid} full (depth {self.depth})")
+        slot = self.tail
+        self.memory.write(self.slot_addr(slot), entry)
+        self.tail = (self.tail + 1) % self.depth
+        return slot
+
+    def ring_doorbell(self) -> int:
+        """Publish the current tail to the device; returns the new value."""
+        self.shadow_tail = self.tail
+        return self.shadow_tail
+
+    def note_sq_head(self, head: int) -> None:
+        """Apply the SQ-head report from a CQE, freeing consumed slots."""
+        if not 0 <= head < self.depth:
+            raise ValueError(f"SQ head {head} out of range")
+        self.head = head
+
+    # -- device operations --------------------------------------------------
+    def device_pending(self, device_head: int) -> int:
+        """Entries between the device's head and the doorbell'd tail."""
+        return (self.shadow_tail - device_head) % self.depth
+
+
+class CompletionQueue:
+    """Host-side view of one completion queue ring with phase-bit protocol."""
+
+    def __init__(self, qid: int, depth: int, memory: HostMemory) -> None:
+        if depth < 2:
+            raise ValueError("CQ depth must be at least 2")
+        self.qid = qid
+        self.depth = depth
+        self.memory = memory
+        self.base_addr = memory.alloc_buffer(depth * CQE_SIZE)
+        self.head = 0          # host consume pointer
+        self.phase = 1         # phase the host expects for new entries
+        #: Device-side producer state.
+        self.device_tail = 0
+        self.device_phase = 1
+
+    def slot_addr(self, index: int) -> int:
+        return self.base_addr + (index % self.depth) * CQE_SIZE
+
+    # -- device operations ---------------------------------------------------
+    def device_post(self, cqe: NvmeCompletion) -> int:
+        """Device writes a completion at its tail; returns the slot used."""
+        cqe.phase = self.device_phase
+        slot = self.device_tail
+        self.memory.write(self.slot_addr(slot), cqe.pack())
+        self.device_tail = (self.device_tail + 1) % self.depth
+        if self.device_tail == 0:
+            self.device_phase ^= 1
+        return slot
+
+    # -- host operations -----------------------------------------------------
+    def poll(self) -> Optional[NvmeCompletion]:
+        """Consume the next completion if its phase bit matches; else None."""
+        raw = self.memory.read(self.slot_addr(self.head), CQE_SIZE)
+        cqe = NvmeCompletion.unpack(raw)
+        if cqe.phase != self.phase:
+            return None
+        self.head = (self.head + 1) % self.depth
+        if self.head == 0:
+            self.phase ^= 1
+        return cqe
+
+    def drain(self) -> List[NvmeCompletion]:
+        """Consume all currently visible completions."""
+        out: List[NvmeCompletion] = []
+        while True:
+            cqe = self.poll()
+            if cqe is None:
+                return out
+            out.append(cqe)

@@ -1,0 +1,139 @@
+"""Scatter-Gather List (SGL) descriptors.
+
+SGL is NVMe's variable-length alternative to PRP (paper §5): a single
+16-byte *data block* descriptor can reference a small contiguous region,
+avoiding PRP's page granularity.  The Linux driver only uses SGL above a
+32 KB threshold by default, which is why the paper optimises the PRP path;
+we implement SGL anyway for the §5 comparison ablation.
+
+Descriptor wire format (16 bytes): address (8) | length (4) | reserved (3)
+| SGL identifier (1: type in high nibble, sub-type in low).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.host.memory import HostMemory
+from repro.nvme.constants import PAGE_SIZE, SGL_DESC_SIZE
+
+_DESC_STRUCT = struct.Struct("<QI3xB")
+assert _DESC_STRUCT.size == SGL_DESC_SIZE
+
+#: Data-block descriptors per 4 KB segment page.
+DESCS_PER_SEGMENT_PAGE = PAGE_SIZE // SGL_DESC_SIZE
+
+
+class SglType(enum.IntEnum):
+    DATA_BLOCK = 0x0
+    BIT_BUCKET = 0x1
+    SEGMENT = 0x2
+    LAST_SEGMENT = 0x3
+
+
+@dataclass(frozen=True)
+class SglDescriptor:
+    """One SGL descriptor."""
+
+    sgl_type: SglType
+    addr: int
+    length: int
+
+    def pack(self) -> bytes:
+        if not 0 <= self.length < (1 << 32):
+            raise ValueError("SGL length exceeds 32 bits")
+        return _DESC_STRUCT.pack(self.addr, self.length,
+                                 (self.sgl_type << 4) & 0xFF)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "SglDescriptor":
+        if len(raw) != SGL_DESC_SIZE:
+            raise ValueError(f"SGL descriptor is {SGL_DESC_SIZE} bytes")
+        addr, length, ident = _DESC_STRUCT.unpack(raw)
+        return cls(SglType(ident >> 4), addr, length)
+
+    @staticmethod
+    def data_block(addr: int, length: int) -> "SglDescriptor":
+        return SglDescriptor(SglType.DATA_BLOCK, addr, length)
+
+    @staticmethod
+    def bit_bucket(length: int) -> "SglDescriptor":
+        """Discard placeholder for unwanted read data (paper §5)."""
+        return SglDescriptor(SglType.BIT_BUCKET, 0, length)
+
+
+@dataclass
+class SglMapping:
+    """Host-side SGL for one transfer: the inline descriptor plus any
+    segment pages allocated in host memory."""
+
+    inline: SglDescriptor
+    segment_pages: List[int]
+
+
+def build_sgl(memory: HostMemory,
+              extents: List[Tuple[int, int]]) -> SglMapping:
+    """Build an SGL over (addr, length) *extents*.
+
+    A single extent fits entirely in the command's data pointer as one
+    data-block descriptor — the exact property that makes SGL byte-granular
+    for small payloads.  Multiple extents require a segment list in host
+    memory, referenced by a SEGMENT/LAST_SEGMENT inline descriptor.
+    """
+    if not extents:
+        raise ValueError("SGL requires at least one extent")
+    for addr, length in extents:
+        if length <= 0:
+            raise ValueError("SGL extents must have positive length")
+
+    if len(extents) == 1:
+        addr, length = extents[0]
+        return SglMapping(SglDescriptor.data_block(addr, length), [])
+
+    descs = [SglDescriptor.data_block(a, n) for a, n in extents]
+    if len(descs) > DESCS_PER_SEGMENT_PAGE:
+        raise ValueError("multi-page SGL segments not supported by this model")
+    page = memory.alloc_page()
+    for i, d in enumerate(descs):
+        memory.write(page + i * SGL_DESC_SIZE, d.pack())
+    inline = SglDescriptor(SglType.LAST_SEGMENT, page,
+                           len(descs) * SGL_DESC_SIZE)
+    return SglMapping(inline, [page])
+
+
+def build_read_sgl(memory: HostMemory, data_addr: int, want: int,
+                   bucket: int) -> SglMapping:
+    """SGL for a small read: *want* bytes into a buffer, *bucket* bytes
+    discarded via a bit-bucket descriptor (paper §5)."""
+    if want <= 0:
+        raise ValueError("read SGL needs a positive data length")
+    if bucket < 0:
+        raise ValueError("negative bit-bucket length")
+    if bucket == 0:
+        return SglMapping(SglDescriptor.data_block(data_addr, want), [])
+    descs = [SglDescriptor.data_block(data_addr, want),
+             SglDescriptor.bit_bucket(bucket)]
+    page = memory.alloc_page()
+    for i, d in enumerate(descs):
+        memory.write(page + i * SGL_DESC_SIZE, d.pack())
+    inline = SglDescriptor(SglType.LAST_SEGMENT, page,
+                           len(descs) * SGL_DESC_SIZE)
+    return SglMapping(inline, [page])
+
+
+def walk_sgl(inline: SglDescriptor,
+             read_segment: "callable") -> List[SglDescriptor]:
+    """Device-side traversal: resolve the inline descriptor to data blocks.
+
+    *read_segment(addr, nbytes)* DMA-reads a segment list from host memory.
+    """
+    if inline.sgl_type == SglType.DATA_BLOCK:
+        return [inline]
+    if inline.sgl_type in (SglType.SEGMENT, SglType.LAST_SEGMENT):
+        raw = read_segment(inline.addr, inline.length)
+        return [SglDescriptor.unpack(raw[i:i + SGL_DESC_SIZE])
+                for i in range(0, len(raw), SGL_DESC_SIZE)]
+    raise ValueError(f"cannot walk SGL descriptor of type {inline.sgl_type}")

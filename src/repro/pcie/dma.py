@@ -1,0 +1,32 @@
+"""Device-side DMA engine.
+
+Moves bytes between host memory and the device, recording the TLPs on the
+link and returning the modelled transfer latency.  This is the engine the
+controller programs for PRP/SGL data pulls, SQ entry fetches and CQE posts.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.host.memory import HostMemory
+from repro.pcie.link import PCIeLink
+
+
+class DmaEngine:
+    """DMA engine owned by the SSD controller, mastering the PCIe bus."""
+
+    def __init__(self, link: PCIeLink, host_memory: HostMemory) -> None:
+        self.link = link
+        self.host_memory = host_memory
+
+    def read(self, addr: int, nbytes: int, category: str) -> Tuple[bytes, float]:
+        """Pull *nbytes* of host memory; returns (data, latency_ns)."""
+        data = self.host_memory.read(addr, nbytes)
+        ns = self.link.device_read(nbytes, category)
+        return data, ns
+
+    def write(self, addr: int, data: bytes, category: str) -> float:
+        """Push *data* into host memory; returns latency_ns."""
+        self.host_memory.write(addr, data)
+        return self.link.device_write(len(data), category)

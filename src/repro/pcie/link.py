@@ -1,0 +1,86 @@
+"""Timed PCIe link model.
+
+Couples TLP accounting (:mod:`repro.pcie.tlp`) with the traffic counter and
+a wire-time model.  Every method records the generated TLPs under a traffic
+category and returns the *latency contribution* in nanoseconds; the caller
+decides whose clock to charge (posted writes, for example, cost the host CPU
+almost nothing but delay the device's observation of the data).
+
+Wire-time model: serialisation of the TLP bytes at the link's effective
+bandwidth plus one-way propagation per traversal.  Reads are round trips:
+request serialisation + propagation + host memory access + completion
+serialisation + propagation.
+"""
+
+from __future__ import annotations
+
+from repro.pcie import tlp as tlpmod
+from repro.pcie.tlp import TlpBatch
+from repro.pcie.traffic import TrafficCounter
+from repro.sim.config import LinkConfig, TimingModel
+
+
+class PCIeLink:
+    """A point-to-point PCIe link between host root complex and the SSD."""
+
+    def __init__(self, link: LinkConfig, timing: TimingModel,
+                 counter: TrafficCounter = None) -> None:
+        self.config = link
+        self.timing = timing
+        self.counter = counter if counter is not None else TrafficCounter()
+
+    # ------------------------------------------------------------------
+    # primitive timings
+    # ------------------------------------------------------------------
+    def serialisation_ns(self, wire_bytes: int) -> float:
+        """Time to clock *wire_bytes* onto the link."""
+        return wire_bytes / self.config.bytes_per_ns
+
+    def _one_way(self, wire_bytes: int) -> float:
+        return self.serialisation_ns(wire_bytes) + self.timing.link_propagation_ns
+
+    # ------------------------------------------------------------------
+    # protocol actions
+    # ------------------------------------------------------------------
+    def host_mmio_write(self, nbytes: int, category: str) -> float:
+        """Host store to BAR space (doorbell, MMIO byte interface).
+
+        Returns the one-way delivery latency.  The host CPU itself only
+        pays the store cost from the timing model, not this latency.
+        """
+        batch = tlpmod.host_mmio_write(nbytes, self.config)
+        self.counter.record(category, batch)
+        return self._one_way(batch.downstream_bytes)
+
+    def host_mmio_read(self, nbytes: int, category: str) -> float:
+        """Host load from BAR space; returns the full round-trip latency
+        the CPU stalls for (uncached read across the link)."""
+        batch = tlpmod.host_mmio_read(nbytes, self.config)
+        self.counter.record(category, batch)
+        request_ns = self._one_way(batch.downstream_bytes)
+        completion_ns = self._one_way(batch.upstream_bytes)
+        return request_ns + completion_ns
+
+    def device_read(self, nbytes: int, category: str) -> float:
+        """Device-initiated DMA read of host memory; returns round-trip ns."""
+        batch = tlpmod.device_dma_read(nbytes, self.config)
+        self.counter.record(category, batch)
+        request_ns = self._one_way(batch.upstream_bytes)
+        completion_ns = self._one_way(batch.downstream_bytes)
+        return request_ns + self.timing.host_mem_read_ns + completion_ns
+
+    def device_write(self, nbytes: int, category: str) -> float:
+        """Device-initiated DMA write to host memory (CQE, read data)."""
+        batch = tlpmod.device_dma_write(nbytes, self.config)
+        self.counter.record(category, batch)
+        return self._one_way(batch.upstream_bytes)
+
+    def msix(self, category: str = "msix") -> float:
+        """Raise an MSI-X interrupt toward the host."""
+        batch = tlpmod.msix_interrupt(self.config)
+        self.counter.record(category, batch)
+        return self._one_way(batch.upstream_bytes)
+
+    def record_only(self, category: str, batch: TlpBatch) -> None:
+        """Account a pre-built batch without computing a latency."""
+        self.counter.record(category, batch)

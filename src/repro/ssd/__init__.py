@@ -1,0 +1,33 @@
+"""SSD substrate: NAND array, device DRAM, FTL, controller firmware,
+and the assembled OpenSSD device model."""
+
+from repro.ssd.controller import (
+    MODE_QUEUE_LOCAL,
+    MODE_TAGGED,
+    CommandContext,
+    CommandResult,
+    NvmeController,
+)
+from repro.ssd.device import BlockSsdPersonality, OpenSsd
+from repro.ssd.dram import DeviceDram, DramExhaustedError, DramRegion
+from repro.ssd.ftl import FtlError, PageMappingFtl
+from repro.ssd.nand import NandArray, NandError, NandGeometry, PhysicalPage
+
+__all__ = [
+    "NvmeController",
+    "CommandContext",
+    "CommandResult",
+    "MODE_QUEUE_LOCAL",
+    "MODE_TAGGED",
+    "OpenSsd",
+    "BlockSsdPersonality",
+    "DeviceDram",
+    "DramRegion",
+    "DramExhaustedError",
+    "PageMappingFtl",
+    "FtlError",
+    "NandArray",
+    "NandError",
+    "NandGeometry",
+    "PhysicalPage",
+]

@@ -1,0 +1,717 @@
+"""NVMe controller firmware model (the OpenSSD main loop).
+
+Mirrors the Cosmos+ firmware structure the paper modified: the controller
+decodes its own BAR registers (enable handshake, admin queue bases,
+doorbells), polls SQ doorbells round-robin, DMA-fetches 64-byte commands,
+interprets the data pointer (PRP or SGL), moves the data, invokes the
+opcode handler, and posts completions — all against *device-side* queue
+state only; host queue objects are never touched, exactly as on real
+hardware where host and device share nothing but memory and registers.
+
+ByteExpress hooks in where the paper's <20-line patch does — the
+command-fetch routine: a non-zero reserved field makes the controller
+fetch the following SQ entries *from the same queue* as payload chunks
+before resuming the round-robin (queue-local mode).  The controller also
+implements the paper's §3.3.2 future-work variant: *tagged* mode, where
+chunks carry self-describing headers and the controller interleaves
+fetches across queues, reassembling out-of-order.
+
+Timing: device-side phase costs come from the calibrated
+:class:`~repro.sim.config.TimingModel`; the PRP/SGL data path additionally
+pays wire serialisation, which is what produces the 4 KB staircase of
+Figure 1(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.controller_ext import (
+    DeviceSqState,
+    InlineFetchError,
+    fetch_inline_payload,
+)
+from repro.core.inline_command import InlineEncodingError, inspect_command
+from repro.core.reassembly import (
+    ReassemblyBuffer,
+    ReassemblyError,
+    parse_tagged,
+    tagged_chunk_count,
+)
+from repro.host.memory import HostMemory
+from repro.nvme.command import NvmeCommand
+from repro.nvme.completion import NvmeCompletion
+from repro.nvme.constants import (
+    CQE_SIZE,
+    PAGE_SIZE,
+    SQE_SIZE,
+    AdminOpcode,
+    Psdt,
+    StatusCode,
+)
+from repro.nvme.identify import IdentifyController
+from repro.nvme.prp import walk_prps
+from repro.nvme.queues import CompletionQueue, SubmissionQueue
+from repro.nvme.registers import (
+    CC_ENABLE,
+    CSTS_READY,
+    REG_ACQ_LO,
+    REG_AQA,
+    REG_ASQ_LO,
+    REG_CAP_LO,
+    REG_CAP_HI,
+    REG_CC,
+    REG_CSTS,
+    REG_VS,
+    VERSION_1_4,
+    cap_value,
+    split_aqa,
+)
+from repro.nvme.sgl import SglDescriptor, SglType, walk_sgl
+from repro.pcie import tlp as tlpmod
+from repro.pcie.link import PCIeLink
+from repro.pcie.mmio import BarSpace, cq_doorbell_offset, sq_doorbell_offset
+from repro.pcie.traffic import (
+    CAT_CMD_FETCH,
+    CAT_CQE,
+    CAT_DATA,
+    CAT_INLINE_CHUNK,
+    CAT_MSIX,
+    CAT_PRP_LIST,
+)
+from repro.sim.clock import SimClock
+from repro.sim.config import SimConfig
+
+
+#: Fetch-from-SQ modes (paper §3.3.2).
+MODE_QUEUE_LOCAL = "queue_local"
+MODE_TAGGED = "tagged"
+
+#: Admin queue id.
+ADMIN_QID = 0
+
+
+@dataclass
+class CommandContext:
+    """Everything an opcode handler sees for one command."""
+
+    cmd: NvmeCommand
+    qid: int
+    #: Host→device payload, however it was transferred (PRP, SGL, inline).
+    data: Optional[bytes] = None
+    #: How the payload arrived: "prp" | "sgl" | "inline" | None.
+    transport: Optional[str] = None
+
+
+@dataclass
+class CommandResult:
+    """Handler outcome."""
+
+    status: int = StatusCode.SUCCESS
+    result: int = 0
+    #: Device→host data (for read-style commands); DMA'd before completion.
+    read_data: Optional[bytes] = None
+    #: Firmware may suppress the CQE (BandSlim intermediate fragments are
+    #: acknowledged only through the final fragment's completion).
+    suppress_cqe: bool = False
+
+
+Handler = Callable[[CommandContext], CommandResult]
+
+
+class CqOverrunError(Exception):
+    """The device produced more completions than the host consumed."""
+
+
+@dataclass
+class DeviceCqState:
+    """The controller's private completion-queue producer state."""
+
+    qid: int
+    base_addr: int
+    depth: int
+    tail: int = 0
+    phase: int = 1
+    #: Host consume pointer, learned from CQ head doorbell writes.
+    host_head: int = 0
+
+    def slot_addr(self, index: int) -> int:
+        return self.base_addr + (index % self.depth) * CQE_SIZE
+
+    def is_full(self) -> bool:
+        return (self.tail + 1) % self.depth == self.host_head
+
+    def post(self, cqe: NvmeCompletion, memory: HostMemory) -> None:
+        if self.is_full():
+            raise CqOverrunError(f"CQ{self.qid} overrun")
+        cqe.phase = self.phase
+        memory.write(self.slot_addr(self.tail), cqe.pack())
+        self.tail = (self.tail + 1) % self.depth
+        if self.tail == 0:
+            self.phase ^= 1
+
+
+@dataclass
+class _DeferredCommand:
+    """Tagged-mode command parked until its payload reassembles."""
+
+    cmd: NvmeCommand
+    qid: int
+    payload_id: int
+
+
+class NvmeController:
+    """The device-side protocol engine."""
+
+    def __init__(self, config: SimConfig, clock: SimClock, link: PCIeLink,
+                 host_memory: HostMemory, bar: Optional[BarSpace] = None,
+                 mode: str = MODE_QUEUE_LOCAL,
+                 identify: Optional[IdentifyController] = None) -> None:
+        if mode not in (MODE_QUEUE_LOCAL, MODE_TAGGED):
+            raise ValueError(f"unknown fetch mode {mode!r}")
+        self.config = config
+        self.timing = config.timing
+        self.clock = clock
+        self.link = link
+        self.host_memory = host_memory
+        self.bar = bar if bar is not None else BarSpace()
+        self.mode = mode
+        # The device advertises its own capability (Cosmos+-class: 16 I/O
+        # queues) — independent of how many the host wants to create.
+        self.identify_data = identify or IdentifyController()
+        #: Firmware support switch: stock firmware would misparse inline
+        #: chunks as commands, so a safety-conscious build rejects them.
+        self.byteexpress_enabled = True
+        self._sqs: Dict[int, DeviceSqState] = {}
+        self._sq_tails: Dict[int, int] = {}
+        self._cqs: Dict[int, DeviceCqState] = {}
+        self._sq_cq: Dict[int, int] = {}
+        self._handlers: Dict[int, Handler] = {}
+        self._data_phase: Dict[int, bool] = {}
+        self._rr_order: List[int] = []
+        self._rr_next = 0
+        self.enabled = False
+        # tagged-mode state
+        self._reassembly = ReassemblyBuffer(max_in_flight=256)
+        self._pending_chunks: Dict[int, int] = {}
+        self._deferred: List[_DeferredCommand] = []
+        # stats
+        self.commands_processed = 0
+        self.admin_commands_processed = 0
+        self.inline_payloads = 0
+        self.fetch_errors = 0
+        self._publish_capabilities()
+
+    # ------------------------------------------------------------------
+    # register file
+    # ------------------------------------------------------------------
+    def _publish_capabilities(self) -> None:
+        cap = cap_value(max_queue_entries=self.config.sq_depth)
+        self.bar.write32(REG_CAP_LO, cap & 0xFFFFFFFF)
+        self.bar.write32(REG_CAP_HI, cap >> 32)
+        self.bar.write32(REG_VS, VERSION_1_4)
+        self.bar.on_write(REG_CC, self._on_cc_write)
+
+    def _on_cc_write(self, value: int) -> None:
+        if value & CC_ENABLE and not self.enabled:
+            self._enable()
+        elif not value & CC_ENABLE and self.enabled:
+            self._disable()
+
+    def _enable(self) -> None:
+        """CC.EN 0→1: latch the admin queue registers, come ready."""
+        asq = self.bar.read32(REG_ASQ_LO)
+        acq = self.bar.read32(REG_ACQ_LO)
+        asq_depth, acq_depth = split_aqa(self.bar.read32(REG_AQA))
+        if not asq or not acq:
+            return  # driver forgot the bases; stay not-ready
+        self._install_queue_pair(ADMIN_QID, asq, asq_depth, acq, acq_depth)
+        self.enabled = True
+        self.bar.write32(REG_CSTS, CSTS_READY)
+
+    def _disable(self) -> None:
+        """CC.EN 1→0: controller reset — drop all queue state."""
+        self._sqs.clear()
+        self._sq_tails.clear()
+        self._cqs.clear()
+        self._sq_cq.clear()
+        self._rr_order.clear()
+        self._rr_next = 0
+        self._pending_chunks.clear()
+        self._deferred.clear()
+        self.enabled = False
+        self.bar.write32(REG_CSTS, 0)
+
+    # ------------------------------------------------------------------
+    # queue management
+    # ------------------------------------------------------------------
+    def _install_queue_pair(self, qid: int, sq_base: int, sq_depth: int,
+                            cq_base: int, cq_depth: int) -> None:
+        self.create_cq(qid, cq_base, cq_depth)
+        self.create_sq(qid, sq_base, sq_depth, cq_qid=qid)
+
+    def create_cq(self, qid: int, base: int, depth: int) -> None:
+        if qid in self._cqs:
+            raise ValueError(f"CQ {qid} already exists")
+        if depth < 2:
+            raise ValueError("CQ depth must be at least 2")
+        self._cqs[qid] = DeviceCqState(qid=qid, base_addr=base, depth=depth)
+        self.bar.on_write(cq_doorbell_offset(qid),
+                          lambda head, q=qid: self.note_cq_head(q, head))
+
+    def create_sq(self, qid: int, base: int, depth: int, cq_qid: int) -> None:
+        if qid in self._sqs:
+            raise ValueError(f"SQ {qid} already exists")
+        if cq_qid not in self._cqs:
+            raise ValueError(f"SQ {qid} references missing CQ {cq_qid}")
+        if depth < 2:
+            raise ValueError("SQ depth must be at least 2")
+        self._sqs[qid] = DeviceSqState(qid=qid, base_addr=base, depth=depth)
+        self._sq_tails[qid] = 0
+        self._sq_cq[qid] = cq_qid
+        self._rr_order.append(qid)
+        self.bar.on_write(sq_doorbell_offset(qid),
+                          lambda tail, q=qid: self.note_sq_doorbell(q, tail))
+
+    def delete_sq(self, qid: int) -> None:
+        if qid not in self._sqs:
+            raise ValueError(f"no SQ {qid}")
+        del self._sqs[qid]
+        del self._sq_tails[qid]
+        del self._sq_cq[qid]
+        self._rr_order.remove(qid)
+        self._rr_next = 0
+        self._pending_chunks.pop(qid, None)
+
+    def delete_cq(self, qid: int) -> None:
+        if qid not in self._cqs:
+            raise ValueError(f"no CQ {qid}")
+        if qid in self._sq_cq.values():
+            raise ValueError(f"CQ {qid} still referenced by an SQ")
+        del self._cqs[qid]
+
+    def register_queue_pair(self, sq: SubmissionQueue,
+                            cq: CompletionQueue) -> None:
+        """Convenience wiring from host queue objects (tests, direct use)."""
+        if sq.qid in self._sqs:
+            raise ValueError(f"queue pair {sq.qid} already registered")
+        self._install_queue_pair(sq.qid, sq.base_addr, sq.depth,
+                                 cq.base_addr, cq.depth)
+
+    def note_sq_doorbell(self, qid: int, tail: int) -> None:
+        state = self._sqs.get(qid)
+        if state is None or not 0 <= tail < state.depth:
+            return  # spec: bad doorbells are ignored (may set CSTS later)
+        self._sq_tails[qid] = tail
+
+    def note_cq_head(self, qid: int, head: int) -> None:
+        state = self._cqs.get(qid)
+        if state is None or not 0 <= head < state.depth:
+            return
+        state.host_head = head
+
+    # ------------------------------------------------------------------
+    # handler registration
+    # ------------------------------------------------------------------
+    def register_handler(self, opcode: int, handler: Handler,
+                         data_phase: bool = True) -> None:
+        """Attach firmware for an I/O *opcode*.
+
+        *data_phase* declares whether the opcode moves host→device data
+        through the data pointer (PRP/SGL) when CDW12 is non-zero — in
+        real NVMe the transfer direction is defined per opcode, and
+        BandSlim fragment commands carry their payload in command fields,
+        not through a data pointer.
+        """
+        self._handlers[opcode] = handler
+        self._data_phase[opcode] = data_phase
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def _pending_on(self, qid: int) -> int:
+        state = self._sqs[qid]
+        return (self._sq_tails[qid] - state.head) % state.depth
+
+    def has_pending(self) -> bool:
+        return any(self._pending_on(qid) > 0
+                   or self._pending_chunks.get(qid, 0) > 0
+                   for qid in self._sqs)
+
+    def process_all(self) -> int:
+        """Run the firmware loop until every queue is drained."""
+        done = 0
+        while self.has_pending():
+            done += self._poll_once()
+        return done
+
+    def _poll_once(self) -> int:
+        """One round-robin sweep over the doorbells."""
+        done = 0
+        for _ in range(len(self._rr_order)):
+            qid = self._rr_order[self._rr_next]
+            self._rr_next = (self._rr_next + 1) % len(self._rr_order)
+            if self.mode == MODE_TAGGED and self._pending_chunks.get(qid, 0):
+                self._fetch_tagged_chunk(qid)
+                done += 1
+                continue
+            if self._pending_on(qid) > 0:
+                self._fetch_and_execute(qid)
+                done += 1
+        return done
+
+    # ------------------------------------------------------------------
+    # command fetch (the get_nvme_cmd analogue)
+    # ------------------------------------------------------------------
+    def _fetch_sqe(self, state: DeviceSqState) -> bytes:
+        """64 B DMA fetch of the entry at the device head."""
+        raw = self.host_memory.read(state.slot_addr(state.head), SQE_SIZE)
+        state.advance()
+        return raw
+
+    def _fetch_and_execute(self, qid: int) -> None:
+        state = self._sqs[qid]
+        with self.clock.span("ctrl.sq_fetch"):
+            self.clock.advance(self.timing.doorbell_poll_ns)
+            raw = self._fetch_sqe(state)
+            self.link.record_only(
+                CAT_CMD_FETCH, tlpmod.device_dma_read(SQE_SIZE, self.link.config))
+            self.clock.advance(self.timing.cmd_fetch_logic_ns)
+            cmd = NvmeCommand.unpack(raw)
+
+            # --- ByteExpress detection (paper §3.3.1) -------------------
+            try:
+                info = inspect_command(cmd)
+            except InlineEncodingError:
+                self.fetch_errors += 1
+                self._complete(qid, cmd, CommandResult(StatusCode.INVALID_FIELD))
+                return
+
+            if info.is_inline and not self.byteexpress_enabled:
+                # Defensive firmware: refuse rather than misparse chunks.
+                self.fetch_errors += 1
+                state.advance(min(info.chunks, self._pending_on(qid)))
+                self._complete(qid, cmd, CommandResult(StatusCode.INVALID_FIELD))
+                return
+
+            if info.is_inline and self.mode == MODE_TAGGED:
+                self._begin_tagged(qid, cmd, info.payload_len)
+                return
+
+            ctx = CommandContext(cmd=cmd, qid=qid)
+            if info.is_inline:
+                try:
+                    ctx.data = fetch_inline_payload(
+                        state, info, self._sq_tails[qid],
+                        self.host_memory, self.link, self.clock, self.timing)
+                    ctx.transport = "inline"
+                    self.inline_payloads += 1
+                except InlineFetchError:
+                    self.fetch_errors += 1
+                    self._complete(qid, cmd,
+                                   CommandResult(StatusCode.INVALID_FIELD))
+                    return
+
+        self._transfer_and_dispatch(qid, ctx)
+
+    # ------------------------------------------------------------------
+    # tagged (out-of-order) mode — paper §3.3.2 future work
+    # ------------------------------------------------------------------
+    def _begin_tagged(self, qid: int, cmd: NvmeCommand,
+                      payload_len: int) -> None:
+        payload_id = cmd.cdw3
+        chunks = tagged_chunk_count(payload_len)
+        try:
+            self._reassembly.expect(payload_id, payload_len)
+        except ReassemblyError:
+            self.fetch_errors += 1
+            self._complete(qid, cmd, CommandResult(StatusCode.INVALID_FIELD))
+            return
+        self._pending_chunks[qid] = self._pending_chunks.get(qid, 0) + chunks
+        self._deferred.append(_DeferredCommand(cmd, qid, payload_id))
+
+    def _fetch_tagged_chunk(self, qid: int) -> None:
+        state = self._sqs[qid]
+        if self._pending_on(qid) == 0:
+            return
+        with self.clock.span("ctrl.sq_fetch"):
+            raw = self._fetch_sqe(state)
+            self.link.record_only(
+                CAT_INLINE_CHUNK,
+                tlpmod.device_dma_read(SQE_SIZE, self.link.config))
+            self.clock.advance(self.timing.chunk_fetch_ns)
+        self._pending_chunks[qid] -= 1
+        try:
+            payload = self._reassembly.accept(raw)
+        except ReassemblyError:
+            self.fetch_errors += 1
+            return
+        if payload is None:
+            return
+        payload_id, _, _, _ = parse_tagged(raw)
+        for i, deferred in enumerate(self._deferred):
+            if deferred.payload_id == payload_id:
+                self._deferred.pop(i)
+                ctx = CommandContext(cmd=deferred.cmd, qid=deferred.qid,
+                                     data=payload, transport="inline")
+                self.inline_payloads += 1
+                self._transfer_and_dispatch(deferred.qid, ctx)
+                return
+        self.fetch_errors += 1  # pragma: no cover - chunk without command
+
+    # ------------------------------------------------------------------
+    # data movement (PRP / SGL)
+    # ------------------------------------------------------------------
+    def _read_list_page(self, addr: int) -> bytes:
+        """DMA a PRP-list page, accounted as PRP-list traffic."""
+        data = self.host_memory.read(addr, PAGE_SIZE)
+        self.link.record_only(
+            CAT_PRP_LIST, tlpmod.device_dma_read(PAGE_SIZE, self.link.config))
+        self.clock.advance(self.timing.chunk_fetch_ns)
+        return data
+
+    def _pull_prp_data(self, cmd: NvmeCommand, nbytes: int) -> bytes:
+        """Host→device data transfer over PRP (LBA-granular on the wire)."""
+        with self.clock.span("ctrl.data_transfer"):
+            self.clock.advance(self.timing.prp_dma_setup_ns)
+            segments = walk_prps(cmd.prp1, cmd.prp2, nbytes,
+                                 self._read_list_page,
+                                 fetch_granularity=self.config.lba_bytes)
+            payload = bytearray()
+            wire_bytes = 0
+            fetched = 0
+            for seg in segments:
+                payload += self.host_memory.read(seg.addr, seg.nbytes)
+                batch = tlpmod.device_dma_read(seg.fetch_bytes,
+                                               self.link.config)
+                self.link.record_only(CAT_DATA, batch)
+                wire_bytes += batch.total_bytes
+                fetched += seg.fetch_bytes
+            self.clock.advance(self.link.serialisation_ns(wire_bytes)
+                               + self.timing.host_mem_read_ns
+                               + self.timing.link_propagation_ns * 2)
+            self.clock.advance(self.timing.dram_copy_per_kb_ns
+                               * fetched / 1024.0)
+        return bytes(payload)
+
+    def _pull_sgl_data(self, cmd: NvmeCommand, nbytes: int) -> bytes:
+        """Host→device transfer over SGL (byte-granular on the wire)."""
+        with self.clock.span("ctrl.data_transfer"):
+            inline = SglDescriptor.unpack(
+                cmd.prp1.to_bytes(8, "little") + cmd.prp2.to_bytes(8, "little"))
+
+            def read_segment(addr: int, length: int) -> bytes:
+                data = self.host_memory.read(addr, length)
+                self.link.record_only(
+                    CAT_PRP_LIST,
+                    tlpmod.device_dma_read(length, self.link.config))
+                self.clock.advance(self.timing.chunk_fetch_ns)
+                return data
+
+            blocks = walk_sgl(inline, read_segment)
+            self.clock.advance(self.timing.sgl_parse_ns * len(blocks))
+            payload = bytearray()
+            wire_bytes = 0
+            for desc in blocks:
+                if desc.sgl_type == SglType.BIT_BUCKET:
+                    continue
+                payload += self.host_memory.read(desc.addr, desc.length)
+                batch = tlpmod.device_dma_read(desc.length, self.link.config)
+                self.link.record_only(CAT_DATA, batch)
+                wire_bytes += batch.total_bytes
+            self.clock.advance(self.link.serialisation_ns(wire_bytes)
+                               + self.timing.host_mem_read_ns
+                               + self.timing.link_propagation_ns * 2)
+            self.clock.advance(self.timing.dram_copy_per_kb_ns
+                               * len(payload) / 1024.0)
+        if len(payload) != nbytes:
+            raise ValueError("SGL descriptors do not cover the transfer")
+        return bytes(payload)
+
+    def _push_read_data(self, cmd: NvmeCommand, data: bytes) -> None:
+        """Device→host data return for read-style commands.
+
+        With an SGL data pointer, bit-bucket descriptors discard their
+        share of the data instead of transferring it (paper §5: "enabling
+        completion of small-data read requests without requiring data
+        return") — the read-side counterpart of write-path granularity.
+        """
+        if not data:
+            return
+        with self.clock.span("ctrl.data_transfer"):
+            if cmd.psdt != Psdt.PRP:
+                self._push_read_sgl(cmd, data)
+                return
+            self.host_memory.write(cmd.prp1, data)
+            batch = tlpmod.device_dma_write(len(data), self.link.config)
+            self.link.record_only(CAT_DATA, batch)
+            self.clock.advance(self.timing.prp_dma_setup_ns
+                               + self.link.serialisation_ns(batch.total_bytes)
+                               + self.timing.link_propagation_ns)
+
+    def _push_read_sgl(self, cmd: NvmeCommand, data: bytes) -> None:
+        """SGL read return: deliver into data blocks, discard bit buckets."""
+        inline = SglDescriptor.unpack(
+            cmd.prp1.to_bytes(8, "little") + cmd.prp2.to_bytes(8, "little"))
+
+        def read_segment(addr: int, length: int) -> bytes:
+            raw = self.host_memory.read(addr, length)
+            self.link.record_only(
+                CAT_PRP_LIST,
+                tlpmod.device_dma_read(length, self.link.config))
+            self.clock.advance(self.timing.chunk_fetch_ns)
+            return raw
+
+        blocks = walk_sgl(inline, read_segment)
+        self.clock.advance(self.timing.sgl_parse_ns * len(blocks))
+        offset = 0
+        delivered_wire = 0
+        for desc in blocks:
+            if offset >= len(data):
+                break
+            take = min(desc.length, len(data) - offset)
+            if desc.sgl_type == SglType.BIT_BUCKET:
+                offset += take  # discarded: no TLPs, no host write
+                continue
+            self.host_memory.write(desc.addr, data[offset:offset + take])
+            batch = tlpmod.device_dma_write(take, self.link.config)
+            self.link.record_only(CAT_DATA, batch)
+            delivered_wire += batch.total_bytes
+            offset += take
+        self.clock.advance(self.timing.prp_dma_setup_ns
+                           + self.link.serialisation_ns(delivered_wire)
+                           + self.timing.link_propagation_ns)
+
+    # ------------------------------------------------------------------
+    # dispatch + completion
+    # ------------------------------------------------------------------
+    def _transfer_and_dispatch(self, qid: int, ctx: CommandContext) -> None:
+        cmd = ctx.cmd
+        if qid == ADMIN_QID:
+            self._dispatch_admin(qid, ctx)
+            return
+        # Writes with a data pointer but no inline payload use PRP/SGL.
+        # Convention (matches the NVM command set): CDW12 carries the
+        # host→device data length in bytes for our vendor/passthrough
+        # commands; zero means no host→device data phase.
+        xfer_len = cmd.cdw12 if self._data_phase.get(cmd.opcode, True) else 0
+        if ctx.data is None and xfer_len:
+            try:
+                if cmd.psdt == Psdt.PRP:
+                    ctx.data = self._pull_prp_data(cmd, xfer_len)
+                    ctx.transport = "prp"
+                else:
+                    ctx.data = self._pull_sgl_data(cmd, xfer_len)
+                    ctx.transport = "sgl"
+            except (ValueError, MemoryError):
+                self.fetch_errors += 1
+                self._complete(qid, cmd,
+                               CommandResult(StatusCode.DATA_TRANSFER_ERROR))
+                return
+
+        handler = self._handlers.get(cmd.opcode)
+        if handler is None:
+            self._complete(qid, cmd, CommandResult(StatusCode.INVALID_OPCODE))
+            return
+        result = handler(ctx)
+        if result.read_data is not None and result.status == StatusCode.SUCCESS:
+            self._push_read_data(cmd, result.read_data)
+        self._complete(qid, cmd, result)
+
+    def dispatch_local(self, ctx: CommandContext) -> CommandResult:
+        """Invoke an opcode handler on an already-materialised payload.
+
+        Used by device-side layers that assemble payloads outside the
+        normal transfer path (BandSlim fragment reassembly, the MMIO byte
+        interface) and then hand off to the same firmware handlers.
+        """
+        handler = self._handlers.get(ctx.cmd.opcode)
+        if handler is None:
+            return CommandResult(StatusCode.INVALID_OPCODE)
+        return handler(ctx)
+
+    def _complete(self, qid: int, cmd: NvmeCommand,
+                  result: CommandResult) -> None:
+        if result.suppress_cqe:
+            self.commands_processed += 1
+            return
+        with self.clock.span("ctrl.completion"):
+            state = self._sqs[qid]
+            cq = self._cqs[self._sq_cq[qid]]
+            cqe = NvmeCompletion(result=result.result, sq_head=state.head,
+                                 sq_id=qid, cid=cmd.cid,
+                                 status=result.status)
+            cq.post(cqe, self.host_memory)
+            self.link.record_only(
+                CAT_CQE, tlpmod.device_dma_write(CQE_SIZE, self.link.config))
+            self.link.record_only(CAT_MSIX,
+                                  tlpmod.msix_interrupt(self.link.config))
+            self.clock.advance(self.timing.completion_post_ns)
+        self.commands_processed += 1
+
+    # ------------------------------------------------------------------
+    # admin command set
+    # ------------------------------------------------------------------
+    def _dispatch_admin(self, qid: int, ctx: CommandContext) -> None:
+        cmd = ctx.cmd
+        dispatch = {
+            AdminOpcode.IDENTIFY: self._admin_identify,
+            AdminOpcode.CREATE_CQ: self._admin_create_cq,
+            AdminOpcode.CREATE_SQ: self._admin_create_sq,
+            AdminOpcode.DELETE_SQ: self._admin_delete_sq,
+            AdminOpcode.DELETE_CQ: self._admin_delete_cq,
+        }
+        handler = dispatch.get(cmd.opcode)
+        if handler is None:
+            self._complete(qid, cmd, CommandResult(StatusCode.INVALID_OPCODE))
+            return
+        result = handler(cmd)
+        if result.read_data is not None and result.status == StatusCode.SUCCESS:
+            self._push_read_data(cmd, result.read_data)
+        self.admin_commands_processed += 1
+        self._complete(qid, cmd, result)
+
+    def _admin_identify(self, cmd: NvmeCommand) -> CommandResult:
+        cns = cmd.cdw10 & 0xFF
+        if cns != 1:  # only Identify Controller is modelled
+            return CommandResult(StatusCode.INVALID_FIELD)
+        return CommandResult(read_data=self.identify_data.pack())
+
+    def _admin_create_cq(self, cmd: NvmeCommand) -> CommandResult:
+        qid = cmd.cdw10 & 0xFFFF
+        depth = ((cmd.cdw10 >> 16) & 0xFFFF) + 1
+        if (qid == ADMIN_QID or not cmd.prp1
+                or qid > self.identify_data.num_io_queues):
+            return CommandResult(StatusCode.INVALID_FIELD)
+        try:
+            self.create_cq(qid, cmd.prp1, depth)
+        except ValueError:
+            return CommandResult(StatusCode.INVALID_FIELD)
+        return CommandResult()
+
+    def _admin_create_sq(self, cmd: NvmeCommand) -> CommandResult:
+        qid = cmd.cdw10 & 0xFFFF
+        depth = ((cmd.cdw10 >> 16) & 0xFFFF) + 1
+        cq_qid = (cmd.cdw11 >> 16) & 0xFFFF
+        if qid == ADMIN_QID or not cmd.prp1:
+            return CommandResult(StatusCode.INVALID_FIELD)
+        try:
+            self.create_sq(qid, cmd.prp1, depth, cq_qid=cq_qid)
+        except ValueError:
+            return CommandResult(StatusCode.INVALID_FIELD)
+        return CommandResult()
+
+    def _admin_delete_sq(self, cmd: NvmeCommand) -> CommandResult:
+        try:
+            self.delete_sq(cmd.cdw10 & 0xFFFF)
+        except ValueError:
+            return CommandResult(StatusCode.INVALID_FIELD)
+        return CommandResult()
+
+    def _admin_delete_cq(self, cmd: NvmeCommand) -> CommandResult:
+        try:
+            self.delete_cq(cmd.cdw10 & 0xFFFF)
+        except ValueError:
+            return CommandResult(StatusCode.INVALID_FIELD)
+        return CommandResult()

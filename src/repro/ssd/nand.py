@@ -1,0 +1,185 @@
+"""NAND flash array model.
+
+Models the Cosmos+ OpenSSD back-end: a grid of dies (channels × ways), each
+executing page program / page read / block erase operations with realistic
+latencies.  Dies operate independently, so a stream of programs issued to
+different dies pipelines; the array tracks per-die busy-until times against
+the shared simulated clock and exposes both blocking (latency-accurate) and
+pipelined (throughput-accurate) issue modes.
+
+The Figure 1(b)/5 experiments disable NAND entirely — the paper measures
+pure transfer latency — while Figure 6 (KV-SSD) runs with NAND on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.clock import SimClock
+from repro.sim.config import TimingModel
+
+
+@dataclass(frozen=True)
+class PhysicalPage:
+    """Physical page coordinates."""
+
+    channel: int
+    way: int
+    block: int
+    page: int
+
+
+@dataclass
+class NandGeometry:
+    channels: int = 8
+    ways: int = 8
+    blocks_per_die: int = 64
+    pages_per_block: int = 64
+    page_bytes: int = 16384
+
+    @property
+    def dies(self) -> int:
+        return self.channels * self.ways
+
+    @property
+    def pages_per_die(self) -> int:
+        return self.blocks_per_die * self.pages_per_block
+
+    @property
+    def total_pages(self) -> int:
+        return self.dies * self.pages_per_die
+
+    def die_index(self, channel: int, way: int) -> int:
+        if not (0 <= channel < self.channels and 0 <= way < self.ways):
+            raise ValueError(f"die ({channel},{way}) out of range")
+        return channel * self.ways + way
+
+
+class NandError(Exception):
+    """Media-level failure (program fault, read of erased page, ...)."""
+
+
+class NandArray:
+    """Functional + timed NAND array.
+
+    Data is stored per physical page so reads return exactly what was
+    programmed; the model enforces flash discipline (no overwrite without
+    erase, in-order page programming within a block).
+    """
+
+    def __init__(self, clock: SimClock, timing: TimingModel,
+                 geometry: Optional[NandGeometry] = None) -> None:
+        self.clock = clock
+        self.timing = timing
+        self.geometry = geometry or NandGeometry(
+            channels=timing.nand_channels, ways=timing.nand_ways,
+            page_bytes=timing.nand_page_bytes)
+        #: die index -> time the die becomes idle.
+        self._busy_until: List[float] = [0.0] * self.geometry.dies
+        #: (die, block) -> next programmable page index.
+        self._write_points: Dict[Tuple[int, int], int] = {}
+        #: (die, block, page) -> data.
+        self._pages: Dict[Tuple[int, int, int], bytes] = {}
+        #: Dies that fail their next program (failure injection).
+        self._inject_fail: Dict[int, int] = {}
+        self.programs = 0
+        self.reads = 0
+        self.erases = 0
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def inject_program_failures(self, die: int, count: int = 1) -> None:
+        """Make the next *count* programs on *die* fail."""
+        self._inject_fail[die] = self._inject_fail.get(die, 0) + count
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def _die(self, page: PhysicalPage) -> int:
+        return self.geometry.die_index(page.channel, page.way)
+
+    def _check_page(self, page: PhysicalPage) -> None:
+        g = self.geometry
+        if not (0 <= page.block < g.blocks_per_die
+                and 0 <= page.page < g.pages_per_block):
+            raise ValueError(f"page {page} out of range")
+
+    def program(self, page: PhysicalPage, data: bytes,
+                blocking: bool = False) -> float:
+        """Program one page; returns the operation's completion time.
+
+        In pipelined mode (default) the clock does not wait for the die;
+        the die is simply busy until the completion time, which is how the
+        value-log flusher overlaps NAND with transfers.  With
+        ``blocking=True`` the clock advances to completion (synchronous
+        flush paths).
+        """
+        self._check_page(page)
+        if len(data) > self.geometry.page_bytes:
+            raise NandError(
+                f"data ({len(data)} B) exceeds page size "
+                f"({self.geometry.page_bytes} B)")
+        die = self._die(page)
+        key = (die, page.block)
+        expected = self._write_points.get(key, 0)
+        if page.page != expected:
+            raise NandError(
+                f"out-of-order program: die {die} block {page.block} "
+                f"expects page {expected}, got {page.page}")
+        if self._inject_fail.get(die, 0) > 0:
+            self._inject_fail[die] -= 1
+            raise NandError(f"program failure injected on die {die}")
+
+        start = max(self.clock.now, self._busy_until[die])
+        end = start + self.timing.nand_page_program_ns
+        self._busy_until[die] = end
+        self._write_points[key] = expected + 1
+        self._pages[(die, page.block, page.page)] = bytes(data)
+        self.programs += 1
+        if blocking:
+            self.clock.advance_to(end)
+        return end
+
+    def read(self, page: PhysicalPage, blocking: bool = True) -> bytes:
+        """Read one programmed page."""
+        self._check_page(page)
+        die = self._die(page)
+        data = self._pages.get((die, page.block, page.page))
+        if data is None:
+            raise NandError(f"read of unwritten page {page}")
+        start = max(self.clock.now, self._busy_until[die])
+        end = start + self.timing.nand_page_read_ns
+        self._busy_until[die] = end
+        self.reads += 1
+        if blocking:
+            self.clock.advance_to(end)
+        return data
+
+    def erase(self, die: int, block: int, erase_ns: float = 3_000_000.0) -> float:
+        """Erase a block, resetting its write point."""
+        if not 0 <= die < self.geometry.dies:
+            raise ValueError(f"die {die} out of range")
+        start = max(self.clock.now, self._busy_until[die])
+        end = start + erase_ns
+        self._busy_until[die] = end
+        self._write_points[(die, block)] = 0
+        for page in range(self.geometry.pages_per_block):
+            self._pages.pop((die, block, page), None)
+        self.erases += 1
+        return end
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def busy_until(self, die: int) -> float:
+        return self._busy_until[die]
+
+    @property
+    def max_busy_until(self) -> float:
+        return max(self._busy_until)
+
+    def drain(self) -> None:
+        """Advance the clock until every die is idle."""
+        self.clock.advance_to(self.max_busy_until)

@@ -1,0 +1,82 @@
+"""Pre-wired testbeds: one call builds the full simulated rig.
+
+Each factory assembles the stack the paper's corresponding experiment ran
+on — OpenSSD model, device personality, host driver, and the transfer
+method suite — sharing one clock and one traffic counter so measurements
+are end-to-end consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.csd.pushdown import CsdPersonality
+from repro.host.driver import NvmeDriver
+from repro.kvssd.kvssd import KvSsdPersonality
+from repro.sim.config import SimConfig
+from repro.ssd.controller import MODE_QUEUE_LOCAL
+from repro.ssd.device import BlockSsdPersonality, OpenSsd
+from repro.transfer import TransferMethod, make_methods
+
+
+@dataclass
+class Testbed:
+    """A complete simulated host + SSD pair."""
+
+    ssd: OpenSsd
+    driver: NvmeDriver
+    methods: Dict[str, TransferMethod]
+    #: The active device personality (block / KV / CSD object).
+    personality: object
+
+    @property
+    def clock(self):
+        return self.ssd.clock
+
+    @property
+    def traffic(self):
+        return self.ssd.traffic
+
+    def method(self, name: str) -> TransferMethod:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise KeyError(f"unknown transfer method {name!r}; "
+                           f"have {sorted(self.methods)}")
+
+
+def make_block_testbed(config: Optional[SimConfig] = None,
+                       mode: str = MODE_QUEUE_LOCAL,
+                       include_mmio: bool = True) -> Testbed:
+    """Block-SSD rig: the Figure 1(b)/1(c)/5 microbenchmark setup."""
+    ssd = OpenSsd(config or SimConfig().nand_off(), mode=mode)
+    personality = BlockSsdPersonality(ssd)
+    driver = NvmeDriver(ssd)
+    methods = make_methods(ssd, driver, include_mmio=include_mmio)
+    return Testbed(ssd=ssd, driver=driver, methods=methods,
+                   personality=personality)
+
+
+def make_kv_testbed(config: Optional[SimConfig] = None,
+                    memtable_entries: int = 4096,
+                    include_mmio: bool = False) -> Testbed:
+    """KV-SSD rig with NAND enabled: the Figure 6 setup."""
+    ssd = OpenSsd(config or SimConfig())
+    personality = KvSsdPersonality(ssd, memtable_entries=memtable_entries)
+    driver = NvmeDriver(ssd)
+    methods = make_methods(ssd, driver, include_mmio=include_mmio)
+    return Testbed(ssd=ssd, driver=driver, methods=methods,
+                   personality=personality)
+
+
+def make_csd_testbed(config: Optional[SimConfig] = None,
+                     execute_inline: bool = True,
+                     include_mmio: bool = False) -> Testbed:
+    """CSD rig: the Figure 7 pushdown setup."""
+    ssd = OpenSsd(config or SimConfig().nand_off())
+    personality = CsdPersonality(ssd, execute_inline=execute_inline)
+    driver = NvmeDriver(ssd)
+    methods = make_methods(ssd, driver, include_mmio=include_mmio)
+    return Testbed(ssd=ssd, driver=driver, methods=methods,
+                   personality=personality)

@@ -1,0 +1,17 @@
+"""Developer tooling: protocol-state inspection and debugging aids."""
+
+from repro.tools.inspect import (
+    describe_command,
+    dump_controller,
+    dump_queue,
+    dump_traffic,
+    opcode_name,
+)
+
+__all__ = [
+    "describe_command",
+    "dump_queue",
+    "dump_controller",
+    "dump_traffic",
+    "opcode_name",
+]

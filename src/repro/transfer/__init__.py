@@ -1,0 +1,59 @@
+"""Transfer methods: every mechanism the paper compares, one interface.
+
+Use :func:`make_methods` to build the full comparison suite over a fresh
+device + driver pair — this is what the Figure 5/6/7 benchmarks sweep.
+"""
+
+from typing import Dict, Optional
+
+from repro.host.driver import NvmeDriver
+from repro.ssd.device import OpenSsd
+from repro.transfer.bandslim import (
+    BandSlimDeviceLayer,
+    BandSlimTransfer,
+    FragmentView,
+    pack_fragment,
+    unpack_fragment,
+)
+from repro.transfer.base import AggregateStats, TransferMethod, TransferStats
+from repro.transfer.byteexpress import ByteExpressTransfer, TaggedByteExpressTransfer
+from repro.transfer.hybrid_transfer import HybridTransfer
+from repro.transfer.mmio_transfer import MmioByteInterface, MmioTransfer
+from repro.transfer.prp_transfer import PrpTransfer, SglTransfer
+
+
+def make_methods(ssd: OpenSsd, driver: NvmeDriver,
+                 include_mmio: bool = True) -> Dict[str, TransferMethod]:
+    """Build the standard method suite bound to one device/driver pair."""
+    prp = PrpTransfer(driver)
+    byteexpress = ByteExpressTransfer(driver)
+    methods: Dict[str, TransferMethod] = {
+        "prp": prp,
+        "sgl": SglTransfer(driver),
+        "byteexpress": byteexpress,
+        "bandslim": BandSlimTransfer(driver, BandSlimDeviceLayer(ssd)),
+        "hybrid": HybridTransfer(byteexpress, prp),
+    }
+    if include_mmio:
+        methods["mmio"] = MmioTransfer(ssd, MmioByteInterface(ssd))
+    return methods
+
+
+__all__ = [
+    "TransferMethod",
+    "TransferStats",
+    "AggregateStats",
+    "PrpTransfer",
+    "SglTransfer",
+    "ByteExpressTransfer",
+    "TaggedByteExpressTransfer",
+    "BandSlimTransfer",
+    "BandSlimDeviceLayer",
+    "pack_fragment",
+    "unpack_fragment",
+    "FragmentView",
+    "MmioTransfer",
+    "MmioByteInterface",
+    "HybridTransfer",
+    "make_methods",
+]

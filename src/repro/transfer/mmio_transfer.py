@@ -1,0 +1,107 @@
+"""PCIe MMIO byte-interface transfer (paper §3.1, Figure 3(b)).
+
+The 2B-SSD / ByteFS comparator: the host bypasses the NVMe command path
+entirely and stores the payload straight into a BAR-mapped device buffer
+as 64-byte write-combined cachelines, then writes a commit register with
+the length.  The device latches the lines and hands the payload to
+firmware.  Completion is observed by polling a status register — an
+uncached MMIO *read*, a full link round trip.
+
+This path is fast and stays fast beyond 1 KB (the property §4.2 concedes
+to MMIO designs), but it is the approach the paper rejects for
+compatibility reasons: it needs a new host interface layer and device
+buffer management outside NVMe.  We include it so the ablation can show
+the trade-off quantitatively.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.nvme.command import NvmeCommand
+from repro.nvme.constants import IoOpcode, StatusCode
+from repro.pcie.mmio import BYTE_WINDOW_SIZE
+from repro.pcie.traffic import CAT_DOORBELL, CAT_MMIO_DATA
+from repro.ssd.controller import CommandContext, CommandResult
+from repro.ssd.device import OpenSsd
+from repro.transfer.base import TransferMethod, TransferStats
+
+#: BAR register the host writes to commit a byte-window payload.
+MMIO_COMMIT_REG = 0x2000
+#: BAR register the host polls for completion status.
+MMIO_STATUS_REG = 0x2004
+
+_CACHELINE = 64
+
+
+class MmioByteInterface:
+    """Device half: latch window writes, dispatch to firmware handlers."""
+
+    def __init__(self, ssd: OpenSsd, target_opcode: int = IoOpcode.WRITE) -> None:
+        self.ssd = ssd
+        self.target_opcode = target_opcode
+        self.payloads = 0
+        ssd.bar.on_write(MMIO_COMMIT_REG, self._on_commit)
+
+    def _on_commit(self, length: int) -> None:
+        timing = self.ssd.config.timing
+        if length == 0 or length > BYTE_WINDOW_SIZE:
+            self.ssd.bar.write32(MMIO_STATUS_REG, StatusCode.INVALID_FIELD)
+            return
+        lines = (length + _CACHELINE - 1) // _CACHELINE
+        self.ssd.clock.advance(timing.mmio_latch_ns * lines)
+        payload = self.ssd.bar.window_read(0, length)
+        ctx = CommandContext(
+            cmd=NvmeCommand(opcode=self.target_opcode, cdw12=length),
+            qid=0, data=payload, transport="mmio")
+        result = self.ssd.controller.dispatch_local(ctx)
+        self.payloads += 1
+        # Status registers are write-once-per-op: 0 means in-progress, so
+        # publish status+1 and let the host subtract.
+        self.ssd.bar.write32(MMIO_STATUS_REG, result.status + 1)
+
+
+class MmioTransfer(TransferMethod):
+    """Host half: cacheline stores + commit + status poll."""
+
+    name = "mmio"
+
+    def __init__(self, ssd: OpenSsd, interface: MmioByteInterface) -> None:
+        self.ssd = ssd
+        self.interface = interface
+
+    def write(self, payload: bytes, opcode: int = IoOpcode.WRITE,
+              cdw10: int = 0, cdw11: int = 0, nsid: int = 1,
+              qid: Optional[int] = None) -> TransferStats:
+        if not payload:
+            raise ValueError("MMIO transfer requires a payload")
+        if len(payload) > BYTE_WINDOW_SIZE:
+            raise ValueError(
+                f"payload exceeds the {BYTE_WINDOW_SIZE} B byte window")
+        clock = self.ssd.clock
+        timing = self.ssd.config.timing
+        link = self.ssd.link
+        counter = link.counter
+        start_ns, start_bytes = clock.now, counter.total_bytes
+
+        self.interface.target_opcode = opcode
+        self.ssd.bar.write32(MMIO_STATUS_REG, 0)
+        # Write-combined cacheline stores carrying the payload.
+        for off in range(0, len(payload), _CACHELINE):
+            line = payload[off:off + _CACHELINE]
+            self.ssd.bar.window_write(off, line)
+            link.host_mmio_write(len(line), CAT_MMIO_DATA)
+            clock.advance(timing.mmio_cacheline_ns)
+        # Commit register write triggers device-side processing.
+        self.ssd.bar.write32(MMIO_COMMIT_REG, len(payload))
+        link.host_mmio_write(4, CAT_DOORBELL)
+        clock.advance(timing.doorbell_write_ns)
+        # Poll the status register: one uncached MMIO read round trip.
+        clock.advance(link.host_mmio_read(4, CAT_DOORBELL))
+        raw_status = self.ssd.bar.read32(MMIO_STATUS_REG)
+        status = (raw_status - 1) if raw_status else StatusCode.INTERNAL_ERROR
+
+        return TransferStats(method=self.name, payload_len=len(payload),
+                             latency_ns=clock.now - start_ns,
+                             pcie_bytes=counter.total_bytes - start_bytes,
+                             commands=0, status=status)

@@ -1,0 +1,54 @@
+"""Stock NVMe PRP transfer (the paper's baseline, Figure 3(a)).
+
+Host stages the payload in page-aligned memory, builds PRP entries, and the
+device pulls whole 4 KB pages — the source of the >130× traffic
+amplification for 32-byte payloads (Figure 1(c))."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.host.driver import NvmeDriver
+from repro.nvme.constants import IoOpcode
+from repro.nvme.passthrough import PassthruRequest
+from repro.transfer.base import TransferMethod, TransferStats
+
+
+class PrpTransfer(TransferMethod):
+    name = "prp"
+
+    def __init__(self, driver: NvmeDriver) -> None:
+        self.driver = driver
+
+    def write(self, payload: bytes, opcode: int = IoOpcode.WRITE,
+              cdw10: int = 0, cdw11: int = 0, nsid: int = 1,
+              qid: Optional[int] = None) -> TransferStats:
+        req = PassthruRequest(opcode=opcode, nsid=nsid, data=payload,
+                              cdw10=cdw10, cdw11=cdw11)
+        result = self.driver.passthru(req, method="prp", qid=qid)
+        return TransferStats(method=self.name, payload_len=len(payload),
+                             latency_ns=result.latency_ns,
+                             pcie_bytes=result.pcie_bytes,
+                             commands=1, status=result.status)
+
+
+class SglTransfer(TransferMethod):
+    """SGL data-block transfer (§5 discussion): byte-granular DMA, but the
+    command still carries a descriptor the controller must parse before it
+    can program the engine."""
+
+    name = "sgl"
+
+    def __init__(self, driver: NvmeDriver) -> None:
+        self.driver = driver
+
+    def write(self, payload: bytes, opcode: int = IoOpcode.WRITE,
+              cdw10: int = 0, cdw11: int = 0, nsid: int = 1,
+              qid: Optional[int] = None) -> TransferStats:
+        req = PassthruRequest(opcode=opcode, nsid=nsid, data=payload,
+                              cdw10=cdw10, cdw11=cdw11)
+        result = self.driver.passthru(req, method="sgl", qid=qid)
+        return TransferStats(method=self.name, payload_len=len(payload),
+                             latency_ns=result.latency_ns,
+                             pcie_bytes=result.pcie_bytes,
+                             commands=1, status=result.status)

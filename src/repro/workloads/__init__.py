@@ -1,0 +1,43 @@
+"""Workload generators: MixGraph, FillRandom, microbenchmark sweeps."""
+
+from repro.workloads.microbench import (
+    FIGURE1B_SIZES,
+    FIGURE1C_SIZES,
+    FIGURE5_SIZES,
+    fixed_size_payloads,
+    size_sweep,
+)
+from repro.workloads.trace import TraceRecorder, dump_trace, load_trace
+from repro.workloads.mixgraph import (
+    GPD_SCALE,
+    GPD_SHAPE,
+    KEY_SIZE,
+    FillRandomWorkload,
+    KvOp,
+    MixGraphWorkload,
+    fraction_below,
+    sample_value_sizes,
+    size_histogram,
+    value_size_heatmap,
+)
+
+__all__ = [
+    "MixGraphWorkload",
+    "FillRandomWorkload",
+    "KvOp",
+    "sample_value_sizes",
+    "fraction_below",
+    "size_histogram",
+    "value_size_heatmap",
+    "GPD_SCALE",
+    "GPD_SHAPE",
+    "KEY_SIZE",
+    "fixed_size_payloads",
+    "size_sweep",
+    "FIGURE5_SIZES",
+    "FIGURE1B_SIZES",
+    "FIGURE1C_SIZES",
+    "TraceRecorder",
+    "dump_trace",
+    "load_trace",
+]

@@ -1,0 +1,39 @@
+"""Microbenchmark payload generators (Figures 1(b), 1(c), 5).
+
+The paper's microbenchmarks issue 1 M fixed-size writes per configuration
+via NVMe passthrough, sweeping the payload size.  Payloads are random but
+deterministic per (seed, size) so all transfer methods move identical
+bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.sim.rng import make_rng, random_bytes
+
+#: Figure 5's sweep: 32 B to 16 KB in powers of two.
+FIGURE5_SIZES = (32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+#: Figure 1(b)'s PRP sweep: 1 KB to 16 KB.
+FIGURE1B_SIZES = (1024, 2048, 3072, 4096, 5120, 6144, 8192, 12288, 16384)
+#: Figure 1(c)'s sub-1 KB amplification points.
+FIGURE1C_SIZES = (32, 64, 128, 256, 512, 1024)
+
+
+def fixed_size_payloads(size: int, count: int,
+                        seed: int = 0x5EED) -> Iterator[bytes]:
+    """*count* random payloads of exactly *size* bytes."""
+    if size <= 0:
+        raise ValueError("payload size must be positive")
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = make_rng(seed, f"microbench.{size}")
+    for _ in range(count):
+        yield random_bytes(rng, size)
+
+
+def size_sweep(sizes: Sequence[int] = FIGURE5_SIZES, count: int = 100,
+               seed: int = 0x5EED):
+    """Yield (size, payload iterator) pairs for a sweep."""
+    for size in sizes:
+        yield size, fixed_size_payloads(size, count, seed)

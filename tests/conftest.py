@@ -1,0 +1,40 @@
+"""Shared fixtures: pre-wired testbeds and common payloads."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.testbed import make_block_testbed, make_csd_testbed, make_kv_testbed
+
+
+@pytest.fixture
+def block_tb():
+    """Block-SSD rig, NAND off (the microbenchmark configuration)."""
+    return make_block_testbed()
+
+
+@pytest.fixture
+def block_tb_nand():
+    """Block-SSD rig with NAND + FTL in the write path."""
+    return make_block_testbed(config=SimConfig())
+
+
+@pytest.fixture
+def kv_tb():
+    """KV-SSD rig, NAND on, small memtable so LSM machinery exercises."""
+    return make_kv_testbed(memtable_entries=64)
+
+
+@pytest.fixture
+def csd_tb():
+    """CSD rig with inline filter execution."""
+    return make_csd_testbed()
+
+
+@pytest.fixture
+def payload64():
+    return bytes(range(64))
+
+
+@pytest.fixture
+def payload100():
+    return bytes(i % 251 for i in range(100))

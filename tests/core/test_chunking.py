@@ -1,0 +1,61 @@
+"""Chunking: split/join identity, padding, counting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.chunking import CHUNK_SIZE, chunk_count, join_chunks, split_payload
+
+
+class TestChunkCount:
+    @pytest.mark.parametrize("nbytes,expected", [
+        (0, 0), (1, 1), (63, 1), (64, 1), (65, 2), (128, 2), (129, 3),
+        (4096, 64),
+    ])
+    def test_values(self, nbytes, expected):
+        assert chunk_count(nbytes) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            chunk_count(-1)
+
+
+class TestSplit:
+    def test_empty(self):
+        assert split_payload(b"") == []
+
+    def test_all_chunks_are_64_bytes(self):
+        for n in (1, 64, 65, 200):
+            assert all(len(c) == CHUNK_SIZE for c in split_payload(b"x" * n))
+
+    def test_padding_is_zeros(self):
+        chunks = split_payload(b"\xff" * 10)
+        assert chunks[0] == b"\xff" * 10 + b"\x00" * 54
+
+
+class TestJoin:
+    def test_join_validates_count(self):
+        with pytest.raises(ValueError):
+            join_chunks([b"\x00" * 64], 65)
+        with pytest.raises(ValueError):
+            join_chunks([b"\x00" * 64, b"\x00" * 64], 64)
+
+    def test_join_validates_chunk_size(self):
+        with pytest.raises(ValueError):
+            join_chunks([b"short"], 5)
+
+
+@given(st.binary(min_size=1, max_size=2048))
+def test_roundtrip_property(payload):
+    """split → join is the identity for every payload."""
+    chunks = split_payload(payload)
+    assert len(chunks) == chunk_count(len(payload))
+    assert join_chunks(chunks, len(payload)) == payload
+
+
+@given(st.binary(min_size=1, max_size=2048))
+def test_split_is_prefix_preserving(payload):
+    """Concatenated chunks start with the payload, then zero padding."""
+    joined = b"".join(split_payload(payload))
+    assert joined[:len(payload)] == payload
+    assert set(joined[len(payload):]) <= {0}

@@ -1,0 +1,64 @@
+"""ByteExpress command marking and device-side inspection."""
+
+import pytest
+
+from repro.core.inline_command import (
+    MAX_INLINE_BYTES,
+    InlineEncodingError,
+    inspect_command,
+    make_inline_command,
+)
+from repro.nvme.command import NvmeCommand
+
+
+def test_marks_reserved_field():
+    cmd = make_inline_command(NvmeCommand(opcode=0x01), 100)
+    assert cmd.cdw2 == 100
+    assert cmd.is_byteexpress
+
+
+def test_preserves_other_fields():
+    cmd = NvmeCommand(opcode=0x01, cid=9, cdw10=5, prp1=0x1234)
+    make_inline_command(cmd, 64)
+    assert (cmd.opcode, cmd.cid, cmd.cdw10, cmd.prp1) == (0x01, 9, 5, 0x1234)
+
+
+def test_rejects_empty_payload():
+    with pytest.raises(InlineEncodingError):
+        make_inline_command(NvmeCommand(), 0)
+
+
+def test_rejects_oversized_payload():
+    with pytest.raises(InlineEncodingError):
+        make_inline_command(NvmeCommand(), MAX_INLINE_BYTES + 1)
+
+
+def test_rejects_cdw2_collision():
+    cmd = NvmeCommand(cdw2=5)
+    with pytest.raises(InlineEncodingError):
+        make_inline_command(cmd, 64)
+
+
+class TestInspect:
+    def test_plain_command(self):
+        info = inspect_command(NvmeCommand(opcode=0x01))
+        assert not info.is_inline
+        assert info.chunks == 0
+
+    def test_inline_command(self):
+        cmd = make_inline_command(NvmeCommand(), 130)
+        info = inspect_command(cmd)
+        assert info.is_inline
+        assert info.payload_len == 130
+        assert info.chunks == 3
+
+    def test_malformed_length_rejected(self):
+        cmd = NvmeCommand(cdw2=MAX_INLINE_BYTES + 1)
+        with pytest.raises(InlineEncodingError):
+            inspect_command(cmd)
+
+    def test_survives_wire(self):
+        cmd = make_inline_command(NvmeCommand(opcode=0x01), 65)
+        back = NvmeCommand.unpack(cmd.pack())
+        info = inspect_command(back)
+        assert info.is_inline and info.chunks == 2

@@ -1,0 +1,135 @@
+"""Tagged out-of-order reassembly (paper §3.3.2 future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reassembly import (
+    TAGGED_CAPACITY,
+    ReassemblyBuffer,
+    ReassemblyError,
+    parse_tagged,
+    split_tagged,
+    tagged_chunk_count,
+)
+
+
+class TestTaggedCodec:
+    def test_capacity_is_56(self):
+        assert TAGGED_CAPACITY == 56
+
+    def test_chunk_count(self):
+        assert tagged_chunk_count(1) == 1
+        assert tagged_chunk_count(56) == 1
+        assert tagged_chunk_count(57) == 2
+
+    def test_chunks_are_64_bytes(self):
+        assert all(len(c) == 64 for c in split_tagged(b"x" * 200, 1))
+
+    def test_parse_fields(self):
+        chunks = split_tagged(b"a" * 100, payload_id=9)
+        pid, no, total, data = parse_tagged(chunks[1])
+        assert (pid, no, total) == (9, 1, 2)
+        assert data[:44] == b"a" * 44
+
+    def test_parse_rejects_bad_sizes(self):
+        with pytest.raises(ReassemblyError):
+            parse_tagged(b"short")
+
+    def test_parse_rejects_zero_total(self):
+        raw = b"\x00" * 64
+        with pytest.raises(ReassemblyError):
+            parse_tagged(raw)
+
+    def test_id_range_checked(self):
+        with pytest.raises(ValueError):
+            split_tagged(b"x", 1 << 32)
+
+
+class TestReassemblyBuffer:
+    def test_in_order(self):
+        buf = ReassemblyBuffer()
+        payload = bytes(range(200))
+        buf.expect(1, len(payload))
+        chunks = split_tagged(payload, 1)
+        for chunk in chunks[:-1]:
+            assert buf.accept(chunk) is None
+        assert buf.accept(chunks[-1]) == payload
+        assert buf.in_flight == 0
+
+    def test_reverse_order(self):
+        buf = ReassemblyBuffer()
+        payload = bytes(range(255)) * 2
+        buf.expect(7, len(payload))
+        chunks = split_tagged(payload, 7)
+        out = None
+        for chunk in reversed(chunks):
+            out = buf.accept(chunk)
+        assert out == payload
+
+    def test_interleaved_payloads(self):
+        buf = ReassemblyBuffer()
+        a, b = b"A" * 150, b"B" * 150
+        buf.expect(1, 150)
+        buf.expect(2, 150)
+        ca, cb = split_tagged(a, 1), split_tagged(b, 2)
+        assert buf.accept(ca[0]) is None
+        assert buf.accept(cb[0]) is None
+        assert buf.accept(cb[1]) is None
+        assert buf.accept(ca[1]) is None
+        assert buf.accept(ca[2]) == a
+        assert buf.accept(cb[2]) == b
+
+    def test_unknown_payload_rejected(self):
+        buf = ReassemblyBuffer()
+        with pytest.raises(ReassemblyError):
+            buf.accept(split_tagged(b"x" * 10, 5)[0])
+
+    def test_duplicate_chunk_rejected(self):
+        buf = ReassemblyBuffer()
+        buf.expect(1, 100)
+        chunk = split_tagged(b"x" * 100, 1)[0]
+        buf.accept(chunk)
+        with pytest.raises(ReassemblyError):
+            buf.accept(chunk)
+
+    def test_total_mismatch_rejected(self):
+        buf = ReassemblyBuffer()
+        buf.expect(1, 100)  # expects 2 chunks
+        wrong = split_tagged(b"x" * 300, 1)  # 6 chunks
+        with pytest.raises(ReassemblyError):
+            buf.accept(wrong[0])
+
+    def test_in_flight_cap(self):
+        buf = ReassemblyBuffer(max_in_flight=1)
+        buf.expect(1, 100)
+        buf.expect(2, 100)
+        buf.accept(split_tagged(b"x" * 100, 1)[0])
+        with pytest.raises(ReassemblyError):
+            buf.accept(split_tagged(b"y" * 100, 2)[0])
+
+    def test_sram_footprint_is_small(self):
+        """The paper's argument: only id + bitmap in SRAM."""
+        buf = ReassemblyBuffer()
+        buf.expect(1, 56 * 64)  # 64 chunks
+        buf.accept(split_tagged(b"x" * (56 * 64), 1)[0])
+        assert buf.sram_bytes <= 4 + 2 + 8  # id + total + 64-bit bitmap
+
+
+@given(payload=st.binary(min_size=1, max_size=1500),
+       seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=60)
+def test_any_permutation_reassembles(payload, seed):
+    """Property: chunks in *any* order reconstruct the payload."""
+    import random
+
+    buf = ReassemblyBuffer()
+    buf.expect(3, len(payload))
+    chunks = split_tagged(payload, 3)
+    random.Random(seed).shuffle(chunks)
+    result = None
+    for chunk in chunks:
+        out = buf.accept(chunk)
+        if out is not None:
+            result = out
+    assert result == payload

@@ -1,0 +1,72 @@
+"""The Figure-4 corpus: size properties and executability."""
+
+import pytest
+
+from repro.csd.queries import CORPUS, TPCH_Q1, TPCH_Q2, by_name
+from repro.csd.sql import evaluate, parse_query
+
+
+def test_corpus_has_five_workloads():
+    assert len(CORPUS) == 5
+    assert [q.name for q in CORPUS] == ["vpic", "laghos", "asteroid",
+                                        "tpch_q1", "tpch_q2"]
+
+
+def test_scientific_full_strings_under_100_bytes():
+    """Figure 4: VPIC / Laghos / Asteroid full SQL is <100 B."""
+    for name in ("vpic", "laghos", "asteroid"):
+        assert by_name(name).full_len < 100
+
+
+def test_all_segments_under_100_bytes():
+    """Figure 4: every table+predicate segment is <100 B."""
+    for query in CORPUS:
+        assert query.segment_len < 100
+
+
+def test_segments_smaller_than_full_strings():
+    for query in CORPUS:
+        assert query.segment_len < query.full_len
+
+
+def test_tpch_full_strings_are_larger():
+    assert TPCH_Q1.full_len > 100
+
+
+def test_q1_filters_lineitem_q2_filters_region():
+    assert parse_query(TPCH_Q1.full_sql).table == "lineitem"
+    assert parse_query(TPCH_Q2.full_sql).table == "region"
+
+
+def test_everything_under_4kb():
+    """Figure 7(a): both message forms are well under 4 KB."""
+    for query in CORPUS:
+        assert query.full_len < 4096
+
+
+@pytest.mark.parametrize("query", CORPUS, ids=lambda q: q.name)
+def test_queries_parse_and_filter(query):
+    """Each corpus query runs against its own synthetic rows and matches
+    a reference evaluation."""
+    rows = query.make_rows(100, seed=1)
+    for row in rows:
+        query.schema.validate_row(row)
+    parsed = parse_query(query.full_sql)
+    names = [c.name for c in query.schema.columns]
+    matches = [r for r in rows
+               if parsed.where is None
+               or evaluate(parsed.where, dict(zip(names, r)))]
+    # Predicates must be non-degenerate: match some but not everything
+    # (region is a 5-row dimension table; one match is expected).
+    assert 0 < len(matches) < len(rows) or query.name == "tpch_q2"
+
+
+def test_rows_deterministic_per_seed():
+    q = by_name("vpic")
+    assert q.make_rows(10, 3) == q.make_rows(10, 3)
+    assert q.make_rows(10, 3) != q.make_rows(10, 4)
+
+
+def test_by_name_unknown():
+    with pytest.raises(KeyError):
+        by_name("nope")

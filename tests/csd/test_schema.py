@@ -1,0 +1,72 @@
+"""Table schemas and row codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.csd.schema import Column, ColumnType, TableSchema
+
+I64, F64, S = ColumnType.INT64, ColumnType.FLOAT64, ColumnType.STR
+
+
+def _schema():
+    return TableSchema("t", (Column("a", I64), Column("b", F64),
+                             Column("c", S)))
+
+
+def test_row_roundtrip():
+    schema = _schema()
+    rows = [(1, 2.5, "hello"), (-7, 0.0, ""), (2**40, -1.5, "x" * 100)]
+    raw = b"".join(schema.pack_row(r) for r in rows)
+    back = schema.unpack_rows(raw)
+    assert back == rows
+
+
+def test_row_validation():
+    schema = _schema()
+    with pytest.raises(ValueError):
+        schema.pack_row((1, 2.0))  # wrong arity
+    with pytest.raises(TypeError):
+        schema.pack_row(("x", 2.0, "s"))  # wrong type
+    with pytest.raises(TypeError):
+        schema.pack_row((1, 2.0, 5))
+
+
+def test_int_accepted_for_float_column():
+    schema = _schema()
+    row = schema.unpack_rows(schema.pack_row((1, 3, "s")))[0]
+    assert row[1] == 3.0
+
+
+def test_schema_codec_roundtrip():
+    schema = _schema()
+    assert TableSchema.unpack(schema.pack()) == schema
+
+
+def test_schema_validation():
+    with pytest.raises(ValueError):
+        TableSchema("t", ())
+    with pytest.raises(ValueError):
+        TableSchema("t", (Column("a", I64), Column("a", F64)))
+    with pytest.raises(ValueError):
+        Column("bad name!", I64)
+
+
+def test_column_lookup():
+    schema = _schema()
+    assert schema.column_index("b") == 1
+    assert schema.has_column("c")
+    assert not schema.has_column("z")
+    with pytest.raises(KeyError):
+        schema.column_index("zzz")
+
+
+@given(st.lists(st.tuples(st.integers(-(2**62), 2**62),
+                          st.floats(allow_nan=False, allow_infinity=False,
+                                    width=64),
+                          st.text(max_size=50)),
+                min_size=0, max_size=20))
+def test_rows_roundtrip_property(rows):
+    schema = _schema()
+    raw = b"".join(schema.pack_row(r) for r in rows)
+    assert schema.unpack_rows(raw) == rows

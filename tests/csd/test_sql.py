@@ -1,0 +1,157 @@
+"""SQL parser and evaluator."""
+
+import pytest
+
+from repro.csd.sql import (
+    And,
+    Comparison,
+    ColumnRef,
+    Literal,
+    Not,
+    Or,
+    SqlError,
+    evaluate,
+    extract_segment,
+    parse_predicate,
+    parse_query,
+    predicate_columns,
+)
+
+
+class TestPredicateParsing:
+    def test_simple_comparison(self):
+        expr = parse_predicate("energy > 1.5")
+        assert expr == Comparison(">", ColumnRef("energy"), Literal(1.5))
+
+    def test_all_operators(self):
+        for op in ("=", "<", "<=", ">", ">="):
+            expr = parse_predicate(f"a {op} 1")
+            assert expr.op == op
+        assert parse_predicate("a != 1").op == "!="
+        assert parse_predicate("a <> 1").op == "!="
+
+    def test_and_or_precedence(self):
+        expr = parse_predicate("a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter: a=1 OR (b=2 AND c=3)
+        assert isinstance(expr, Or)
+        assert isinstance(expr.right, And)
+
+    def test_parentheses(self):
+        expr = parse_predicate("(a = 1 OR b = 2) AND c = 3")
+        assert isinstance(expr, And)
+        assert isinstance(expr.left, Or)
+
+    def test_not(self):
+        expr = parse_predicate("NOT a = 1")
+        assert isinstance(expr, Not)
+
+    def test_string_literal_with_escape(self):
+        expr = parse_predicate("name = 'O''Brien'")
+        assert expr.right == Literal("O'Brien")
+
+    def test_scientific_notation(self):
+        expr = parse_predicate("prs > 1.5e9")
+        assert expr.right == Literal(1.5e9)
+
+    def test_integer_vs_float(self):
+        assert parse_predicate("a = 5").right == Literal(5)
+        assert isinstance(parse_predicate("a = 5.0").right.value, float)
+
+    def test_date_keyword(self):
+        expr = parse_predicate("d <= DATE '1998-09-02'")
+        assert expr.right == Literal("1998-09-02")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse_predicate("a = 1 banana")
+
+    def test_bad_characters_rejected(self):
+        with pytest.raises(SqlError):
+            parse_predicate("a = #5")
+
+    def test_missing_operand(self):
+        with pytest.raises(SqlError):
+            parse_predicate("a >")
+
+
+class TestQueryParsing:
+    def test_basic(self):
+        q = parse_query("SELECT * FROM particles WHERE energy > 1.2")
+        assert q.table == "particles"
+        assert q.select_list == "*"
+        assert q.where is not None
+        assert q.where_text == "energy > 1.2"
+
+    def test_column_list(self):
+        q = parse_query("SELECT a, b, c FROM t WHERE a = 1")
+        assert q.select_list == "a, b, c"
+
+    def test_no_where(self):
+        q = parse_query("SELECT * FROM t")
+        assert q.where is None
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query("select * from t where a = 1")
+        assert q.table == "t"
+
+    def test_trailing_clauses_tolerated(self):
+        q = parse_query("SELECT a FROM t WHERE a > 1 "
+                        "ORDER BY a ASC LIMIT 10;")
+        assert q.where is not None
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlError):
+            parse_query("SELECT *")
+
+    def test_non_select_rejected(self):
+        with pytest.raises(SqlError):
+            parse_query("DELETE FROM t")
+
+
+class TestSegmentExtraction:
+    def test_with_predicate(self):
+        seg = extract_segment("SELECT * FROM particles WHERE energy > 1.2")
+        assert seg == "particles;energy > 1.2"
+
+    def test_without_predicate(self):
+        assert extract_segment("SELECT * FROM t") == "t"
+
+    def test_segment_is_smaller_than_full(self):
+        sql = ("SELECT l_returnflag, l_linestatus FROM lineitem "
+               "WHERE l_shipdate <= DATE '1998-09-02'")
+        assert len(extract_segment(sql)) < len(sql)
+
+
+class TestEvaluation:
+    ROW = {"a": 5, "b": 2.5, "name": "alice"}
+
+    def test_comparisons(self):
+        assert evaluate(parse_predicate("a > 4"), self.ROW)
+        assert not evaluate(parse_predicate("a > 5"), self.ROW)
+        assert evaluate(parse_predicate("a >= 5"), self.ROW)
+        assert evaluate(parse_predicate("name = 'alice'"), self.ROW)
+        assert evaluate(parse_predicate("name != 'bob'"), self.ROW)
+
+    def test_boolean_combinators(self):
+        assert evaluate(parse_predicate("a = 5 AND b < 3"), self.ROW)
+        assert evaluate(parse_predicate("a = 9 OR b < 3"), self.ROW)
+        assert evaluate(parse_predicate("NOT a = 9"), self.ROW)
+
+    def test_literal_on_left(self):
+        assert evaluate(parse_predicate("4 < a"), self.ROW)
+
+    def test_unknown_column(self):
+        with pytest.raises(SqlError):
+            evaluate(parse_predicate("zzz = 1"), self.ROW)
+
+    def test_type_mismatch(self):
+        with pytest.raises(SqlError):
+            evaluate(parse_predicate("name > 5"), self.ROW)
+
+    def test_int_float_comparison_ok(self):
+        assert evaluate(parse_predicate("b > 2"), self.ROW)
+
+
+def test_predicate_columns():
+    expr = parse_predicate("a > 1 AND (b = 2 OR NOT c < 3)")
+    assert sorted(predicate_columns(expr)) == ["a", "b", "c"]

@@ -1,0 +1,119 @@
+"""Property-based fuzzing of the SQL predicate parser.
+
+Strategy: generate random predicate ASTs, render them to SQL text, parse
+the text back, and check (a) structural round-trip and (b) evaluation
+equivalence on random rows.  This is the strongest guarantee a parser
+test can give without a reference implementation.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csd.sql import (
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    evaluate,
+    parse_predicate,
+)
+
+_COLUMNS = ("a", "b", "c", "energy", "l_shipdate")
+_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def _render_operand(operand):
+    if isinstance(operand, ColumnRef):
+        return operand.name
+    value = operand.value
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _render(expr) -> str:
+    if isinstance(expr, Comparison):
+        op = "<>" if expr.op == "!=" else expr.op
+        return f"{_render_operand(expr.left)} {op} {_render_operand(expr.right)}"
+    if isinstance(expr, And):
+        return f"({_render(expr.left)}) AND ({_render(expr.right)})"
+    if isinstance(expr, Or):
+        return f"({_render(expr.left)}) OR ({_render(expr.right)})"
+    if isinstance(expr, Not):
+        return f"NOT ({_render(expr.inner)})"
+    raise AssertionError(expr)
+
+
+_numbers = st.one_of(
+    st.integers(0, 10_000),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False).map(lambda f: round(f, 6)),
+)
+_strings = st.text(alphabet="abcxyz0 9'-", min_size=0, max_size=10)
+
+# Numeric comparisons: column vs number.  String comparisons: column vs
+# string.  (Mixed types raise at evaluation, by design.)
+_num_comparison = st.builds(
+    Comparison, st.sampled_from(_OPS),
+    st.sampled_from([ColumnRef(c) for c in ("a", "b", "energy")]),
+    _numbers.map(Literal))
+_str_comparison = st.builds(
+    Comparison, st.sampled_from(("=", "!=", "<", ">")),
+    st.just(ColumnRef("l_shipdate")), _strings.map(Literal))
+_comparison = st.one_of(_num_comparison, _str_comparison)
+
+_expr = st.recursive(
+    _comparison,
+    lambda children: st.one_of(
+        st.builds(And, children, children),
+        st.builds(Or, children, children),
+        st.builds(Not, children),
+    ),
+    max_leaves=12,
+)
+
+_row = st.fixed_dictionaries({
+    "a": st.integers(0, 10_000),
+    "b": st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    "energy": st.floats(min_value=0, max_value=100, allow_nan=False),
+    "l_shipdate": _strings,
+})
+
+
+@given(_expr)
+@settings(max_examples=150)
+def test_render_parse_roundtrip(expr):
+    """Rendered SQL parses back to a semantically identical AST."""
+    text = _render(expr)
+    reparsed = parse_predicate(text)
+    # Structural equality is too strict (parens vs precedence), so check
+    # the stronger practical property below instead; here just ensure the
+    # reparse is itself stable.
+    assert parse_predicate(_render(reparsed)) == reparsed
+
+
+@given(_expr, _row)
+@settings(max_examples=150)
+def test_evaluation_equivalence(expr, row):
+    """Original AST and its parse(render(...)) agree on every row."""
+    reparsed = parse_predicate(_render(expr))
+    assert evaluate(expr, row) == evaluate(reparsed, row)
+
+
+@given(_expr, _row)
+@settings(max_examples=100)
+def test_not_inverts(expr, row):
+    assert evaluate(Not(expr), row) == (not evaluate(expr, row))
+
+
+@given(_expr, _expr, _row)
+@settings(max_examples=100)
+def test_boolean_algebra_holds(p, q, row):
+    assert evaluate(And(p, q), row) == (evaluate(p, row) and evaluate(q, row))
+    assert evaluate(Or(p, q), row) == (evaluate(p, row) or evaluate(q, row))

@@ -1,0 +1,93 @@
+"""Host memory: allocation, cross-page access, free."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.host.memory import HostMemory
+from repro.sim.config import PAGE_SIZE
+
+
+def test_alloc_page_is_aligned_and_zeroed():
+    mem = HostMemory()
+    addr = mem.alloc_page()
+    assert addr % PAGE_SIZE == 0
+    assert mem.read(addr, PAGE_SIZE) == b"\x00" * PAGE_SIZE
+
+
+def test_alloc_pages_contiguous():
+    mem = HostMemory()
+    pages = mem.alloc_pages(3)
+    assert pages[1] == pages[0] + PAGE_SIZE
+    assert pages[2] == pages[1] + PAGE_SIZE
+
+
+def test_alloc_buffer_covers_bytes():
+    mem = HostMemory()
+    addr = mem.alloc_buffer(PAGE_SIZE + 1)
+    mem.write(addr, b"\xff" * (PAGE_SIZE + 1))  # must not raise
+
+
+def test_alloc_zero_byte_buffer_gets_a_page():
+    mem = HostMemory()
+    addr = mem.alloc_buffer(0)
+    assert addr % PAGE_SIZE == 0
+
+
+def test_alloc_pages_rejects_non_positive():
+    with pytest.raises(ValueError):
+        HostMemory().alloc_pages(0)
+
+
+def test_write_read_roundtrip_within_page():
+    mem = HostMemory()
+    addr = mem.alloc_page()
+    mem.write(addr + 100, b"hello")
+    assert mem.read(addr + 100, 5) == b"hello"
+
+
+def test_write_read_spanning_pages():
+    mem = HostMemory()
+    addr = mem.alloc_pages(3)[0]
+    blob = bytes(range(256)) * 20
+    mem.write(addr + PAGE_SIZE - 100, blob)
+    assert mem.read(addr + PAGE_SIZE - 100, len(blob)) == blob
+
+
+def test_unmapped_access_raises():
+    mem = HostMemory()
+    with pytest.raises(MemoryError):
+        mem.read(0xDEAD0000, 4)
+    with pytest.raises(MemoryError):
+        mem.write(0xDEAD0000, b"x")
+
+
+def test_free_page():
+    mem = HostMemory()
+    addr = mem.alloc_page()
+    mem.free_page(addr)
+    with pytest.raises(MemoryError):
+        mem.read(addr, 1)
+
+
+def test_double_free_raises():
+    mem = HostMemory()
+    addr = mem.alloc_page()
+    mem.free_page(addr)
+    with pytest.raises(MemoryError):
+        mem.free_page(addr)
+
+
+def test_free_unaligned_raises():
+    mem = HostMemory()
+    with pytest.raises(ValueError):
+        mem.free_page(mem.alloc_page() + 1)
+
+
+@given(offset=st.integers(0, PAGE_SIZE * 2), data=st.binary(min_size=1, max_size=512))
+@settings(max_examples=50)
+def test_roundtrip_property(offset, data):
+    mem = HostMemory()
+    base = mem.alloc_pages(3)[0]
+    mem.write(base + offset, data)
+    assert mem.read(base + offset, len(data)) == data

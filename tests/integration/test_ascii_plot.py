@@ -1,0 +1,51 @@
+"""ASCII chart renderer."""
+
+import pytest
+
+from repro.metrics.ascii_plot import ascii_chart
+
+
+def test_basic_render():
+    out = ascii_chart({"up": [(1, 1), (2, 2), (3, 3)]}, width=20, height=6)
+    assert "o=up" in out
+    assert out.count("\n") >= 6
+
+
+def test_title_and_label():
+    out = ascii_chart({"s": [(1, 5)]}, title="my chart", y_label="us")
+    assert out.startswith("my chart")
+    assert "[us]" in out
+
+
+def test_multiple_series_distinct_glyphs():
+    out = ascii_chart({"a": [(1, 1)], "b": [(2, 2)]})
+    assert "o=a" in out and "x=b" in out
+
+
+def test_log_axes():
+    out = ascii_chart({"s": [(32, 1), (4096, 100)]}, log_x=True, log_y=True)
+    assert "32" in out
+
+
+def test_log_rejects_non_positive():
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(0, 1)]}, log_x=True)
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(1, -1)]}, log_y=True)
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"s": []})
+
+
+def test_size_limits():
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(1, 1)]}, width=5)
+
+
+def test_flat_series_does_not_crash():
+    out = ascii_chart({"flat": [(1, 7), (2, 7), (3, 7)]})
+    assert "flat" in out

@@ -1,0 +1,59 @@
+"""CLI smoke tests (every subcommand end-to-end)."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import MixGraphWorkload, dump_trace
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "OpenSSD" in out
+    assert "ByteExpress: yes" in out
+    assert "Gen2 x8" in out
+
+
+def test_info_gen_variant(capsys):
+    assert main(["info", "--gen", "4"]) == 0
+    assert "Gen4" in capsys.readouterr().out
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "--sizes", "32,128", "--ops", "5",
+                 "--methods", "prp,byteexpress"]) == 0
+    out = capsys.readouterr().out
+    assert "prp" in out and "byteexpress" in out
+    assert "mean latency" in out  # the chart rendered
+
+
+def test_sweep_unknown_method(capsys):
+    assert main(["sweep", "--methods", "warp-drive"]) == 2
+
+
+def test_kv(capsys):
+    assert main(["kv", "--ops", "20", "--workload", "fillrandom",
+                 "--methods", "byteexpress"]) == 0
+    out = capsys.readouterr().out
+    assert "fillrandom x20" in out
+    assert "Kops/s" in out
+
+
+def test_pushdown(capsys):
+    assert main(["pushdown", "--ops", "5", "--methods", "byteexpress",
+                 "--segment"]) == 0
+    out = capsys.readouterr().out
+    assert "vpic" in out and "tpch_q2" in out
+
+
+def test_replay(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    dump_trace(MixGraphWorkload(ops=15, seed=2), trace)
+    assert main(["replay", str(trace), "--method", "byteexpress"]) == 0
+    assert "replayed 15 ops" in capsys.readouterr().out
+
+
+def test_replay_empty_trace(tmp_path, capsys):
+    trace = tmp_path / "empty.jsonl"
+    trace.write_text("")
+    assert main(["replay", str(trace)]) == 2

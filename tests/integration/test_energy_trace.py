@@ -1,0 +1,99 @@
+"""Energy model and trace record/replay tooling."""
+
+import pytest
+
+from repro.metrics import EnergyModel, measure_energy
+from repro.testbed import make_block_testbed, make_kv_testbed
+from repro.kvssd import KVStore
+from repro.workloads import (
+    KvOp,
+    MixGraphWorkload,
+    TraceRecorder,
+    dump_trace,
+    load_trace,
+)
+
+
+class TestEnergy:
+    def test_dynamic_energy_scales_with_traffic(self):
+        tb = make_block_testbed()
+        model = EnergyModel()
+        tb.traffic.reset()
+        tb.method("prp").write(b"x" * 64)
+        prp_nj = model.dynamic_nj(tb.traffic)
+        tb.traffic.reset()
+        tb.method("byteexpress").write(b"x" * 64)
+        be_nj = model.dynamic_nj(tb.traffic)
+        assert be_nj < prp_nj / 5  # traffic cut shows up as energy cut
+
+    def test_static_energy_scales_with_time(self):
+        model = EnergyModel()
+        assert model.static_nj(2000) == 2 * model.static_nj(1000)
+        with pytest.raises(ValueError):
+            model.static_nj(-1)
+
+    def test_measure_energy_report(self):
+        tb = make_block_testbed()
+        tb.traffic.reset()
+        t0 = tb.clock.now
+        for _ in range(10):
+            tb.method("byteexpress").write(b"x" * 64)
+        report = measure_energy(tb.traffic, tb.clock.now - t0, ops=10)
+        assert report.ops == 10
+        assert report.total_nj == pytest.approx(
+            report.dynamic_nj + report.static_nj)
+        assert report.nj_per_op > 0
+
+    def test_measure_energy_rejects_zero_ops(self):
+        tb = make_block_testbed()
+        with pytest.raises(ValueError):
+            measure_energy(tb.traffic, 100.0, ops=0)
+
+
+class TestTrace:
+    def test_dump_load_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        ops = list(MixGraphWorkload(ops=50, seed=4))
+        assert dump_trace(ops, path) == 50
+        back = list(load_trace(path))
+        assert [(o.op, o.key, o.value) for o in back] == \
+            [(o.op, o.key, o.value) for o in ops]
+
+    def test_valueless_ops(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        dump_trace([KvOp("put", b"k", b"v"), KvOp("get", b"k"),
+                    KvOp("delete", b"k")], path)
+        ops = list(load_trace(path))
+        assert [o.op for o in ops] == ["put", "get", "delete"]
+        assert ops[1].value == b""
+
+    def test_malformed_records_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"op": "put"}\n')
+        with pytest.raises(ValueError):
+            list(load_trace(path))
+        path.write_text('{"op": "explode", "key": "6b"}\n')
+        with pytest.raises(ValueError):
+            list(load_trace(path))
+        path.write_text('{"op": "put", "key": ""}\n')
+        with pytest.raises(ValueError):
+            list(load_trace(path))
+
+    def test_recorder_captures_and_replays(self, tmp_path):
+        tb = make_kv_testbed()
+        store = TraceRecorder(KVStore(tb.driver, tb.method("byteexpress")))
+        store.put(b"trace-key-000001", b"value-1")
+        assert store.get(b"trace-key-000001") == b"value-1"
+        store.delete(b"trace-key-000001")
+        path = tmp_path / "rec.jsonl"
+        assert store.save(path) == 3
+
+        # Replay against a fresh rig.
+        tb2 = make_kv_testbed()
+        store2 = KVStore(tb2.driver, tb2.method("prp"))
+        for op in load_trace(path):
+            if op.op == "put":
+                store2.put(op.key, op.value)
+            elif op.op == "delete":
+                store2.delete(op.key)
+        assert not store2.exists(b"trace-key-000001")

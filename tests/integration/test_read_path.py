@@ -1,0 +1,94 @@
+"""Read-path behaviour: LBA-granular returns + SGL bit-bucket reads (§5)."""
+
+import pytest
+
+from repro.nvme.command import NvmeCommand
+from repro.nvme.constants import IoOpcode
+from repro.nvme.passthrough import PassthruRequest
+from repro.sim.config import SimConfig
+from repro.testbed import make_block_testbed, make_kv_testbed
+
+
+@pytest.fixture
+def tb():
+    tb = make_block_testbed()
+    tb.method("prp").write(bytes(range(256)) * 16, cdw10=0)  # 4 KB of data
+    return tb
+
+
+def _read_traffic(tb, fn):
+    before = tb.traffic.total_bytes
+    result = fn()
+    return result, tb.traffic.total_bytes - before
+
+
+def test_block_read_returns_whole_lbas(tb):
+    """A 64 B PRP read moves a full 4 KB logical block on the wire."""
+    _, traffic = _read_traffic(
+        tb, lambda: tb.driver.passthru(
+            PassthruRequest(opcode=IoOpcode.READ, read_len=64, cdw10=0)))
+    assert traffic > 4096
+
+
+def test_block_read_data_still_correct(tb):
+    r = tb.driver.passthru(
+        PassthruRequest(opcode=IoOpcode.READ, read_len=64, cdw10=0))
+    assert r.ok and r.data == bytes(range(64))
+
+
+def test_512b_lba_shrinks_read_return():
+    tb = make_block_testbed(config=SimConfig(lba_bytes=512).nand_off())
+    tb.method("prp").write(b"r" * 4096, cdw10=0)
+    _, traffic = _read_traffic(
+        tb, lambda: tb.driver.passthru(
+            PassthruRequest(opcode=IoOpcode.READ, read_len=64, cdw10=0)))
+    assert traffic < 1500  # ~512 B + protocol, not 4 KB
+
+
+class TestBitBucketRead:
+    def test_discards_unwanted_bytes(self, tb):
+        """want=64 of a 4 KB block: bucket saves ~4 KB of return traffic."""
+        def sgl_read():
+            cmd = NvmeCommand(opcode=IoOpcode.READ, cdw10=0)
+            _, buf = tb.driver.submit_read_sgl(cmd, want=64, total=4096,
+                                               qid=1)
+            cqe = tb.driver.wait(1)
+            assert cqe.ok
+            return tb.driver.memory.read(buf, 64)
+
+        data, traffic = _read_traffic(tb, sgl_read)
+        assert data == bytes(range(64))
+        assert traffic < 1200  # vs >4 KB for the PRP read
+
+    def test_full_read_without_bucket(self, tb):
+        cmd = NvmeCommand(opcode=IoOpcode.READ, cdw10=0)
+        _, buf = tb.driver.submit_read_sgl(cmd, want=4096, total=4096, qid=1)
+        assert tb.driver.wait(1).ok
+        assert tb.driver.memory.read(buf, 4096) == bytes(range(256)) * 16
+
+    def test_validation(self, tb):
+        from repro.host.driver import DriverError
+        cmd = NvmeCommand(opcode=IoOpcode.READ)
+        with pytest.raises(DriverError):
+            tb.driver.submit_read_sgl(cmd, want=128, total=64, qid=1)
+
+    def test_build_read_sgl_validation(self):
+        from repro.host.memory import HostMemory
+        from repro.nvme.sgl import build_read_sgl
+        mem = HostMemory()
+        with pytest.raises(ValueError):
+            build_read_sgl(mem, mem.alloc_page(), 0, 100)
+        with pytest.raises(ValueError):
+            build_read_sgl(mem, mem.alloc_page(), 64, -1)
+
+
+def test_kv_retrieve_is_exact_length():
+    """The KV command set returns values exactly — no LBA rounding."""
+    from repro.kvssd import KVStore
+
+    tb = make_kv_testbed()
+    store = KVStore(tb.driver, tb.method("byteexpress"))
+    store.put(b"small-value-key1", b"v" * 40)
+    before = tb.traffic.total_bytes
+    assert store.get(b"small-value-key1") == b"v" * 40
+    assert tb.traffic.total_bytes - before < 1000

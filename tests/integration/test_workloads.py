@@ -1,0 +1,113 @@
+"""Workload generators: distribution properties, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    FIGURE5_SIZES,
+    FillRandomWorkload,
+    KEY_SIZE,
+    MixGraphWorkload,
+    fixed_size_payloads,
+    fraction_below,
+    sample_value_sizes,
+    size_histogram,
+    size_sweep,
+    value_size_heatmap,
+)
+
+
+class TestMixGraph:
+    def test_over_60_pct_under_32b(self):
+        """Figure 1(a)/6(a): the majority of MixGraph values are tiny."""
+        sizes = sample_value_sizes(200_000)
+        frac = fraction_below(sizes, 32)
+        assert 0.50 < frac < 0.70  # paper: "over 60%"
+
+    def test_has_a_tail(self):
+        sizes = sample_value_sizes(200_000)
+        assert sizes.max() > 512  # GPD tail exists
+
+    def test_sizes_positive(self):
+        assert sample_value_sizes(10_000).min() >= 1
+
+    def test_deterministic(self):
+        assert np.array_equal(sample_value_sizes(100, seed=1),
+                              sample_value_sizes(100, seed=1))
+        assert not np.array_equal(sample_value_sizes(100, seed=1),
+                                  sample_value_sizes(100, seed=2))
+
+    def test_histogram_sums_to_one(self):
+        hist = size_histogram(sample_value_sizes(50_000))
+        assert sum(frac for _, frac in hist) == pytest.approx(1.0)
+
+    def test_heatmap_renders_dense_small_size_bands(self):
+        sizes = sample_value_sizes(20_000)
+        art = value_size_heatmap(sizes, time_buckets=20)
+        lines = art.splitlines()
+        # One row per size bin + axis lines.
+        assert any("[0,16)" in line for line in lines)
+        # The sub-16 B band must be visibly denser than the >1 KB band.
+        row_small = next(l for l in lines if "[0,16)" in l)
+        row_large = next(l for l in lines if "[1024,inf)" in l)
+        assert row_small.count(" ") < row_large.count(" ")
+
+    def test_heatmap_needs_enough_ops(self):
+        with pytest.raises(ValueError):
+            value_size_heatmap(sample_value_sizes(5), time_buckets=40)
+
+    def test_workload_ops_and_keys(self):
+        ops = list(MixGraphWorkload(ops=50, seed=3))
+        assert len(ops) == 50
+        assert all(op.op == "put" for op in ops)
+        assert all(len(op.key) == KEY_SIZE for op in ops)
+
+    def test_workload_deterministic(self):
+        a = [(op.key, op.value) for op in MixGraphWorkload(ops=30, seed=4)]
+        b = [(op.key, op.value) for op in MixGraphWorkload(ops=30, seed=4)]
+        assert a == b
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            MixGraphWorkload(ops=0)
+
+
+class TestFillRandom:
+    def test_fixed_value_size(self):
+        ops = list(FillRandomWorkload(ops=20, value_size=128, seed=1))
+        assert all(len(op.value) == 128 for op in ops)
+
+    def test_values_random_not_constant(self):
+        ops = list(FillRandomWorkload(ops=5, value_size=64, seed=1))
+        assert len({op.value for op in ops}) > 1
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            FillRandomWorkload(ops=10, value_size=0)
+
+
+class TestMicrobench:
+    def test_fixed_size(self):
+        payloads = list(fixed_size_payloads(100, count=5))
+        assert len(payloads) == 5
+        assert all(len(p) == 100 for p in payloads)
+
+    def test_deterministic_per_size(self):
+        assert list(fixed_size_payloads(64, 3, seed=1)) == \
+            list(fixed_size_payloads(64, 3, seed=1))
+
+    def test_sweep_covers_sizes(self):
+        sweep = dict((size, list(it)) for size, it in
+                     size_sweep(sizes=(32, 64), count=2))
+        assert set(sweep) == {32, 64}
+        assert all(len(p) == 32 for p in sweep[32])
+
+    def test_figure5_sizes_span_paper_range(self):
+        assert FIGURE5_SIZES[0] == 32
+        assert FIGURE5_SIZES[-1] == 16384
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            list(fixed_size_payloads(0, 1))
+        with pytest.raises(ValueError):
+            list(fixed_size_payloads(10, 0))

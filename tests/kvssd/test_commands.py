@@ -1,0 +1,82 @@
+"""KV command codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kvssd.commands import (
+    MAX_INLINE_KEY,
+    KvEncodingError,
+    decode_store_payload,
+    encode_store_payload,
+    make_delete_command,
+    make_retrieve_command,
+    make_store_command,
+    pack_key_fields,
+    unpack_key_fields,
+)
+from repro.nvme.command import NvmeCommand
+from repro.nvme.constants import KvOpcode
+
+
+class TestStorePayload:
+    def test_roundtrip(self):
+        payload = encode_store_payload(b"key", b"value")
+        assert decode_store_payload(payload) == (b"key", b"value")
+
+    def test_empty_value(self):
+        assert decode_store_payload(encode_store_payload(b"k", b"")) == (b"k", b"")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(KvEncodingError):
+            encode_store_payload(b"", b"v")
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(KvEncodingError):
+            decode_store_payload(b"\x05")
+        with pytest.raises(KvEncodingError):
+            decode_store_payload(b"\x05\x00ab")  # key_len 5, only 2 bytes
+
+    @given(key=st.binary(min_size=1, max_size=64),
+           value=st.binary(min_size=0, max_size=512))
+    def test_roundtrip_property(self, key, value):
+        assert decode_store_payload(encode_store_payload(key, value)) == \
+            (key, value)
+
+
+class TestKeyFields:
+    def test_roundtrip(self):
+        cmd = NvmeCommand()
+        pack_key_fields(cmd, b"exactly16bytes!!")
+        assert unpack_key_fields(cmd) == b"exactly16bytes!!"
+
+    def test_short_key(self):
+        cmd = NvmeCommand()
+        pack_key_fields(cmd, b"k")
+        assert unpack_key_fields(cmd) == b"k"
+
+    def test_key_survives_wire(self):
+        cmd = make_retrieve_command(b"wire-key")
+        back = NvmeCommand.unpack(cmd.pack())
+        assert unpack_key_fields(back) == b"wire-key"
+
+    def test_oversized_key_rejected(self):
+        with pytest.raises(KvEncodingError):
+            pack_key_fields(NvmeCommand(), b"x" * (MAX_INLINE_KEY + 1))
+
+    def test_bad_length_field_rejected(self):
+        cmd = NvmeCommand(cdw14=17)
+        with pytest.raises(KvEncodingError):
+            unpack_key_fields(cmd)
+
+    @given(st.binary(min_size=1, max_size=MAX_INLINE_KEY))
+    def test_roundtrip_property(self, key):
+        cmd = NvmeCommand()
+        pack_key_fields(cmd, key)
+        assert unpack_key_fields(cmd) == key
+
+
+def test_command_factories_set_opcodes():
+    assert make_store_command(b"k").opcode == KvOpcode.STORE
+    assert make_retrieve_command(b"k").opcode == KvOpcode.RETRIEVE
+    assert make_delete_command(b"k").opcode == KvOpcode.DELETE

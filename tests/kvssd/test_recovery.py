@@ -1,0 +1,106 @@
+"""Crash recovery: power-loss-protected flush + log replay."""
+
+import pytest
+
+from repro.kvssd import KeyNotFoundError, KVStore
+from repro.testbed import make_kv_testbed
+from repro.workloads import MixGraphWorkload
+
+
+def _rig(memtable_entries=64):
+    tb = make_kv_testbed(memtable_entries=memtable_entries)
+    return tb, KVStore(tb.driver, tb.method("byteexpress"))
+
+
+def test_puts_survive_crash():
+    tb, store = _rig()
+    for i in range(50):
+        store.put(f"crash{i:011d}".encode(), f"value{i}".encode())
+    live = tb.personality.crash_and_recover()
+    assert live == 50
+    for i in range(50):
+        assert store.get(f"crash{i:011d}".encode()) == f"value{i}".encode()
+
+
+def test_last_writer_wins_after_crash():
+    tb, store = _rig()
+    for round_ in range(5):
+        store.put(b"versioned-key-01", f"v{round_}".encode())
+    tb.personality.crash_and_recover()
+    assert store.get(b"versioned-key-01") == b"v4"
+
+
+def test_deletes_survive_crash():
+    """Durable tombstones: a deleted key stays deleted after recovery."""
+    tb, store = _rig()
+    store.put(b"doomed-key-00001", b"value")
+    store.put(b"kept-key-0000001", b"value")
+    store.delete(b"doomed-key-00001")
+    live = tb.personality.crash_and_recover()
+    assert live == 1
+    with pytest.raises(KeyNotFoundError):
+        store.get(b"doomed-key-00001")
+    assert store.get(b"kept-key-0000001") == b"value"
+
+
+def test_delete_then_reput_survives():
+    tb, store = _rig()
+    store.put(b"phoenix-key-0001", b"old")
+    store.delete(b"phoenix-key-0001")
+    store.put(b"phoenix-key-0001", b"new")
+    tb.personality.crash_and_recover()
+    assert store.get(b"phoenix-key-0001") == b"new"
+
+
+def test_recovery_after_gc():
+    """GC relocations must not lose or resurrect data across a crash."""
+    tb, store = _rig(memtable_entries=512)
+    kv = tb.personality
+    kv.gc_threshold_bytes = kv.vlog.segment_bytes
+    for i in range(6):
+        store.put(f"stable{i:010d}".encode(), f"sv{i}".encode())
+    store.put(b"deleted-key-0001", b"x" * 1000)
+    store.delete(b"deleted-key-0001")
+    for round_ in range(30):
+        store.put(b"hot-churn-key-01", b"z" * 4000 + bytes([round_]))
+    assert kv.vlog.gc_runs > 0
+    kv.crash_and_recover()
+    for i in range(6):
+        assert store.get(f"stable{i:010d}".encode()) == f"sv{i}".encode()
+    assert store.get(b"hot-churn-key-01", max_value_len=8192)[-1] == 29
+    with pytest.raises(KeyNotFoundError):
+        store.get(b"deleted-key-0001")
+
+
+def test_store_usable_after_recovery():
+    tb, store = _rig()
+    store.put(b"pre-crash-key-01", b"before")
+    tb.personality.crash_and_recover()
+    store.put(b"post-crash-key-1", b"after")
+    assert store.get(b"pre-crash-key-01") == b"before"
+    assert store.get(b"post-crash-key-1") == b"after"
+    assert sorted(store.list_keys(b"p")) == [b"post-crash-key-1",
+                                             b"pre-crash-key-01"]
+
+
+def test_double_crash():
+    tb, store = _rig()
+    store.put(b"durable-key-0001", b"v1")
+    tb.personality.crash_and_recover()
+    store.put(b"durable-key-0002", b"v2")
+    live = tb.personality.crash_and_recover()
+    assert live == 2
+    assert store.get(b"durable-key-0001") == b"v1"
+    assert store.get(b"durable-key-0002") == b"v2"
+
+
+def test_mixgraph_workload_recovers_fully():
+    tb, store = _rig(memtable_entries=128)
+    latest = {}
+    for op in MixGraphWorkload(ops=300, seed=77, key_space=120):
+        store.put(op.key, op.value)
+        latest[op.key] = op.value
+    live = tb.personality.crash_and_recover()
+    assert live == len(latest)
+    for key, value in latest.items():
+        assert store.get(key, max_value_len=65536) == value

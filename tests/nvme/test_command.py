@@ -1,0 +1,113 @@
+"""SQE codec: layout, roundtrip, validation, ByteExpress field."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nvme.command import NvmeCommand
+from repro.nvme.constants import SQE_SIZE, Psdt
+
+
+def test_packed_size_is_64():
+    assert len(NvmeCommand().pack()) == SQE_SIZE
+
+
+def test_roundtrip_simple():
+    cmd = NvmeCommand(opcode=0x01, flags=0, cid=7, nsid=1,
+                      prp1=0x1000, prp2=0x2000, cdw10=5, cdw12=4096)
+    assert NvmeCommand.unpack(cmd.pack()) == cmd
+
+
+def test_unpack_rejects_wrong_size():
+    with pytest.raises(ValueError):
+        NvmeCommand.unpack(b"\x00" * 63)
+
+
+def test_field_width_validation():
+    with pytest.raises(ValueError):
+        NvmeCommand(opcode=256).pack()
+    with pytest.raises(ValueError):
+        NvmeCommand(cid=1 << 16).pack()
+    with pytest.raises(ValueError):
+        NvmeCommand(prp1=1 << 64).pack()
+
+
+def test_opcode_lands_in_first_byte():
+    raw = NvmeCommand(opcode=0xC0).pack()
+    assert raw[0] == 0xC0
+
+
+def test_cid_little_endian_position():
+    raw = NvmeCommand(cid=0x1234).pack()
+    assert raw[2:4] == b"\x34\x12"
+
+
+def test_psdt_default_prp():
+    assert NvmeCommand().psdt == Psdt.PRP
+
+
+def test_use_sgl_sets_psdt():
+    cmd = NvmeCommand()
+    cmd.use_sgl()
+    assert cmd.psdt == Psdt.SGL_MPTR_CONTIG
+    # survives the wire
+    assert NvmeCommand.unpack(cmd.pack()).psdt == Psdt.SGL_MPTR_CONTIG
+
+
+class TestInlineField:
+    def test_default_not_byteexpress(self):
+        assert not NvmeCommand().is_byteexpress
+        assert NvmeCommand().inline_length == 0
+
+    def test_set_inline_length(self):
+        cmd = NvmeCommand()
+        cmd.set_inline_length(100)
+        assert cmd.is_byteexpress
+        assert cmd.inline_length == 100
+        assert NvmeCommand.unpack(cmd.pack()).inline_length == 100
+
+    def test_inline_length_rejects_zero_and_negative(self):
+        cmd = NvmeCommand()
+        with pytest.raises(ValueError):
+            cmd.set_inline_length(0)
+        with pytest.raises(ValueError):
+            cmd.set_inline_length(-5)
+
+    def test_inline_length_field_width(self):
+        cmd = NvmeCommand()
+        with pytest.raises(ValueError):
+            cmd.set_inline_length(1 << 32)
+
+
+_cmd_fields = st.fixed_dictionaries({
+    "opcode": st.integers(0, 255),
+    "flags": st.integers(0, 255),
+    "cid": st.integers(0, 0xFFFF),
+    "nsid": st.integers(0, 0xFFFFFFFF),
+    "cdw2": st.integers(0, 0xFFFFFFFF),
+    "cdw3": st.integers(0, 0xFFFFFFFF),
+    "mptr": st.integers(0, (1 << 64) - 1),
+    "prp1": st.integers(0, (1 << 64) - 1),
+    "prp2": st.integers(0, (1 << 64) - 1),
+    "cdw10": st.integers(0, 0xFFFFFFFF),
+    "cdw11": st.integers(0, 0xFFFFFFFF),
+    "cdw12": st.integers(0, 0xFFFFFFFF),
+    "cdw13": st.integers(0, 0xFFFFFFFF),
+    "cdw14": st.integers(0, 0xFFFFFFFF),
+    "cdw15": st.integers(0, 0xFFFFFFFF),
+})
+
+
+@given(_cmd_fields)
+def test_roundtrip_property(fields):
+    """pack → unpack is the identity on every field combination."""
+    cmd = NvmeCommand(**fields)
+    packed = cmd.pack()
+    assert len(packed) == SQE_SIZE
+    assert NvmeCommand.unpack(packed) == cmd
+
+
+@given(st.binary(min_size=SQE_SIZE, max_size=SQE_SIZE))
+def test_unpack_pack_identity_on_raw_bytes(raw):
+    """Any 64-byte blob decodes and re-encodes byte-identically."""
+    assert NvmeCommand.unpack(raw).pack() == raw

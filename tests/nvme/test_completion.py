@@ -1,0 +1,50 @@
+"""CQE codec: layout, phase bit, status."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nvme.completion import NvmeCompletion
+from repro.nvme.constants import CQE_SIZE, StatusCode
+
+
+def test_packed_size():
+    assert len(NvmeCompletion().pack()) == CQE_SIZE
+
+
+def test_roundtrip():
+    cqe = NvmeCompletion(result=42, sq_head=10, sq_id=2, cid=99,
+                         phase=1, status=StatusCode.SUCCESS)
+    back = NvmeCompletion.unpack(cqe.pack())
+    assert back == cqe
+
+
+def test_ok_property():
+    assert NvmeCompletion(status=StatusCode.SUCCESS).ok
+    assert not NvmeCompletion(status=StatusCode.INVALID_OPCODE).ok
+
+
+def test_phase_bit_is_lowest_of_dw3_high():
+    raw = NvmeCompletion(cid=0, phase=1, status=0).pack()
+    assert raw[14] & 1 == 1
+    raw = NvmeCompletion(cid=0, phase=0, status=0).pack()
+    assert raw[14] & 1 == 0
+
+
+def test_unpack_rejects_wrong_size():
+    with pytest.raises(ValueError):
+        NvmeCompletion.unpack(b"\x00" * 15)
+
+
+def test_status_width_enforced():
+    with pytest.raises(ValueError):
+        NvmeCompletion(status=1 << 15).pack()
+
+
+@given(result=st.integers(0, 0xFFFFFFFF), sq_head=st.integers(0, 0xFFFF),
+       sq_id=st.integers(0, 0xFFFF), cid=st.integers(0, 0xFFFF),
+       phase=st.integers(0, 1), status=st.integers(0, (1 << 15) - 1))
+def test_roundtrip_property(result, sq_head, sq_id, cid, phase, status):
+    cqe = NvmeCompletion(result=result, sq_head=sq_head, sq_id=sq_id,
+                         cid=cid, phase=phase, status=status)
+    assert NvmeCompletion.unpack(cqe.pack()) == cqe

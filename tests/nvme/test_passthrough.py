@@ -1,0 +1,39 @@
+"""Passthrough request/result records."""
+
+import pytest
+
+from repro.nvme.constants import StatusCode
+from repro.nvme.passthrough import PassthruRequest, PassthruResult
+
+
+def test_write_request():
+    req = PassthruRequest(opcode=0x01, data=b"abc")
+    assert req.is_write
+    assert req.data_len == 3
+
+
+def test_read_request():
+    req = PassthruRequest(opcode=0x02, read_len=512)
+    assert not req.is_write
+    assert req.data_len == 512
+
+
+def test_dataless_request():
+    req = PassthruRequest(opcode=0x00)
+    assert not req.is_write
+    assert req.data_len == 0
+
+
+def test_cannot_be_both_read_and_write():
+    with pytest.raises(ValueError):
+        PassthruRequest(opcode=0x01, data=b"x", read_len=10)
+
+
+def test_negative_read_len():
+    with pytest.raises(ValueError):
+        PassthruRequest(opcode=0x02, read_len=-1)
+
+
+def test_result_ok():
+    assert PassthruResult(status=StatusCode.SUCCESS).ok
+    assert not PassthruResult(status=StatusCode.INTERNAL_ERROR).ok

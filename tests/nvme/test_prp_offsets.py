@@ -1,0 +1,75 @@
+"""PRP with unaligned first entries (PRP1 page offsets)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.host.memory import HostMemory
+from repro.nvme.constants import PAGE_SIZE
+from repro.nvme.prp import build_prps, page_count, walk_prps
+
+
+def _walk(mem, addr, nbytes, granularity=PAGE_SIZE):
+    m = build_prps(mem, addr, nbytes)
+    return walk_prps(m.prp1, m.prp2, nbytes,
+                     lambda a: mem.read(a, PAGE_SIZE),
+                     fetch_granularity=granularity)
+
+
+def test_offset_within_single_page():
+    mem = HostMemory()
+    base = mem.alloc_page()
+    segments = _walk(mem, base + 100, 200)
+    assert len(segments) == 1
+    assert segments[0].addr == base + 100
+    assert segments[0].nbytes == 200
+
+
+def test_offset_spilling_into_second_page():
+    mem = HostMemory()
+    base = mem.alloc_pages(2)[0]
+    segments = _walk(mem, base + PAGE_SIZE - 10, 30)
+    assert [s.nbytes for s in segments] == [10, 20]
+    assert segments[1].addr == base + PAGE_SIZE
+
+
+def test_offset_with_three_pages_uses_list():
+    mem = HostMemory()
+    base = mem.alloc_pages(3)[0]
+    m = build_prps(mem, base + 2048, 2 * PAGE_SIZE)
+    assert m.uses_list  # 2048 + 8192 spans 3 pages
+
+
+@given(offset=st.integers(0, PAGE_SIZE - 1),
+       nbytes=st.integers(1, 3 * PAGE_SIZE))
+@settings(max_examples=60, deadline=None)
+def test_offset_walk_reconstructs_payload(offset, nbytes):
+    mem = HostMemory()
+    base = mem.alloc_pages(5)[0]
+    blob = bytes((offset + i) % 256 for i in range(nbytes))
+    mem.write(base + offset, blob)
+    segments = _walk(mem, base + offset, nbytes)
+    out = b"".join(mem.read(s.addr, s.nbytes) for s in segments)
+    assert out == blob
+    assert len(segments) == page_count(base + offset, nbytes)
+
+
+@given(nbytes=st.integers(1, PAGE_SIZE),
+       granularity=st.sampled_from([512, 1024, 4096]))
+@settings(max_examples=60, deadline=None)
+def test_fetch_granularity_rounding(nbytes, granularity):
+    mem = HostMemory()
+    base = mem.alloc_page()
+    segments = _walk(mem, base, nbytes, granularity)
+    fetch = segments[0].fetch_bytes
+    assert fetch % granularity == 0 or fetch == PAGE_SIZE
+    assert fetch >= nbytes
+    assert fetch <= PAGE_SIZE
+    assert fetch - nbytes < granularity
+
+
+def test_bad_granularity_rejected():
+    mem = HostMemory()
+    base = mem.alloc_page()
+    with pytest.raises(ValueError):
+        _walk(mem, base, 100, granularity=1000)  # doesn't divide 4096

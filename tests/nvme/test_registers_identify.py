@@ -1,0 +1,60 @@
+"""Register helpers and the Identify Controller page."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nvme.identify import IDENTIFY_SIZE, IdentifyController
+from repro.nvme.registers import aqa_value, cap_value, split_aqa
+
+
+class TestRegisters:
+    def test_aqa_roundtrip(self):
+        assert split_aqa(aqa_value(64, 128)) == (64, 128)
+
+    def test_aqa_range_checked(self):
+        with pytest.raises(ValueError):
+            aqa_value(1, 64)
+        with pytest.raises(ValueError):
+            aqa_value(64, 5000)
+
+    def test_cap_encodes_mqes_zero_based(self):
+        cap = cap_value(1024)
+        assert cap & 0xFFFF == 1023
+        assert cap & (1 << 16)  # CQR
+
+    def test_cap_range(self):
+        with pytest.raises(ValueError):
+            cap_value(1)
+
+    @given(st.integers(2, 4096), st.integers(2, 4096))
+    def test_aqa_roundtrip_property(self, asq, acq):
+        assert split_aqa(aqa_value(asq, acq)) == (asq, acq)
+
+
+class TestIdentify:
+    def test_page_size(self):
+        assert len(IdentifyController().pack()) == IDENTIFY_SIZE
+
+    def test_roundtrip(self):
+        ident = IdentifyController(serial="S123", model="TestSSD",
+                                   firmware="FW9", mdts=3, num_io_queues=8,
+                                   byteexpress=False)
+        back = IdentifyController.unpack(ident.pack())
+        assert back == ident
+
+    def test_sqes_cqes_required_values(self):
+        raw = IdentifyController().pack()
+        assert raw[512] == 0x66  # 64 B SQEs
+        assert raw[513] == 0x44  # 16 B CQEs
+
+    def test_byteexpress_capability_byte(self):
+        assert IdentifyController(byteexpress=True).pack()[3072] == 1
+        assert IdentifyController(byteexpress=False).pack()[3072] == 0
+
+    def test_max_transfer(self):
+        assert IdentifyController(mdts=5).max_transfer_bytes == 128 * 1024
+
+    def test_unpack_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            IdentifyController.unpack(b"\x00" * 100)

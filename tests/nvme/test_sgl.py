@@ -1,0 +1,77 @@
+"""SGL descriptors: codec, building, walking, bit buckets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.host.memory import HostMemory
+from repro.nvme.constants import SGL_DESC_SIZE
+from repro.nvme.sgl import SglDescriptor, SglType, build_sgl, walk_sgl
+
+
+class TestDescriptorCodec:
+    def test_pack_size(self):
+        assert len(SglDescriptor.data_block(0x1000, 64).pack()) == SGL_DESC_SIZE
+
+    def test_roundtrip(self):
+        d = SglDescriptor(SglType.LAST_SEGMENT, 0x2000, 48)
+        assert SglDescriptor.unpack(d.pack()) == d
+
+    def test_bit_bucket(self):
+        d = SglDescriptor.bit_bucket(512)
+        assert d.sgl_type == SglType.BIT_BUCKET
+        assert d.addr == 0 and d.length == 512
+
+    def test_length_width(self):
+        with pytest.raises(ValueError):
+            SglDescriptor.data_block(0, 1 << 32).pack()
+
+    @given(addr=st.integers(0, (1 << 64) - 1), length=st.integers(0, (1 << 32) - 1),
+           sgl_type=st.sampled_from(list(SglType)))
+    def test_roundtrip_property(self, addr, length, sgl_type):
+        d = SglDescriptor(sgl_type, addr, length)
+        assert SglDescriptor.unpack(d.pack()) == d
+
+
+class TestBuildWalk:
+    def test_single_extent_is_inline_data_block(self):
+        mem = HostMemory()
+        addr = mem.alloc_page()
+        m = build_sgl(mem, [(addr, 100)])
+        assert m.inline.sgl_type == SglType.DATA_BLOCK
+        assert m.inline.length == 100
+        assert m.segment_pages == []
+
+    def test_multi_extent_builds_segment(self):
+        mem = HostMemory()
+        a, b = mem.alloc_pages(2)
+        m = build_sgl(mem, [(a, 10), (b, 20)])
+        assert m.inline.sgl_type == SglType.LAST_SEGMENT
+        assert len(m.segment_pages) == 1
+
+    def test_walk_single(self):
+        mem = HostMemory()
+        addr = mem.alloc_page()
+        m = build_sgl(mem, [(addr, 64)])
+        blocks = walk_sgl(m.inline, lambda a, n: mem.read(a, n))
+        assert blocks == [m.inline]
+
+    def test_walk_segment_list(self):
+        mem = HostMemory()
+        a, b = mem.alloc_pages(2)
+        m = build_sgl(mem, [(a, 10), (b, 20)])
+        blocks = walk_sgl(m.inline, lambda addr, n: mem.read(addr, n))
+        assert [(d.addr, d.length) for d in blocks] == [(a, 10), (b, 20)]
+
+    def test_empty_extents_rejected(self):
+        with pytest.raises(ValueError):
+            build_sgl(HostMemory(), [])
+
+    def test_zero_length_extent_rejected(self):
+        mem = HostMemory()
+        with pytest.raises(ValueError):
+            build_sgl(mem, [(mem.alloc_page(), 0)])
+
+    def test_walk_bit_bucket_not_walkable_alone(self):
+        with pytest.raises(ValueError):
+            walk_sgl(SglDescriptor.bit_bucket(10), lambda a, n: b"")

@@ -1,0 +1,62 @@
+"""PCIeLink timing + accounting behaviour."""
+
+import pytest
+
+from repro.pcie.link import PCIeLink
+from repro.pcie.traffic import CAT_DATA, CAT_DOORBELL, TrafficCounter
+from repro.sim.config import LinkConfig, TimingModel
+
+LINK = LinkConfig()
+TIMING = TimingModel()
+
+
+@pytest.fixture
+def link():
+    return PCIeLink(LINK, TIMING, TrafficCounter())
+
+
+def test_serialisation_time(link):
+    # Gen2 x8 = 4 bytes/ns
+    assert link.serialisation_ns(4096) == pytest.approx(1024.0)
+
+
+def test_mmio_write_records_and_times(link):
+    ns = link.host_mmio_write(4, CAT_DOORBELL)
+    assert ns == pytest.approx(36 / 4 + TIMING.link_propagation_ns)
+    assert link.counter.category(CAT_DOORBELL).total_bytes == 36
+
+
+def test_device_read_round_trip(link):
+    ns = link.device_read(64, CAT_DATA)
+    # request + host memory + completion, each with propagation
+    expected = (32 / 4 + TIMING.link_propagation_ns
+                + TIMING.host_mem_read_ns
+                + 96 / 4 + TIMING.link_propagation_ns)
+    assert ns == pytest.approx(expected)
+
+
+def test_device_write_one_way(link):
+    ns = link.device_write(16, CAT_DATA)
+    assert ns == pytest.approx(48 / 4 + TIMING.link_propagation_ns)
+
+
+def test_msix(link):
+    ns = link.msix()
+    assert ns > 0
+    assert link.counter.category("msix").total_bytes == 36
+
+
+def test_host_mmio_read_costs_round_trip(link):
+    ns = link.host_mmio_read(4, CAT_DOORBELL)
+    write_ns = link.host_mmio_write(4, CAT_DOORBELL)
+    assert ns > write_ns  # reads stall for the completion
+
+
+def test_larger_transfers_take_longer(link):
+    assert link.device_read(4096, CAT_DATA) > link.device_read(64, CAT_DATA)
+
+
+def test_faster_generation_reduces_wire_time():
+    gen2 = PCIeLink(LinkConfig(generation=2), TIMING)
+    gen4 = PCIeLink(LinkConfig(generation=4), TIMING)
+    assert gen4.serialisation_ns(4096) < gen2.serialisation_ns(4096) / 3

@@ -1,0 +1,65 @@
+"""BAR space register file and byte window."""
+
+import pytest
+
+from repro.pcie.mmio import (
+    BYTE_WINDOW_SIZE,
+    BarSpace,
+    cq_doorbell_offset,
+    sq_doorbell_offset,
+)
+
+
+def test_doorbell_offsets_follow_nvme_layout():
+    assert sq_doorbell_offset(0) == 0x1000
+    assert cq_doorbell_offset(0) == 0x1004
+    assert sq_doorbell_offset(1) == 0x1008
+    assert cq_doorbell_offset(1) == 0x100C
+
+
+def test_register_read_write():
+    bar = BarSpace()
+    bar.write32(0x1000, 7)
+    assert bar.read32(0x1000) == 7
+    assert bar.read32(0x9999) == 0  # unwritten registers read zero
+
+
+def test_register_value_range():
+    bar = BarSpace()
+    with pytest.raises(ValueError):
+        bar.write32(0x1000, 1 << 32)
+    with pytest.raises(ValueError):
+        bar.write32(0x1000, -1)
+
+
+def test_write_handler_invoked():
+    bar = BarSpace()
+    seen = []
+    bar.on_write(0x1000, seen.append)
+    bar.write32(0x1000, 5)
+    bar.write32(0x1000, 9)
+    bar.write32(0x1004, 1)  # different register, no handler
+    assert seen == [5, 9]
+
+
+def test_byte_window_roundtrip():
+    bar = BarSpace()
+    bar.window_write(128, b"hello")
+    assert bar.window_read(128, 5) == b"hello"
+
+
+def test_byte_window_bounds():
+    bar = BarSpace()
+    with pytest.raises(ValueError):
+        bar.window_write(BYTE_WINDOW_SIZE - 2, b"xyz")
+    with pytest.raises(ValueError):
+        bar.window_read(-1, 4)
+
+
+def test_drain_window_writes_preserves_order_and_clears():
+    bar = BarSpace()
+    bar.window_write(0, b"a" * 64)
+    bar.window_write(64, b"b" * 64)
+    writes = bar.drain_window_writes()
+    assert [w[0] for w in writes] == [0, 64]
+    assert bar.drain_window_writes() == []

@@ -1,0 +1,120 @@
+"""TLP sizing, segmentation, and batch direction accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pcie.tlp import (
+    Tlp,
+    device_dma_read,
+    device_dma_write,
+    host_mmio_read,
+    host_mmio_write,
+    msix_interrupt,
+    segment,
+)
+from repro.sim.config import LinkConfig
+
+LINK = LinkConfig()  # MPS 256, MRRS 512, 24 B header, 8 B DLLP
+
+
+class TestSegment:
+    def test_exact_multiple(self):
+        assert segment(1024, 256) == [256] * 4
+
+    def test_remainder(self):
+        assert segment(300, 256) == [256, 44]
+
+    def test_smaller_than_unit(self):
+        assert segment(10, 256) == [10]
+
+    def test_zero(self):
+        assert segment(0, 256) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            segment(-1, 256)
+
+    @given(st.integers(0, 1 << 20), st.sampled_from([64, 128, 256, 512]))
+    def test_conservation(self, nbytes, unit):
+        parts = segment(nbytes, unit)
+        assert sum(parts) == nbytes
+        assert all(0 < p <= unit for p in parts)
+
+
+class TestTlpSizes:
+    def test_mwr_wire_bytes(self):
+        t = Tlp.mwr(4, LINK)
+        assert t.wire_bytes == 24 + 4 + 8
+
+    def test_mwr_dw_padding(self):
+        assert Tlp.mwr(5, LINK).wire_bytes == 24 + 8 + 8
+
+    def test_mrd_has_no_payload(self):
+        t = Tlp.mrd(LINK)
+        assert t.payload_bytes == 0
+        assert t.wire_bytes == 24 + 8
+
+    def test_cpld_carries_payload(self):
+        t = Tlp.cpld(64, LINK)
+        assert t.payload_bytes == 64
+        assert t.wire_bytes == 24 + 64 + 8
+
+
+class TestProtocolActions:
+    def test_doorbell_is_one_downstream_mwr(self):
+        batch = host_mmio_write(4, LINK)
+        assert len(batch.downstream) == 1
+        assert batch.upstream == []
+        assert batch.downstream_bytes == 36
+
+    def test_cmd_fetch_64b(self):
+        batch = device_dma_read(64, LINK)
+        assert len(batch.upstream) == 1      # one MRd (64 < MRRS)
+        assert len(batch.downstream) == 1    # one CplD (64 < MPS)
+        assert batch.total_bytes == 32 + (24 + 64 + 8)
+
+    def test_4kb_page_fetch_segmentation(self):
+        batch = device_dma_read(4096, LINK)
+        assert len(batch.upstream) == 4096 // 512   # MRRS windows
+        assert len(batch.downstream) == 4096 // 256  # MPS completions
+        payload = sum(t.payload_bytes for t in batch.downstream)
+        assert payload == 4096
+
+    def test_device_write_upstream_only(self):
+        batch = device_dma_write(16, LINK)
+        assert batch.downstream == []
+        assert len(batch.upstream) == 1
+
+    def test_msix_is_4_byte_upstream_write(self):
+        batch = msix_interrupt(LINK)
+        assert batch.downstream == []
+        assert batch.upstream[0].payload_bytes == 4
+
+    def test_host_mmio_read_round_trip(self):
+        batch = host_mmio_read(4, LINK)
+        assert len(batch.downstream) == 1   # MRd toward device
+        assert len(batch.upstream) == 1     # CplD back
+        assert batch.upstream[0].payload_bytes == 4
+
+    def test_merged_batches(self):
+        a = device_dma_read(64, LINK)
+        b = device_dma_write(16, LINK)
+        m = a.merged(b)
+        assert m.total_bytes == a.total_bytes + b.total_bytes
+        assert m.tlp_count == a.tlp_count + b.tlp_count
+
+
+class TestAmplificationProperty:
+    """The root cause in Figure 1(c): 4 KB fetch for any sub-page payload."""
+
+    def test_32b_payload_via_page_fetch_is_130x(self):
+        batch = device_dma_read(4096, LINK)
+        assert batch.total_bytes / 32 > 130
+
+    @given(st.integers(1, 4096))
+    def test_page_fetch_traffic_is_size_independent(self, payload):
+        # The PRP path always fetches the whole page: same TLPs regardless.
+        batch = device_dma_read(4096, LINK)
+        assert batch.total_bytes == device_dma_read(4096, LINK).total_bytes
+        assert batch.total_bytes >= 4096

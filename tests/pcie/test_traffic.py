@@ -1,0 +1,64 @@
+"""Traffic counter accounting and conservation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pcie.tlp import device_dma_read, device_dma_write, host_mmio_write
+from repro.pcie.traffic import CAT_CMD_FETCH, CAT_DATA, CAT_DOORBELL, TrafficCounter
+from repro.sim.config import LinkConfig
+
+LINK = LinkConfig()
+
+
+def test_empty_counter():
+    tc = TrafficCounter()
+    assert tc.total_bytes == 0
+    assert tc.tlp_count == 0
+    assert tc.breakdown() == {}
+
+
+def test_record_accumulates_by_category():
+    tc = TrafficCounter()
+    tc.record(CAT_DOORBELL, host_mmio_write(4, LINK))
+    tc.record(CAT_DOORBELL, host_mmio_write(4, LINK))
+    tc.record(CAT_CMD_FETCH, device_dma_read(64, LINK))
+    assert tc.category(CAT_DOORBELL).total_bytes == 72
+    assert tc.category(CAT_DOORBELL).tlp_count == 2
+    assert set(tc.breakdown()) == {CAT_DOORBELL, CAT_CMD_FETCH}
+
+
+def test_direction_split():
+    tc = TrafficCounter()
+    tc.record(CAT_DATA, device_dma_read(64, LINK))
+    cat = tc.category(CAT_DATA)
+    assert cat.upstream_bytes == 32      # MRd
+    assert cat.downstream_bytes == 96    # CplD with 64 B
+    assert tc.downstream_bytes + tc.upstream_bytes == tc.total_bytes
+
+
+def test_snapshot_delta():
+    tc = TrafficCounter()
+    tc.record(CAT_DATA, device_dma_write(16, LINK))
+    before = tc.snapshot()
+    tc.record(CAT_DATA, device_dma_write(16, LINK))
+    assert tc.snapshot() - before == 48
+
+
+def test_reset():
+    tc = TrafficCounter()
+    tc.record(CAT_DATA, device_dma_read(64, LINK))
+    tc.reset()
+    assert tc.total_bytes == 0
+
+
+@given(st.lists(st.integers(1, 8192), min_size=1, max_size=30))
+def test_conservation_total_equals_sum_of_batches(sizes):
+    """Counter total == sum of every recorded batch's wire bytes."""
+    tc = TrafficCounter()
+    expected = 0
+    for i, n in enumerate(sizes):
+        batch = device_dma_read(n, LINK)
+        tc.record(f"cat{i % 3}", batch)
+        expected += batch.total_bytes
+    assert tc.total_bytes == expected
+    assert sum(tc.breakdown().values()) == expected

@@ -1,0 +1,38 @@
+"""Deterministic RNG helpers."""
+
+import numpy as np
+
+from repro.sim.rng import make_rng, random_bytes
+
+
+def test_same_seed_same_stream():
+    a = make_rng(1, "x").random(10)
+    b = make_rng(1, "x").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_streams_differ():
+    a = make_rng(1, "keys").random(10)
+    b = make_rng(1, "values").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = make_rng(1).random(10)
+    b = make_rng(2).random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_random_bytes_length_and_type():
+    rng = make_rng(3)
+    data = random_bytes(rng, 100)
+    assert isinstance(data, bytes)
+    assert len(data) == 100
+
+
+def test_random_bytes_zero():
+    assert random_bytes(make_rng(3), 0) == b""
+
+
+def test_random_bytes_deterministic():
+    assert random_bytes(make_rng(7, "s"), 32) == random_bytes(make_rng(7, "s"), 32)

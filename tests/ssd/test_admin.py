@@ -1,0 +1,128 @@
+"""Admin command set + controller enable handshake."""
+
+import pytest
+
+from repro.host.driver import DriverError, NvmeDriver
+from repro.nvme.command import NvmeCommand
+from repro.nvme.constants import AdminOpcode, StatusCode
+from repro.nvme.identify import IDENTIFY_SIZE, IdentifyController
+from repro.nvme.registers import (
+    CC_ENABLE,
+    CSTS_READY,
+    REG_CC,
+    REG_CSTS,
+    REG_CAP_LO,
+)
+from repro.sim.config import SimConfig
+from repro.ssd.device import BlockSsdPersonality, OpenSsd
+from repro.testbed import make_block_testbed
+
+
+def test_capabilities_published_at_construction():
+    ssd = OpenSsd(SimConfig().nand_off())
+    cap_lo = ssd.bar.read32(REG_CAP_LO)
+    assert (cap_lo & 0xFFFF) == ssd.config.sq_depth - 1  # MQES
+
+
+def test_enable_without_admin_bases_stays_not_ready():
+    ssd = OpenSsd(SimConfig().nand_off())
+    ssd.bar.write32(REG_CC, CC_ENABLE)
+    assert not ssd.bar.read32(REG_CSTS) & CSTS_READY
+    assert not ssd.controller.enabled
+
+
+def test_driver_bringup_enables_controller():
+    tb = make_block_testbed()
+    assert tb.ssd.controller.enabled
+    assert tb.ssd.bar.read32(REG_CSTS) & CSTS_READY
+
+
+def test_identify_reports_byteexpress_support():
+    tb = make_block_testbed()
+    ident = tb.driver.identify
+    assert isinstance(ident, IdentifyController)
+    assert ident.byteexpress
+    assert ident.num_io_queues >= len(tb.driver.io_qids)
+
+
+def test_disable_resets_queues():
+    tb = make_block_testbed()
+    tb.ssd.bar.write32(REG_CC, 0)  # controller reset
+    assert not tb.ssd.controller.enabled
+    assert not tb.ssd.controller.has_pending()
+    assert not tb.ssd.bar.read32(REG_CSTS) & CSTS_READY
+
+
+def test_identify_via_admin_command():
+    tb = make_block_testbed()
+    cmd = NvmeCommand(opcode=AdminOpcode.IDENTIFY, cdw10=1)
+    cqe = tb.driver._admin_command(cmd, read_len=IDENTIFY_SIZE)
+    assert cqe.ok
+    raw = tb.driver.memory.read(tb.driver._admin.scratch, IDENTIFY_SIZE)
+    assert IdentifyController.unpack(raw).byteexpress
+
+
+def test_identify_unknown_cns_rejected():
+    tb = make_block_testbed()
+    cmd = NvmeCommand(opcode=AdminOpcode.IDENTIFY, cdw10=0x99)
+    cqe = tb.driver._admin_command(cmd, read_len=IDENTIFY_SIZE)
+    assert cqe.status == StatusCode.INVALID_FIELD
+
+
+def test_unknown_admin_opcode_rejected():
+    tb = make_block_testbed()
+    cqe = tb.driver._admin_command(NvmeCommand(opcode=0x7E))
+    assert cqe.status == StatusCode.INVALID_OPCODE
+
+
+def test_create_duplicate_queue_rejected():
+    tb = make_block_testbed()
+    dup_cq = NvmeCommand(opcode=AdminOpcode.CREATE_CQ, prp1=0x100000,
+                         cdw10=1 | (63 << 16), cdw11=0b11)
+    assert tb.driver._admin_command(dup_cq).status == StatusCode.INVALID_FIELD
+
+
+def test_create_sq_requires_existing_cq():
+    tb = make_block_testbed()
+    orphan_sq = NvmeCommand(opcode=AdminOpcode.CREATE_SQ, prp1=0x100000,
+                            cdw10=9 | (63 << 16), cdw11=0b1 | (9 << 16))
+    assert tb.driver._admin_command(orphan_sq).status == \
+        StatusCode.INVALID_FIELD
+
+
+def test_delete_queue_pair_via_admin():
+    tb = make_block_testbed()
+    qid = tb.driver.io_qids[-1]
+    del_sq = NvmeCommand(opcode=AdminOpcode.DELETE_SQ, cdw10=qid)
+    assert tb.driver._admin_command(del_sq).ok
+    del_cq = NvmeCommand(opcode=AdminOpcode.DELETE_CQ, cdw10=qid)
+    assert tb.driver._admin_command(del_cq).ok
+    # Deleting again fails cleanly.
+    assert tb.driver._admin_command(
+        NvmeCommand(opcode=AdminOpcode.DELETE_SQ, cdw10=qid)).status == \
+        StatusCode.INVALID_FIELD
+
+
+def test_delete_cq_with_live_sq_rejected():
+    tb = make_block_testbed()
+    qid = tb.driver.io_qids[0]
+    del_cq = NvmeCommand(opcode=AdminOpcode.DELETE_CQ, cdw10=qid)
+    assert tb.driver._admin_command(del_cq).status == StatusCode.INVALID_FIELD
+
+
+def test_driver_respects_identify_queue_limit():
+    cfg = SimConfig(num_io_queues=64).nand_off()  # > identify's 16
+    ssd = OpenSsd(cfg)
+    BlockSsdPersonality(ssd)
+    with pytest.raises(DriverError):
+        NvmeDriver(ssd)
+
+
+def test_io_still_works_after_queue_deletion():
+    tb = make_block_testbed()
+    victim = tb.driver.io_qids[-1]
+    tb.driver._admin_command(
+        NvmeCommand(opcode=AdminOpcode.DELETE_SQ, cdw10=victim))
+    stats = tb.method("byteexpress").write(b"post-delete",
+                                           qid=tb.driver.io_qids[0])
+    assert stats.ok

@@ -1,0 +1,46 @@
+"""Completion-queue producer state: overrun detection, head tracking."""
+
+import pytest
+
+from repro.host.memory import HostMemory
+from repro.nvme.completion import NvmeCompletion
+from repro.ssd.controller import CqOverrunError, DeviceCqState
+
+
+def _cq(depth=4):
+    mem = HostMemory()
+    base = mem.alloc_buffer(depth * 16)
+    return DeviceCqState(qid=1, base_addr=base, depth=depth), mem
+
+
+def test_post_writes_cqe_with_phase():
+    cq, mem = _cq()
+    cq.post(NvmeCompletion(cid=7), mem)
+    cqe = NvmeCompletion.unpack(mem.read(cq.base_addr, 16))
+    assert cqe.cid == 7
+    assert cqe.phase == 1
+
+
+def test_phase_flips_on_wrap():
+    cq, mem = _cq(depth=2)
+    cq.post(NvmeCompletion(cid=1), mem)
+    cq.host_head = 1
+    cq.post(NvmeCompletion(cid=2), mem)   # wraps to slot 0... tail 1 -> 0
+    assert cq.phase == 0                   # flipped after wrap
+
+
+def test_overrun_detected():
+    cq, mem = _cq(depth=4)
+    for i in range(3):
+        cq.post(NvmeCompletion(cid=i), mem)
+    with pytest.raises(CqOverrunError):
+        cq.post(NvmeCompletion(cid=9), mem)
+
+
+def test_head_advance_frees_space():
+    cq, mem = _cq(depth=4)
+    for i in range(3):
+        cq.post(NvmeCompletion(cid=i), mem)
+    cq.host_head = 2  # host consumed two
+    cq.post(NvmeCompletion(cid=3), mem)  # now fits
+    assert cq.tail == 0  # wrapped

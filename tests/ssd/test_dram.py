@@ -1,0 +1,64 @@
+"""Device DRAM region allocator."""
+
+import pytest
+
+from repro.ssd.dram import DeviceDram, DramExhaustedError
+
+
+def test_carve_and_access():
+    dram = DeviceDram(4096)
+    region = dram.carve("buf", 1024)
+    region.write(10, b"hello")
+    assert region.read(10, 5) == b"hello"
+
+
+def test_capacity_enforced():
+    dram = DeviceDram(1024)
+    dram.carve("a", 1000)
+    with pytest.raises(DramExhaustedError):
+        dram.carve("b", 100)
+
+
+def test_duplicate_name_rejected():
+    dram = DeviceDram(4096)
+    dram.carve("x", 10)
+    with pytest.raises(ValueError):
+        dram.carve("x", 10)
+
+
+def test_region_bounds_checked():
+    dram = DeviceDram(4096)
+    region = dram.carve("buf", 100)
+    with pytest.raises(ValueError):
+        region.write(96, b"12345")
+    with pytest.raises(ValueError):
+        region.read(-1, 4)
+
+
+def test_regions_disjoint():
+    dram = DeviceDram(4096)
+    a = dram.carve("a", 64)
+    b = dram.carve("b", 64)
+    a.write(0, b"\xaa" * 64)
+    b.write(0, b"\xbb" * 64)
+    assert a.read(0, 64) == b"\xaa" * 64
+
+
+def test_usage_accounting():
+    dram = DeviceDram(4096)
+    dram.carve("a", 1000)
+    assert dram.used == 1000
+    assert dram.free == 3096
+
+
+def test_lookup_by_name():
+    dram = DeviceDram(4096)
+    dram.carve("mine", 16)
+    assert dram.region("mine").size == 16
+
+
+def test_invalid_sizes():
+    with pytest.raises(ValueError):
+        DeviceDram(0)
+    with pytest.raises(ValueError):
+        DeviceDram(100).carve("x", 0)

@@ -1,0 +1,26 @@
+"""Docstring examples must stay runnable."""
+
+import doctest
+
+import pytest
+
+import repro.core.chunking
+import repro.metrics.ascii_plot
+import repro.pcie.traffic
+import repro.sim.clock
+import repro.workloads.microbench
+
+MODULES = [
+    repro.sim.clock,
+    repro.core.chunking,
+    repro.pcie.traffic,
+    repro.metrics.ascii_plot,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures"
+    assert result.attempted > 0, "module has no doctests to run"

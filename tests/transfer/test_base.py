@@ -1,0 +1,49 @@
+"""TransferStats / AggregateStats accounting."""
+
+import pytest
+
+from repro.transfer.base import AggregateStats, TransferStats
+
+
+def _stat(method="prp", size=64, latency=1000.0, pcie=500, commands=1):
+    return TransferStats(method=method, payload_len=size, latency_ns=latency,
+                         pcie_bytes=pcie, commands=commands)
+
+
+def test_ok_and_amplification():
+    st = _stat(size=32, pcie=4160)
+    assert st.ok
+    assert st.amplification == pytest.approx(130.0)
+
+
+def test_zero_payload_amplification():
+    assert _stat(size=0).amplification == 0.0
+
+
+def test_aggregate_accumulates():
+    agg = AggregateStats(method="prp")
+    agg.add(_stat(latency=1000, pcie=100))
+    agg.add(_stat(latency=3000, pcie=300))
+    assert agg.ops == 2
+    assert agg.mean_latency_ns == 2000
+    assert agg.pcie_bytes == 400
+    assert agg.commands == 2
+
+
+def test_aggregate_rejects_method_mix():
+    agg = AggregateStats(method="prp")
+    with pytest.raises(ValueError):
+        agg.add(_stat(method="sgl"))
+
+
+def test_throughput_kops():
+    agg = AggregateStats(method="prp")
+    agg.add(_stat(latency=10_000))  # 10 us/op -> 100 Kops/s
+    assert agg.throughput_kops == pytest.approx(100.0)
+
+
+def test_empty_aggregate_safe():
+    agg = AggregateStats(method="prp")
+    assert agg.mean_latency_ns == 0
+    assert agg.throughput_kops == 0
+    assert agg.amplification == 0

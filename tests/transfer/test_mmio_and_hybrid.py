@@ -1,0 +1,71 @@
+"""MMIO byte-interface comparator and the hybrid policy method."""
+
+import pytest
+
+from repro.core.hybrid import HybridPolicy
+from repro.pcie.mmio import BYTE_WINDOW_SIZE
+from repro.testbed import make_block_testbed
+from repro.transfer.hybrid_transfer import HybridTransfer
+
+
+class TestMmio:
+    def test_low_latency_beyond_1kb(self):
+        """§4.2: MMIO sustains low latency even past 1 KB — the property
+        ByteExpress concedes to MMIO designs."""
+        tb = make_block_testbed()
+        mmio = tb.method("mmio").write(b"x" * 2048).latency_ns
+        byteexpress = tb.method("byteexpress").write(b"x" * 2048).latency_ns
+        assert mmio < byteexpress
+
+    def test_traffic_is_cacheline_granular(self):
+        tb = make_block_testbed()
+        t64 = tb.method("mmio").write(b"x" * 64).pcie_bytes
+        t128 = tb.method("mmio").write(b"x" * 128).pcie_bytes
+        assert t128 - t64 == 96  # one extra 64 B MWr TLP
+
+    def test_window_size_enforced(self):
+        tb = make_block_testbed()
+        with pytest.raises(ValueError):
+            tb.method("mmio").write(b"x" * (BYTE_WINDOW_SIZE + 1))
+
+    def test_payload_counter(self):
+        tb = make_block_testbed()
+        iface = tb.method("mmio").interface
+        before = iface.payloads
+        tb.method("mmio").write(b"x" * 100)
+        assert iface.payloads == before + 1
+
+
+class TestHybrid:
+    def test_routes_by_threshold(self):
+        tb = make_block_testbed()
+        hybrid = tb.method("hybrid")
+        hybrid.write(b"x" * 256)   # at threshold: inline
+        hybrid.write(b"x" * 257)   # above: PRP
+        assert hybrid.inline_ops == 1
+        assert hybrid.prp_ops == 1
+
+    def test_matches_underlying_methods(self):
+        tb = make_block_testbed()
+        small_h = tb.method("hybrid").write(b"s" * 64)
+        small_b = tb.method("byteexpress").write(b"s" * 64)
+        assert small_h.pcie_bytes == small_b.pcie_bytes
+        big_h = tb.method("hybrid").write(b"L" * 4096)
+        big_p = tb.method("prp").write(b"L" * 4096)
+        assert big_h.pcie_bytes == big_p.pcie_bytes
+
+    def test_custom_threshold(self):
+        tb = make_block_testbed()
+        hybrid = HybridTransfer(tb.method("byteexpress"), tb.method("prp"),
+                                policy=HybridPolicy(threshold=64))
+        hybrid.write(b"x" * 65)
+        assert hybrid.prp_ops == 1
+
+    def test_hybrid_never_worse_than_both(self):
+        """The hybrid tracks the better branch at every size."""
+        tb = make_block_testbed()
+        for size in (32, 128, 512, 2048, 8192):
+            h = tb.method("hybrid").write(b"x" * size).latency_ns
+            be = tb.method("byteexpress").write(b"x" * size).latency_ns
+            prp = tb.method("prp").write(b"x" * size).latency_ns
+            assert h <= max(be, prp)
