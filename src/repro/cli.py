@@ -7,6 +7,7 @@ Commands:
 * ``kv``        — KV-SSD workload run (mixgraph | fillrandom)
 * ``pushdown``  — CSD pushdown run over the Figure-4 corpus
 * ``replay``    — replay a recorded KV trace against a chosen method
+* ``faults``    — fault-injection demo: seeded faults vs driver recovery
 """
 
 from __future__ import annotations
@@ -55,6 +56,30 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _seed_int(text: str) -> int:
+    """Parse a seed in any base (accepts the 0x... spellings the docs use)."""
+    return int(text, 0)
+
+
+def _fault_plan(args):
+    """Build a FaultPlan from --faults/--fault-seed/--fault-kinds flags."""
+    from repro.faults import ALL_KINDS, FaultPlan
+
+    rate = getattr(args, "faults", 0.0) or 0.0
+    if rate <= 0.0:
+        return None
+    kinds = (args.fault_kinds.split(",")
+             if getattr(args, "fault_kinds", None) else list(ALL_KINDS))
+    for k in kinds:
+        if k not in ALL_KINDS:
+            raise SystemExit(
+                f"unknown fault kind {k!r}; pick from {sorted(ALL_KINDS)}")
+    try:
+        return FaultPlan.uniform(rate, seed=args.fault_seed, kinds=kinds)
+    except ValueError as exc:
+        raise SystemExit(f"bad fault plan: {exc}")
+
+
 def cmd_sweep(args) -> int:
     sizes = [int(s) for s in args.sizes.split(",")]
     methods = [m for m in args.methods.split(",")]
@@ -66,7 +91,8 @@ def cmd_sweep(args) -> int:
     rows = []
     latency_series = {m: [] for m in methods}
     for method in methods:
-        tb = make_block_testbed(config=_config(args), include_mmio=False)
+        tb = make_block_testbed(config=_config(args), include_mmio=False,
+                                fault_plan=_fault_plan(args))
         for size in sizes:
             agg = tb.method(method).run_workload(
                 fixed_size_payloads(size, args.ops), cdw10=0)
@@ -161,6 +187,69 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """Run seeded faults against the ByteExpress write path and report
+    how the driver's retry/backoff/breaker machinery coped."""
+    from repro.faults import ALL_KINDS, FaultPlan, fault_event
+    from repro.host.driver import CommandTimeoutError
+    from repro.metrics import format_latency_summary
+    from repro.metrics.stats import LatencyRecorder
+    from repro.nvme.constants import IoOpcode
+    from repro.nvme.passthrough import PassthruRequest
+
+    kinds = args.kinds.split(",") if args.kinds else list(ALL_KINDS)
+    for k in kinds:
+        if k not in ALL_KINDS:
+            print(f"unknown fault kind {k!r}; pick from {sorted(ALL_KINDS)}",
+                  file=sys.stderr)
+            return 2
+    try:
+        plan = FaultPlan.uniform(args.rate, seed=args.seed, kinds=kinds)
+    except ValueError as exc:
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        return 2
+    tb = make_block_testbed(config=_config(args), include_mmio=False,
+                            fault_plan=plan)
+    drv = tb.driver
+    recorder = LatencyRecorder()
+    ok = errors = timeouts = 0
+    for i in range(args.ops):
+        req = PassthruRequest(opcode=IoOpcode.WRITE,
+                              data=bytes([i & 0xFF]) * args.size,
+                              cdw10=(i * args.size) & 0xFFFFFFFF)
+        try:
+            res = drv.passthru(req, method="byteexpress")
+        except CommandTimeoutError:
+            timeouts += 1
+            continue
+        recorder.record(res.latency_ns)
+        if res.ok:
+            ok += 1
+        else:
+            errors += 1
+
+    counter = tb.traffic
+    rows = [
+        ["ops attempted", args.ops],
+        ["ok", ok],
+        ["error status", errors],
+        ["gave up (timeout)", timeouts],
+        ["driver retries", drv.retries],
+        ["driver timeouts", drv.timeouts],
+        ["inline->PRP fallbacks", drv.inline_fallbacks],
+        ["breaker trips", drv.breaker.trips],
+        ["breaker state", drv.breaker.state],
+    ]
+    for kind in kinds:
+        rows.append([f"injected {kind}",
+                     counter.event_count(fault_event(kind))])
+    print(format_table(["metric", "value"], rows,
+                       title=(f"faults rate={args.rate} seed={args.seed:#x} "
+                              f"size={args.size}B")))
+    print(f"latency: {format_latency_summary(recorder.summary())}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -182,6 +271,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", default="32,64,128,256,512,1024,4096")
     p.add_argument("--methods", default="prp,bandslim,byteexpress")
     p.add_argument("--ops", type=int, default=100)
+    p.add_argument("--faults", type=float, default=0.0, metavar="RATE",
+                   help="per-opportunity fault probability (0 disables)")
+    p.add_argument("--fault-seed", type=_seed_int, default=0xFA017)
+    p.add_argument("--fault-kinds", default="",
+                   help="comma-separated fault kinds (default: all)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("kv", help="KV-SSD workload (Figure 6)")
@@ -190,7 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--methods", default="prp,bandslim,byteexpress")
     p.add_argument("--ops", type=int, default=500)
     p.add_argument("--value-size", type=int, default=128)
-    p.add_argument("--seed", type=int, default=0x5EED)
+    p.add_argument("--seed", type=_seed_int, default=0x5EED)
     p.set_defaults(func=cmd_kv)
 
     p = sub.add_parser("pushdown", help="CSD pushdown (Figure 7)")
@@ -204,6 +298,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace", help="JSONL trace file (see repro.workloads.trace)")
     p.add_argument("--method", default="byteexpress")
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "faults", help="fault-injection demo (seeded faults vs recovery)")
+    common(p)
+    p.add_argument("--ops", type=int, default=200)
+    p.add_argument("--size", type=int, default=256,
+                   help="payload bytes per write")
+    p.add_argument("--rate", type=float, default=0.05,
+                   help="per-opportunity fault probability")
+    p.add_argument("--seed", type=_seed_int, default=0xFA017)
+    p.add_argument("--kinds", default="",
+                   help="comma-separated fault kinds (default: all)")
+    p.set_defaults(func=cmd_faults)
     return parser
 
 

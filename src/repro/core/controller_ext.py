@@ -52,6 +52,15 @@ class InlineFetchError(Exception):
     """Raised when the advertised chunk count exceeds the doorbell'd tail."""
 
 
+class ChunkCorruptionError(InlineFetchError):
+    """An inline chunk's fetch TLP failed its end-to-end CRC check.
+
+    Transient link fault, not a host protocol violation: the controller
+    completes the command with a retryable transfer-error status and the
+    driver resubmits the whole CMD+chunk sequence.
+    """
+
+
 def fetch_inline_payload(
     state: DeviceSqState,
     info: InlineInfo,
@@ -60,6 +69,7 @@ def fetch_inline_payload(
     link: PCIeLink,
     clock: SimClock,
     timing: TimingModel,
+    injector=None,
 ) -> bytes:
     """Fetch ``info.chunks`` payload entries following the command.
 
@@ -68,7 +78,14 @@ def fetch_inline_payload(
     after inserting the full sequence, so a chunk count reaching beyond
     ``shadow_tail`` indicates a malformed (or hostile) command and fails
     the command rather than stalling the queue.
+
+    *injector* (a :class:`~repro.faults.FaultInjector`) may fail any
+    chunk's DMA with a detected ``corrupt_chunk`` fault; the fetch is
+    abandoned with :class:`ChunkCorruptionError` after paying for the
+    entries already moved.
     """
+    from repro.faults.plan import CORRUPT_CHUNK
+
     available = (shadow_tail - state.head) % state.depth
     if info.chunks > available:
         raise InlineFetchError(
@@ -76,13 +93,17 @@ def fetch_inline_payload(
             f"but only {available} entries are visible past the doorbell")
 
     chunks: List[bytes] = []
-    for _ in range(info.chunks):
+    for i in range(info.chunks):
         raw = host_memory.read(state.slot_addr(state.head), CHUNK_SIZE)
-        chunks.append(raw)
         state.advance()
         # Traffic: a real 64 B DMA fetch per chunk; time: the calibrated
         # all-in per-entry cost (wire share included — do not double charge).
         link.record_only(CAT_INLINE_CHUNK,
                          tlpmod.device_dma_read(CHUNK_SIZE, link.config))
         clock.advance(timing.chunk_fetch_ns)
+        if injector is not None and injector.fire(CORRUPT_CHUNK):
+            raise ChunkCorruptionError(
+                f"SQ{state.qid}: inline chunk {i + 1}/{info.chunks} "
+                f"failed its integrity check")
+        chunks.append(raw)
     return join_chunks(chunks, info.payload_len)

@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the NVMe/PCIe stack.
+
+The paper's soundness argument rests on invariants (consecutive SQ slots,
+correct inline-length decoding) that real hardware stresses with dropped
+doorbells, corrupted TLPs, and lost completions.  This package provides a
+seeded :class:`FaultPlan` describing *which* protocol actions fail and a
+:class:`FaultInjector` the link, controller, and driver consult at each
+opportunity — so every failure scenario is reproducible from one seed.
+"""
+
+from repro.faults.plan import (
+    ALL_KINDS,
+    CORRUPT_CHUNK,
+    CORRUPT_INLINE_LENGTH,
+    CORRUPT_TLP,
+    DELAY_CQE,
+    DROP_CQE,
+    DROP_DOORBELL,
+    FaultInjector,
+    FaultPlan,
+    fault_event,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "fault_event",
+    "ALL_KINDS",
+    "DROP_DOORBELL",
+    "CORRUPT_INLINE_LENGTH",
+    "CORRUPT_CHUNK",
+    "DROP_CQE",
+    "DELAY_CQE",
+    "CORRUPT_TLP",
+]

@@ -1,0 +1,192 @@
+"""Seeded fault plans and the injector runtime.
+
+A :class:`FaultPlan` is pure configuration: per-kind probabilities,
+explicit schedules (fire on the Nth opportunity), and injection limits.
+A :class:`FaultInjector` executes a plan deterministically — each fault
+kind draws from its own seeded RNG stream (:func:`repro.sim.rng.make_rng`
+with ``stream=kind``), so adding a new fault kind or reordering unrelated
+protocol actions never perturbs another kind's decisions.
+
+Fault kinds and where the stack consults them:
+
+==========================  ==============================================
+kind                        injection point
+==========================  ==============================================
+``drop_doorbell``           :meth:`NvmeDriver._ring_sq_doorbell` — the
+                            posted MMIO write is lost; the device's tail
+                            stays stale until the driver re-rings.
+``corrupt_inline_length``   controller command fetch — the ByteExpress
+                            reserved field arrives garbled; the decode
+                            check fails the command instead of mis-fetching.
+``corrupt_chunk``           :func:`fetch_inline_payload` — one inline
+                            chunk's TLP fails its ECRC; the fetch aborts.
+``drop_cqe``                controller completion post — the CQE never
+                            reaches host memory; the host times out.
+``delay_cqe``               controller completion post — the CQE is
+                            posted ``delay_cqe_ns`` late.
+``corrupt_tlp``             PCIe DMA — link-layer LCRC catches the error;
+                            the TLP is replayed (duplicate traffic plus
+                            ``tlp_replay_ns`` latency), data stays intact.
+==========================  ==============================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.rng import make_rng
+
+DROP_DOORBELL = "drop_doorbell"
+CORRUPT_INLINE_LENGTH = "corrupt_inline_length"
+CORRUPT_CHUNK = "corrupt_chunk"
+DROP_CQE = "drop_cqe"
+DELAY_CQE = "delay_cqe"
+CORRUPT_TLP = "corrupt_tlp"
+
+ALL_KINDS: Tuple[str, ...] = (
+    DROP_DOORBELL,
+    CORRUPT_INLINE_LENGTH,
+    CORRUPT_CHUNK,
+    DROP_CQE,
+    DELAY_CQE,
+    CORRUPT_TLP,
+)
+
+
+def fault_event(kind: str) -> str:
+    """Traffic-counter event name under which an injection is recorded."""
+    return f"fault.{kind}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of which protocol actions fail.
+
+    ``rates`` gives a per-opportunity probability per kind; ``schedule``
+    names explicit 0-based opportunity indices that always fire (useful
+    for pinpoint regression tests); ``limits`` caps total injections per
+    kind.  All three compose: a scheduled index fires regardless of the
+    rate, and nothing fires past the limit.
+    """
+
+    seed: int = 0xFA017
+    rates: Mapping[str, float] = field(default_factory=dict)
+    schedule: Mapping[str, Sequence[int]] = field(default_factory=dict)
+    limits: Mapping[str, int] = field(default_factory=dict)
+    #: Extra completion latency for a delayed CQE (nanoseconds).
+    delay_cqe_ns: float = 50_000.0
+    #: Link-layer replay penalty for a corrupted-then-replayed TLP.
+    tlp_replay_ns: float = 1_000.0
+
+    def __post_init__(self) -> None:
+        for mapping in (self.rates, self.schedule, self.limits):
+            for kind in mapping:
+                if kind not in ALL_KINDS:
+                    raise ValueError(f"unknown fault kind {kind!r}; "
+                                     f"pick from {ALL_KINDS}")
+        for kind, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {kind!r} must be in [0, 1]")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.rates or self.schedule)
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0xFA017,
+                kinds: Sequence[str] = ALL_KINDS, **kw) -> "FaultPlan":
+        """Same probability for every listed kind (the CLI demo default)."""
+        return cls(seed=seed, rates={k: rate for k in kinds}, **kw)
+
+    @classmethod
+    def scheduled(cls, schedule: Mapping[str, Sequence[int]],
+                  seed: int = 0xFA017, **kw) -> "FaultPlan":
+        """Fire exactly at the named opportunity indices, nothing else."""
+        return cls(seed=seed, schedule=schedule, **kw)
+
+
+class FaultInjector:
+    """Runtime half: consulted at every fault opportunity.
+
+    With no plan (or an empty one) every query is a cheap ``False`` so
+    the fault-free hot path is unchanged.  When *counter* is given, each
+    injection is also recorded as a ``fault.<kind>`` event, making the
+    injected history part of the run's observable telemetry.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None,
+                 counter=None) -> None:
+        self.plan = plan if plan is not None and plan.active else None
+        self.counter = counter
+        self.opportunities: Counter = Counter()
+        self.injected: Counter = Counter()
+        self._rngs: Dict[str, object] = {}
+        self._schedule = {}
+        if self.plan is not None:
+            self._schedule = {k: frozenset(v)
+                              for k, v in self.plan.schedule.items()}
+
+    @property
+    def active(self) -> bool:
+        return self.plan is not None
+
+    @property
+    def delay_cqe_ns(self) -> float:
+        return self.plan.delay_cqe_ns if self.plan else 0.0
+
+    @property
+    def tlp_replay_ns(self) -> float:
+        return self.plan.tlp_replay_ns if self.plan else 0.0
+
+    def _rng(self, kind: str):
+        rng = self._rngs.get(kind)
+        if rng is None:
+            rng = make_rng(self.plan.seed, stream=f"fault.{kind}")
+            self._rngs[kind] = rng
+        return rng
+
+    def fire(self, kind: str) -> bool:
+        """Record one opportunity for *kind*; True means inject now."""
+        if self.plan is None:
+            return False
+        n = self.opportunities[kind]
+        self.opportunities[kind] = n + 1
+        limit = self.plan.limits.get(kind)
+        if limit is not None and self.injected[kind] >= limit:
+            return False
+        hit = n in self._schedule.get(kind, ())
+        rate = self.plan.rates.get(kind, 0.0)
+        if not hit and rate > 0.0:
+            # Always draw when a rate is configured so the stream stays
+            # aligned with the opportunity index, schedules or not.
+            hit = float(self._rng(kind).random()) < rate
+        if hit:
+            self.injected[kind] += 1
+            if self.counter is not None:
+                self.counter.record_event(fault_event(kind))
+        return hit
+
+    def corrupt_length(self, value: int) -> int:
+        """Deterministically garble an inline-length field.
+
+        The garbled value is forced out of the valid inline range so the
+        controller's decode check *detects* the corruption — modelling the
+        end-to-end protection a real reserved-field consumer needs (an
+        undetectable flip would be silent data corruption, which the
+        acceptance tests exist to rule out).
+        """
+        mask = int(self._rng(CORRUPT_INLINE_LENGTH).integers(1, 1 << 20))
+        from repro.core.inline_command import MAX_INLINE_BYTES
+        return ((value ^ mask) | (MAX_INLINE_BYTES + 1)) & 0xFFFFFFFF
+
+    def reset(self) -> None:
+        """Forget counters and RNG state (a fresh, identical run)."""
+        self.opportunities.clear()
+        self.injected.clear()
+        self._rngs.clear()
+
+
+#: Shared inactive injector for components constructed without one.
+NULL_INJECTOR = FaultInjector()

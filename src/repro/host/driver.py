@@ -11,6 +11,15 @@ Synchronous semantics: ``passthru`` and the lower-level submit/wait pair
 model the NVMe passthrough ioctl used by KV-SSD and CSD user libraries
 (paper §2.1) at queue depth 1, which is how the paper's microbenchmarks
 issue their 1 M operations.
+
+Error recovery: ``passthru`` runs a retry/timeout/backoff loop.  A
+command that produces no completion (lost doorbell, dropped CQE) times
+out, gets its doorbell re-rung, and is resubmitted with exponential
+backoff until the per-command deadline; completions whose DNR bit is
+clear (transient transfer faults) are retried the same way.  After
+``threshold`` consecutive inline failures a :class:`CircuitBreaker`
+downgrades ByteExpress submissions to the PRP baseline until a probe
+succeeds — fault-tolerant, merely slower.
 """
 
 from __future__ import annotations
@@ -19,6 +28,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.driver_ext import submit_plain, submit_with_inline_payload
+from repro.faults.plan import DROP_DOORBELL
+from repro.host.breaker import CircuitBreaker
+from repro.pcie.traffic import (
+    EVT_BREAKER_TRIP,
+    EVT_INLINE_FALLBACK,
+    EVT_RETRY,
+    EVT_TIMEOUT,
+)
 from repro.nvme.command import NvmeCommand
 from repro.nvme.completion import NvmeCompletion
 from repro.nvme.constants import PAGE_SIZE, AdminOpcode, StatusCode
@@ -44,6 +61,36 @@ from repro.ssd.device import OpenSsd
 
 class DriverError(Exception):
     """Driver-level failures (no completion, bad arguments)."""
+
+
+class CommandTimeoutError(DriverError):
+    """A command exhausted its retry budget or per-command deadline."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Host-side recovery knobs for one passthrough command.
+
+    Backoff is exponential in simulated time: attempt *n* (1-based)
+    sleeps ``backoff_base_ns * backoff_multiplier**(n-1)`` before its
+    resubmission.  ``deadline_ns`` bounds the whole command, attempts
+    and backoffs included, from first submission.
+    """
+
+    max_attempts: int = 5
+    backoff_base_ns: float = 2_000.0
+    backoff_multiplier: float = 2.0
+    deadline_ns: float = 10_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base_ns < 0 or self.backoff_multiplier < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Backoff before resubmission number *attempt* (1-based)."""
+        return self.backoff_base_ns * self.backoff_multiplier ** (attempt - 1)
 
 
 @dataclass
@@ -93,12 +140,20 @@ class NvmeDriver:
     through Create-CQ/Create-SQ admin commands.
     """
 
-    def __init__(self, ssd: OpenSsd) -> None:
+    def __init__(self, ssd: OpenSsd, retry_policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         self.ssd = ssd
         self.clock = ssd.clock
         self.timing = ssd.config.timing
         self.link = ssd.link
         self.memory = ssd.host_memory
+        self.faults = ssd.faults
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        # recovery stats
+        self.retries = 0
+        self.timeouts = 0
+        self.inline_fallbacks = 0
         self._queues: Dict[int, _QueueResources] = {}
         self._admin = self._make_resources(0, _ADMIN_DEPTH, _ADMIN_DEPTH)
         self._enable_controller()
@@ -138,10 +193,18 @@ class NvmeDriver:
             if read_len > res.scratch_pages * PAGE_SIZE:
                 raise DriverError("admin read exceeds scratch buffer")
             cmd.prp1 = res.scratch
-        with self.clock.span("drv.sq_submit"):
-            with res.sq.lock:
+        with res.sq.lock:
+            with self.clock.span("drv.sq_submit"):
                 submit_plain(res.sq, cmd, self.clock, self.timing)
-        self._ring_sq_doorbell(res)
+            self._ring_sq_doorbell(res)
+        for _ in range(3):
+            cqe = self._try_wait_on(res)
+            if cqe is not None:
+                return cqe
+            # Lost admin doorbell (bring-up must survive a flaky link):
+            # republish the tail and give the device another turn.
+            with res.sq.lock:
+                self._ring_sq_doorbell(res)
         return self._wait_on(res)
 
     def _identify_controller(self) -> IdentifyController:
@@ -201,11 +264,21 @@ class NvmeDriver:
         return res.scratch
 
     def _ring_sq_doorbell(self, res: _QueueResources) -> None:
-        """Publish the SQ tail: one posted 4-byte MMIO write."""
+        """Publish the SQ tail: one posted 4-byte MMIO write.
+
+        Must be called with ``res.sq.lock`` held (the real driver writes
+        the doorbell under the same spinlock acquisition that inserted
+        the entries — releasing first would let another CPU publish a
+        tail that skips our entries).
+        """
         tail = res.sq.ring_doorbell()
-        self.ssd.bar.write32(sq_doorbell_offset(res.sq.qid), tail)
         self.link.host_mmio_write(4, CAT_DOORBELL)
         self.clock.advance(self.timing.doorbell_write_ns)
+        if self.faults.fire(DROP_DOORBELL):
+            # The posted write left the root complex but never landed:
+            # the host paid the cost, the device's tail stays stale.
+            return
+        self.ssd.bar.write32(sq_doorbell_offset(res.sq.qid), tail)
 
     def _ring_cq_doorbell(self, res: _QueueResources) -> None:
         self.ssd.bar.write32(cq_doorbell_offset(res.cq.qid), res.cq.head)
@@ -228,11 +301,11 @@ class NvmeDriver:
         cmd.prp1 = mapping.prp1
         cmd.prp2 = mapping.prp2
         cmd.cdw12 = len(data)
-        with self.clock.span("drv.sq_submit"):
-            with res.sq.lock:
+        with res.sq.lock:
+            with self.clock.span("drv.sq_submit"):
                 submit_plain(res.sq, cmd, self.clock, self.timing)
-        if ring:
-            self._ring_sq_doorbell(res)
+            if ring:
+                self._ring_sq_doorbell(res)
         return cmd.cid
 
     def submit_write_sgl(self, cmd: NvmeCommand, data: bytes,
@@ -250,11 +323,11 @@ class NvmeDriver:
         cmd.prp1 = int.from_bytes(desc[:8], "little")
         cmd.prp2 = int.from_bytes(desc[8:], "little")
         cmd.cdw12 = len(data)
-        with self.clock.span("drv.sq_submit"):
-            with res.sq.lock:
+        with res.sq.lock:
+            with self.clock.span("drv.sq_submit"):
                 submit_plain(res.sq, cmd, self.clock, self.timing)
-        if ring:
-            self._ring_sq_doorbell(res)
+            if ring:
+                self._ring_sq_doorbell(res)
         return cmd.cid
 
     def submit_write_inline(self, cmd: NvmeCommand, data: bytes,
@@ -272,12 +345,12 @@ class NvmeDriver:
         res = self.queue(qid)
         cmd.cid = self._alloc_cid(res)
         cmd.cdw12 = len(data)
-        with self.clock.span("drv.sq_submit"):
-            with res.sq.lock:
+        with res.sq.lock:
+            with self.clock.span("drv.sq_submit"):
                 submit_with_inline_payload(res.sq, cmd, data, self.clock,
                                            self.timing)
-        if ring:
-            self._ring_sq_doorbell(res)
+            if ring:
+                self._ring_sq_doorbell(res)
         return cmd.cid
 
     def submit_write_inline_tagged(self, cmd: NvmeCommand, data: bytes,
@@ -299,8 +372,8 @@ class NvmeDriver:
         cmd.cdw3 = payload_id
         make_inline_command(cmd, len(data))
         chunks = split_tagged(data, payload_id)
-        with self.clock.span("drv.sq_submit"):
-            with res.sq.lock:
+        with res.sq.lock:
+            with self.clock.span("drv.sq_submit"):
                 if res.sq.space() < 1 + len(chunks):
                     raise DriverError(f"SQ{qid} cannot hold tagged submission")
                 res.sq.push_raw(cmd.pack())
@@ -308,8 +381,8 @@ class NvmeDriver:
                 for chunk in chunks:
                     res.sq.push_raw(chunk)
                     self.clock.advance(self.timing.chunk_submit_ns)
-        if ring:
-            self._ring_sq_doorbell(res)
+            if ring:
+                self._ring_sq_doorbell(res)
         return cmd.cid
 
     def submit_raw(self, cmd: NvmeCommand, qid: int,
@@ -318,11 +391,11 @@ class NvmeDriver:
         fragments, flushes, result-fetch commands)."""
         res = self.queue(qid)
         cmd.cid = self._alloc_cid(res)
-        with self.clock.span("drv.sq_submit"):
-            with res.sq.lock:
+        with res.sq.lock:
+            with self.clock.span("drv.sq_submit"):
                 submit_plain(res.sq, cmd, self.clock, self.timing)
-        if ring:
-            self._ring_sq_doorbell(res)
+            if ring:
+                self._ring_sq_doorbell(res)
         return cmd.cid
 
     def submit_read_prp(self, cmd: NvmeCommand, read_len: int,
@@ -337,11 +410,11 @@ class NvmeDriver:
         cmd.cid = self._alloc_cid(res)
         cmd.prp1 = res.scratch
         cmd.cdw13 = read_len
-        with self.clock.span("drv.sq_submit"):
-            with res.sq.lock:
+        with res.sq.lock:
+            with self.clock.span("drv.sq_submit"):
                 submit_plain(res.sq, cmd, self.clock, self.timing)
-        if ring:
-            self._ring_sq_doorbell(res)
+            if ring:
+                self._ring_sq_doorbell(res)
         return cmd.cid, res.scratch
 
     def submit_read_sgl(self, cmd: NvmeCommand, want: int, total: int,
@@ -368,11 +441,11 @@ class NvmeDriver:
         cmd.prp1 = int.from_bytes(desc[:8], "little")
         cmd.prp2 = int.from_bytes(desc[8:], "little")
         cmd.cdw13 = total
-        with self.clock.span("drv.sq_submit"):
-            with res.sq.lock:
+        with res.sq.lock:
+            with self.clock.span("drv.sq_submit"):
                 submit_plain(res.sq, cmd, self.clock, self.timing)
-        if ring:
-            self._ring_sq_doorbell(res)
+            if ring:
+                self._ring_sq_doorbell(res)
         return cmd.cid, res.scratch
 
     # ------------------------------------------------------------------
@@ -422,7 +495,8 @@ class NvmeDriver:
             with self.clock.span("drv.sq_submit"):
                 with res.sq.lock:
                     submit_plain(res.sq, cmd, self.clock, self.timing)
-        self._ring_sq_doorbell(res)
+        with res.sq.lock:
+            self._ring_sq_doorbell(res)
 
         statuses = []
         for _ in payloads:
@@ -442,13 +516,20 @@ class NvmeDriver:
         """Drive the device until one completion arrives on *qid*."""
         return self._wait_on(self.queue(qid))
 
-    def _wait_on(self, res: _QueueResources) -> NvmeCompletion:
+    def _try_wait_on(self,
+                     res: _QueueResources) -> Optional[NvmeCompletion]:
+        """One poll → process → poll round; ``None`` means timeout.
+
+        The device model runs to quiescence inside ``process_all``, so an
+        empty CQ afterwards is a genuine command timeout: nothing further
+        will arrive without new host action (re-ring, resubmit).
+        """
         cqe = res.cq.poll()
         if cqe is None:
             self.ssd.controller.process_all()
             cqe = res.cq.poll()
         if cqe is None:
-            raise DriverError(f"no completion arrived on CQ{res.cq.qid}")
+            return None
         with self.clock.span("drv.completion"):
             self.clock.advance(self.timing.completion_handle_ns)
             res.sq.note_sq_head(cqe.sq_head)
@@ -456,6 +537,12 @@ class NvmeDriver:
         for page in res.pending_list_pages:
             self.memory.free_page(page)
         res.pending_list_pages.clear()
+        return cqe
+
+    def _wait_on(self, res: _QueueResources) -> NvmeCompletion:
+        cqe = self._try_wait_on(res)
+        if cqe is None:
+            raise DriverError(f"no completion arrived on CQ{res.cq.qid}")
         return cqe
 
     # ------------------------------------------------------------------
@@ -469,31 +556,102 @@ class NvmeDriver:
         ``sgl``, or ``byteexpress``.  BandSlim and MMIO have their own
         orchestration layers in :mod:`repro.transfer` because they do not
         map onto a single command submission.
+
+        Recovery is built in.  A timeout (no completion after the device
+        ran to quiescence) re-rings the doorbell — recovering a lost tail
+        update — and otherwise resubmits with exponential backoff, as
+        does any error completion whose DNR bit is clear, until
+        ``retry_policy`` runs out of attempts or deadline.  Inline
+        submissions consult the circuit breaker and are downgraded to the
+        PRP baseline while it is open.
         """
         qid = qid if qid is not None else self.io_qids[0]
+        res = self.queue(qid)
         start_ns = self.clock.now
         start_bytes = self.link.counter.total_bytes
         self.clock.advance(self.timing.passthrough_ns)
+        policy = self.retry_policy
+        deadline_ns = start_ns + policy.deadline_ns
 
-        cmd = NvmeCommand(opcode=req.opcode, nsid=req.nsid,
-                          cdw10=req.cdw10, cdw11=req.cdw11, cdw12=req.cdw12,
-                          cdw13=req.cdw13, cdw14=req.cdw14, cdw15=req.cdw15)
+        inline = bool(req.is_write) and method == "byteexpress"
+        if inline and not self.breaker.allow_inline():
+            method = "prp"
+            inline = False
+            self.inline_fallbacks += 1
+            self.link.counter.record_event(EVT_INLINE_FALLBACK)
+
+        attempt = 0
+        cqe: Optional[NvmeCompletion] = None
         read_buf: Optional[int] = None
-        if req.is_write:
-            if method == "prp":
-                self.submit_write_prp(cmd, req.data, qid)
-            elif method == "sgl":
-                self.submit_write_sgl(cmd, req.data, qid)
-            elif method == "byteexpress":
-                self.submit_write_inline(cmd, req.data, qid)
+        while True:
+            attempt += 1
+            cmd = NvmeCommand(opcode=req.opcode, nsid=req.nsid,
+                              cdw10=req.cdw10, cdw11=req.cdw11,
+                              cdw12=req.cdw12, cdw13=req.cdw13,
+                              cdw14=req.cdw14, cdw15=req.cdw15)
+            read_buf = None
+            if req.is_write:
+                if method == "prp":
+                    self.submit_write_prp(cmd, req.data, qid)
+                elif method == "sgl":
+                    self.submit_write_sgl(cmd, req.data, qid)
+                elif method == "byteexpress":
+                    self.submit_write_inline(cmd, req.data, qid)
+                else:
+                    raise DriverError(f"unknown transfer method {method!r}")
+            elif req.read_len:
+                _, read_buf = self.submit_read_prp(cmd, req.read_len, qid)
             else:
-                raise DriverError(f"unknown transfer method {method!r}")
-        elif req.read_len:
-            _, read_buf = self.submit_read_prp(cmd, req.read_len, qid)
-        else:
-            self.submit_raw(cmd, qid)
+                self.submit_raw(cmd, qid)
 
-        cqe = self.wait(qid)
+            cqe = self._try_wait_on(res)
+            if cqe is None:
+                # Timeout.  The command (or its doorbell) was lost;
+                # republish the tail — idempotent, and exactly what
+                # recovers a dropped doorbell write — and repoll.
+                self.timeouts += 1
+                self.link.counter.record_event(EVT_TIMEOUT)
+                with res.sq.lock:
+                    self._ring_sq_doorbell(res)
+                cqe = self._try_wait_on(res)
+
+            if cqe is not None and cqe.ok:
+                if inline:
+                    self.breaker.record_success()
+                break
+
+            retryable = cqe is None or cqe.retryable
+            if inline and retryable:
+                # Transient transfer fault on the inline path; semantic
+                # errors (DNR set) would fail on PRP too and do not
+                # count against the breaker.
+                trips_before = self.breaker.trips
+                self.breaker.record_failure()
+                if self.breaker.trips > trips_before:
+                    self.link.counter.record_event(EVT_BREAKER_TRIP)
+
+            if not retryable:
+                break  # DNR set: retrying cannot change the outcome
+            if attempt >= policy.max_attempts:
+                break
+            backoff_ns = policy.backoff_ns(attempt)
+            if self.clock.now + backoff_ns > deadline_ns:
+                break
+            self.clock.advance(backoff_ns)
+            self.retries += 1
+            self.link.counter.record_event(EVT_RETRY)
+            if inline and not self.breaker.allow_inline():
+                # The breaker opened mid-command: finish on the stock
+                # path, which no inline fault can touch.
+                method = "prp"
+                inline = False
+                self.inline_fallbacks += 1
+                self.link.counter.record_event(EVT_INLINE_FALLBACK)
+
+        if cqe is None:
+            raise CommandTimeoutError(
+                f"command on SQ{qid} produced no completion within "
+                f"{attempt} attempt(s)")
         data = None
         if read_buf is not None and cqe.ok:
             data = self.memory.read(read_buf, req.read_len)

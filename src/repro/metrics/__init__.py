@@ -3,10 +3,15 @@
 from repro.metrics.ascii_plot import ascii_chart
 from repro.metrics.energy import EnergyModel, EnergyReport, measure_energy
 from repro.metrics.pipeline import PipelineEstimate, estimate_pipeline
-from repro.metrics.reporting import format_bytes, format_table
+from repro.metrics.reporting import (
+    format_bytes,
+    format_latency_summary,
+    format_table,
+)
 from repro.metrics.stats import (
     LatencyRecorder,
     LatencySummary,
+    NoSamplesError,
     reduction_pct,
     summarize_latencies,
     throughput_kops,
@@ -15,7 +20,9 @@ from repro.metrics.stats import (
 __all__ = [
     "LatencySummary",
     "LatencyRecorder",
+    "NoSamplesError",
     "summarize_latencies",
+    "format_latency_summary",
     "throughput_kops",
     "reduction_pct",
     "format_table",

@@ -48,6 +48,20 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+def format_latency_summary(summary) -> str:
+    """One-line rendering of a :class:`~repro.metrics.stats.LatencySummary`.
+
+    Empty summaries (zero-op runs) render as ``"no samples"`` instead of
+    a row of meaningless zeros.
+    """
+    if summary.count == 0:
+        return "no samples"
+    return (f"n={summary.count} mean={summary.mean_us:.2f}us "
+            f"p1={summary.p1 / 1000.0:.2f}us "
+            f"p50={summary.p50 / 1000.0:.2f}us "
+            f"p99={summary.p99 / 1000.0:.2f}us")
+
+
 def format_bytes(nbytes: float) -> str:
     """Human-readable byte count (KiB/MiB/GiB)."""
     value = float(nbytes)

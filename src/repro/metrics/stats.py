@@ -12,6 +12,16 @@ from typing import List, Sequence
 import numpy as np
 
 
+class NoSamplesError(ValueError):
+    """Raised when a summary is requested over zero samples.
+
+    Subclasses :class:`ValueError` so callers written against the old
+    behaviour (``pytest.raises(ValueError)``) keep working, while report
+    paths can catch the typed error and render "no samples" instead of
+    crashing on a zero-op run.
+    """
+
+
 @dataclass(frozen=True)
 class LatencySummary:
     """Summary of a latency sample set (all values in nanoseconds)."""
@@ -24,6 +34,16 @@ class LatencySummary:
     minimum: float
     maximum: float
 
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """The summary of zero samples: count 0, every statistic 0.0."""
+        return cls(count=0, mean=0.0, p1=0.0, p50=0.0, p99=0.0,
+                   minimum=0.0, maximum=0.0)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
     @property
     def mean_us(self) -> float:
         return self.mean / 1000.0
@@ -32,7 +52,7 @@ class LatencySummary:
 def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
     """Mean and the paper's 1st/50th/99th percentiles."""
     if len(samples) == 0:
-        raise ValueError("cannot summarize an empty sample set")
+        raise NoSamplesError("cannot summarize an empty sample set")
     arr = np.asarray(samples, dtype=np.float64)
     p1, p50, p99 = np.percentile(arr, [1, 50, 99])
     return LatencySummary(count=len(arr), mean=float(arr.mean()),
@@ -55,6 +75,9 @@ class LatencyRecorder:
         return len(self._samples)
 
     def summary(self) -> LatencySummary:
+        """Empty-safe: a zero-op run yields :meth:`LatencySummary.empty`."""
+        if not self._samples:
+            return LatencySummary.empty()
         return summarize_latencies(self._samples)
 
 

@@ -8,6 +8,13 @@ DW    contents
 2     SQ head pointer (15:0) | SQ id (31:16)
 3     command id (15:0) | phase (16) | status (31:17)
 ====  ===========================================
+
+The 15-bit status field carries the status code in its low 14 bits and
+the spec's DNR ("Do Not Retry") flag in its top bit: the device's signal
+for whether the host's retry/backoff loop may resubmit the command.
+Transient faults (dropped TLPs, corrupted inline fetches) complete with
+DNR clear; semantic rejections (bad opcode, malformed fields from the
+host itself) complete with DNR set.
 """
 
 from __future__ import annotations
@@ -20,6 +27,9 @@ from repro.nvme.constants import CQE_SIZE, StatusCode
 _CQE_STRUCT = struct.Struct("<IIHHHH")
 assert _CQE_STRUCT.size == CQE_SIZE
 
+#: DNR flag position inside the packed (phase | status) half-word.
+_DNR_BIT = 1 << 15
+
 
 @dataclass
 class NvmeCompletion:
@@ -31,13 +41,16 @@ class NvmeCompletion:
     cid: int = 0
     phase: int = 0
     status: int = StatusCode.SUCCESS
+    #: Do Not Retry: set when resubmitting the command cannot succeed.
+    dnr: bool = False
 
     def pack(self) -> bytes:
         if not 0 <= self.result < (1 << 32):
             raise ValueError("result exceeds 32 bits")
-        if not 0 <= self.status < (1 << 15):
-            raise ValueError("status exceeds 15 bits")
-        dw3_hi = (self.status << 1) | (self.phase & 1)
+        if not 0 <= self.status < (1 << 14):
+            raise ValueError("status exceeds 14 bits")
+        dw3_hi = ((_DNR_BIT if self.dnr else 0)
+                  | (self.status << 1) | (self.phase & 1))
         return _CQE_STRUCT.pack(self.result, 0, self.sq_head, self.sq_id,
                                 self.cid, dw3_hi)
 
@@ -47,8 +60,14 @@ class NvmeCompletion:
             raise ValueError(f"CQE must be {CQE_SIZE} bytes, got {len(raw)}")
         result, _rsvd, sq_head, sq_id, cid, dw3_hi = _CQE_STRUCT.unpack(raw)
         return cls(result=result, sq_head=sq_head, sq_id=sq_id, cid=cid,
-                   phase=dw3_hi & 1, status=dw3_hi >> 1)
+                   phase=dw3_hi & 1, status=(dw3_hi >> 1) & 0x3FFF,
+                   dnr=bool(dw3_hi & _DNR_BIT))
 
     @property
     def ok(self) -> bool:
         return self.status == StatusCode.SUCCESS
+
+    @property
+    def retryable(self) -> bool:
+        """A failure the host driver is allowed to resubmit."""
+        return not self.ok and not self.dnr

@@ -81,11 +81,25 @@ class StatusCode(enum.IntEnum):
     INVALID_FIELD = 0x02
     DATA_TRANSFER_ERROR = 0x04
     INTERNAL_ERROR = 0x06
+    ABORTED_BY_REQUEST = 0x07
     INVALID_PRP_OFFSET = 0x13
+    #: NVMe 1.4: command interrupted mid-execution; retry is expected.
+    COMMAND_INTERRUPTED = 0x21
+    #: NVMe 1.4: transient transport (link-level) error; retry is expected.
+    TRANSIENT_TRANSPORT_ERROR = 0x22
     #: Vendor: key not found (KV retrieve/delete miss).
     KV_KEY_NOT_FOUND = 0x87
     #: Vendor: NAND program failure surfaced to the host.
     MEDIA_WRITE_FAULT = 0x80
+
+
+#: Status codes the host driver may retry without DNR guidance: transient
+#: transfer/transport failures, never semantic rejections.
+RETRYABLE_STATUS_CODES = frozenset({
+    StatusCode.DATA_TRANSFER_ERROR,
+    StatusCode.COMMAND_INTERRUPTED,
+    StatusCode.TRANSIENT_TRANSPORT_ERROR,
+})
 
 
 class Psdt(enum.IntEnum):

@@ -101,14 +101,33 @@ class SubmissionQueue:
         return slot
 
     def ring_doorbell(self) -> int:
-        """Publish the current tail to the device; returns the new value."""
+        """Publish the current tail to the device; returns the new value.
+
+        Requires the queue lock, like ``push_raw``: the kernel driver
+        writes the doorbell inside the same spinlock acquisition that
+        inserted the entries, so a ByteExpress CMD+chunk sequence can
+        never be published mid-insertion (paper §3 ordering argument).
+        """
+        if not self.lock.held:
+            raise LockNotHeldError(
+                f"SQ{self.qid} doorbell rung without its lock")
         self.shadow_tail = self.tail
         return self.shadow_tail
 
     def note_sq_head(self, head: int) -> None:
-        """Apply the SQ-head report from a CQE, freeing consumed slots."""
+        """Apply the SQ-head report from a CQE, freeing consumed slots.
+
+        CQEs processed out of order (or replayed after a fault) can carry
+        a head value *older* than one already applied.  Accepting it would
+        move ``head`` backwards, inflate :meth:`space`, and let
+        ``push_raw`` overwrite slots the device has not consumed — so any
+        report outside the current in-flight window ``(head .. tail]`` is
+        ignored as stale.
+        """
         if not 0 <= head < self.depth:
             raise ValueError(f"SQ head {head} out of range")
+        if (head - self.head) % self.depth > (self.tail - self.head) % self.depth:
+            return  # stale/backwards report from out-of-order completion
         self.head = head
 
     # -- device operations --------------------------------------------------

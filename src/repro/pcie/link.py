@@ -16,18 +16,41 @@ from __future__ import annotations
 
 from repro.pcie import tlp as tlpmod
 from repro.pcie.tlp import TlpBatch
-from repro.pcie.traffic import TrafficCounter
+from repro.pcie.traffic import EVT_TLP_REPLAY, TrafficCounter
 from repro.sim.config import LinkConfig, TimingModel
 
 
 class PCIeLink:
-    """A point-to-point PCIe link between host root complex and the SSD."""
+    """A point-to-point PCIe link between host root complex and the SSD.
+
+    When a :class:`~repro.faults.FaultInjector` is attached, DMA-carrying
+    transactions may suffer a ``corrupt_tlp`` fault: the link layer's LCRC
+    detects the mangled TLP, NAKs it, and the sender replays — duplicate
+    wire traffic plus a replay latency penalty, with the data itself
+    intact (exactly the recovery PCIe guarantees below the transaction
+    layer).
+    """
 
     def __init__(self, link: LinkConfig, timing: TimingModel,
-                 counter: TrafficCounter = None) -> None:
+                 counter: TrafficCounter = None, injector=None) -> None:
         self.config = link
         self.timing = timing
         self.counter = counter if counter is not None else TrafficCounter()
+        if injector is None:
+            from repro.faults.plan import NULL_INJECTOR
+            injector = NULL_INJECTOR
+        self.faults = injector
+
+    def _replay_penalty_ns(self, category: str, batch: TlpBatch) -> float:
+        """Charge a link-layer replay if a corrupt-TLP fault fires."""
+        from repro.faults.plan import CORRUPT_TLP
+
+        if not self.faults.fire(CORRUPT_TLP):
+            return 0.0
+        self.counter.record(category, batch)  # the replayed copy
+        self.counter.record_event(EVT_TLP_REPLAY)
+        return self.faults.tlp_replay_ns + self.serialisation_ns(
+            batch.total_bytes)
 
     # ------------------------------------------------------------------
     # primitive timings
@@ -67,13 +90,15 @@ class PCIeLink:
         self.counter.record(category, batch)
         request_ns = self._one_way(batch.upstream_bytes)
         completion_ns = self._one_way(batch.downstream_bytes)
-        return request_ns + self.timing.host_mem_read_ns + completion_ns
+        return (request_ns + self.timing.host_mem_read_ns + completion_ns
+                + self._replay_penalty_ns(category, batch))
 
     def device_write(self, nbytes: int, category: str) -> float:
         """Device-initiated DMA write to host memory (CQE, read data)."""
         batch = tlpmod.device_dma_write(nbytes, self.config)
         self.counter.record(category, batch)
-        return self._one_way(batch.upstream_bytes)
+        return (self._one_way(batch.upstream_bytes)
+                + self._replay_penalty_ns(category, batch))
 
     def msix(self, category: str = "msix") -> float:
         """Raise an MSI-X interrupt toward the host."""
@@ -82,5 +107,16 @@ class PCIeLink:
         return self._one_way(batch.upstream_bytes)
 
     def record_only(self, category: str, batch: TlpBatch) -> None:
-        """Account a pre-built batch without computing a latency."""
+        """Account a pre-built batch without computing a latency.
+
+        Still a corrupt-TLP opportunity: the replayed copy is recorded as
+        duplicate traffic (the caller owns the clock, so the latency
+        penalty is only charged on the timed ``device_read``/``device_write``
+        paths).
+        """
+        from repro.faults.plan import CORRUPT_TLP
+
         self.counter.record(category, batch)
+        if self.faults.fire(CORRUPT_TLP):
+            self.counter.record(category, batch)
+            self.counter.record_event(EVT_TLP_REPLAY)

@@ -25,6 +25,13 @@ CAT_MSIX = "msix"
 CAT_MMIO_DATA = "mmio_data"
 CAT_PRP_LIST = "prp_list"
 
+#: Well-known protocol events (counted, byteless).
+EVT_RETRY = "retry"
+EVT_TIMEOUT = "timeout"
+EVT_INLINE_FALLBACK = "inline_fallback"
+EVT_BREAKER_TRIP = "breaker_trip"
+EVT_TLP_REPLAY = "tlp_replay"
+
 
 @dataclass
 class DirectionTotals:
@@ -50,12 +57,25 @@ class TrafficCounter:
 
     def __init__(self) -> None:
         self._by_cat: Dict[str, DirectionTotals] = defaultdict(DirectionTotals)
+        self._events: Dict[str, int] = defaultdict(int)
 
     def record(self, category: str, batch: TlpBatch) -> None:
         tot = self._by_cat[category]
         tot.downstream_bytes += batch.downstream_bytes
         tot.upstream_bytes += batch.upstream_bytes
         tot.tlp_count += batch.tlp_count
+
+    # -- protocol events (retries, fallbacks, fault injections) -------------
+    def record_event(self, name: str, count: int = 1) -> None:
+        """Count a byteless protocol event (retry, fallback, fault)."""
+        self._events[name] += count
+
+    def event_count(self, name: str) -> int:
+        return self._events.get(name, 0)
+
+    def events(self) -> Dict[str, int]:
+        """All event counts (stable ordering by name)."""
+        return {k: self._events[k] for k in sorted(self._events)}
 
     @property
     def total_bytes(self) -> int:
@@ -86,3 +106,4 @@ class TrafficCounter:
 
     def reset(self) -> None:
         self._by_cat.clear()
+        self._events.clear()

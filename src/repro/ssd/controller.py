@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.controller_ext import (
+    ChunkCorruptionError,
     DeviceSqState,
     InlineFetchError,
     fetch_inline_payload,
@@ -115,6 +116,10 @@ class CommandResult:
     #: Firmware may suppress the CQE (BandSlim intermediate fragments are
     #: acknowledged only through the final fragment's completion).
     suppress_cqe: bool = False
+    #: Transient failure: the CQE's DNR bit is left clear so the host's
+    #: retry loop may resubmit.  Semantic rejections keep the default
+    #: (DNR set) — retrying a malformed command cannot succeed.
+    retryable: bool = False
 
 
 Handler = Callable[[CommandContext], CommandResult]
@@ -167,9 +172,14 @@ class NvmeController:
     def __init__(self, config: SimConfig, clock: SimClock, link: PCIeLink,
                  host_memory: HostMemory, bar: Optional[BarSpace] = None,
                  mode: str = MODE_QUEUE_LOCAL,
-                 identify: Optional[IdentifyController] = None) -> None:
+                 identify: Optional[IdentifyController] = None,
+                 injector=None) -> None:
         if mode not in (MODE_QUEUE_LOCAL, MODE_TAGGED):
             raise ValueError(f"unknown fetch mode {mode!r}")
+        if injector is None:
+            from repro.faults.plan import NULL_INJECTOR
+            injector = NULL_INJECTOR
+        self.faults = injector
         self.config = config
         self.timing = config.timing
         self.clock = clock
@@ -201,6 +211,8 @@ class NvmeController:
         self.admin_commands_processed = 0
         self.inline_payloads = 0
         self.fetch_errors = 0
+        self.queue_resyncs = 0
+        self.dropped_cqes = 0
         self._publish_capabilities()
 
     # ------------------------------------------------------------------
@@ -370,7 +382,24 @@ class NvmeController:
         state.advance()
         return raw
 
+    def _resync_sq(self, qid: int) -> None:
+        """Recover a queue whose inline sequence can no longer be parsed.
+
+        Once the inline length is lost, the firmware cannot tell payload
+        chunks from commands; interpreting them as commands would spray
+        garbage completions.  Real firmware handles this class of queue
+        error by discarding the published window and letting the host's
+        retry logic resubmit whole commands — we do the same: jump the
+        device head to the doorbell'd tail.
+        """
+        state = self._sqs[qid]
+        if state.head != self._sq_tails[qid]:
+            state.head = self._sq_tails[qid]
+            self.queue_resyncs += 1
+
     def _fetch_and_execute(self, qid: int) -> None:
+        from repro.faults.plan import CORRUPT_INLINE_LENGTH
+
         state = self._sqs[qid]
         with self.clock.span("ctrl.sq_fetch"):
             self.clock.advance(self.timing.doorbell_poll_ns)
@@ -380,12 +409,19 @@ class NvmeController:
             self.clock.advance(self.timing.cmd_fetch_logic_ns)
             cmd = NvmeCommand.unpack(raw)
 
+            if cmd.inline_length and self.faults.fire(CORRUPT_INLINE_LENGTH):
+                # The reserved field arrived bit-flipped: the decode below
+                # must detect it and fail the command, never mis-fetch.
+                cmd.cdw2 = self.faults.corrupt_length(cmd.cdw2)
+
             # --- ByteExpress detection (paper §3.3.1) -------------------
             try:
                 info = inspect_command(cmd)
             except InlineEncodingError:
                 self.fetch_errors += 1
-                self._complete(qid, cmd, CommandResult(StatusCode.INVALID_FIELD))
+                self._resync_sq(qid)
+                self._complete(qid, cmd, CommandResult(
+                    StatusCode.INVALID_FIELD, retryable=True))
                 return
 
             if info.is_inline and not self.byteexpress_enabled:
@@ -404,13 +440,21 @@ class NvmeController:
                 try:
                     ctx.data = fetch_inline_payload(
                         state, info, self._sq_tails[qid],
-                        self.host_memory, self.link, self.clock, self.timing)
+                        self.host_memory, self.link, self.clock, self.timing,
+                        injector=self.faults)
                     ctx.transport = "inline"
                     self.inline_payloads += 1
+                except ChunkCorruptionError:
+                    self.fetch_errors += 1
+                    self._resync_sq(qid)
+                    self._complete(qid, cmd, CommandResult(
+                        StatusCode.DATA_TRANSFER_ERROR, retryable=True))
+                    return
                 except InlineFetchError:
                     self.fetch_errors += 1
-                    self._complete(qid, cmd,
-                                   CommandResult(StatusCode.INVALID_FIELD))
+                    self._resync_sq(qid)
+                    self._complete(qid, cmd, CommandResult(
+                        StatusCode.INVALID_FIELD, retryable=True))
                     return
 
         self._transfer_and_dispatch(qid, ctx)
@@ -633,15 +677,30 @@ class NvmeController:
 
     def _complete(self, qid: int, cmd: NvmeCommand,
                   result: CommandResult) -> None:
+        from repro.faults.plan import DELAY_CQE, DROP_CQE
+
         if result.suppress_cqe:
             self.commands_processed += 1
             return
         with self.clock.span("ctrl.completion"):
             state = self._sqs[qid]
             cq = self._cqs[self._sq_cq[qid]]
+            dnr = result.status != StatusCode.SUCCESS and not result.retryable
             cqe = NvmeCompletion(result=result.result, sq_head=state.head,
                                  sq_id=qid, cid=cmd.cid,
-                                 status=result.status)
+                                 status=result.status, dnr=dnr)
+            # CQE faults target the I/O path: a lost *admin* completion
+            # has no in-band recovery (real drivers escalate to a
+            # controller reset), so bring-up is exempt.
+            if qid != 0 and self.faults.fire(DELAY_CQE):
+                self.clock.advance(self.faults.delay_cqe_ns)
+            if qid != 0 and self.faults.fire(DROP_CQE):
+                # The CQE write (or its MSI-X) is lost: the command ran,
+                # but the host learns nothing and must time out + retry.
+                self.dropped_cqes += 1
+                self.clock.advance(self.timing.completion_post_ns)
+                self.commands_processed += 1
+                return
             cq.post(cqe, self.host_memory)
             self.link.record_only(
                 CAT_CQE, tlpmod.device_dma_write(CQE_SIZE, self.link.config))

@@ -31,24 +31,34 @@ from repro.ssd.nand import NandArray, NandError
 
 
 class OpenSsd:
-    """The simulated Cosmos+ OpenSSD."""
+    """The simulated Cosmos+ OpenSSD.
+
+    *fault_plan* (a :class:`repro.faults.FaultPlan`) arms deterministic
+    fault injection across the whole rig: one shared
+    :class:`~repro.faults.FaultInjector` is consulted by the PCIe link,
+    the controller firmware, and the host driver.
+    """
 
     def __init__(self, config: Optional[SimConfig] = None,
-                 mode: str = MODE_QUEUE_LOCAL) -> None:
+                 mode: str = MODE_QUEUE_LOCAL,
+                 fault_plan=None) -> None:
+        from repro.faults.plan import FaultInjector
+
         self.config = config or SimConfig()
         self.clock = SimClock(jitter=self.config.timing_jitter,
                               seed=self.config.seed)
         self.traffic = TrafficCounter()
+        self.faults = FaultInjector(fault_plan, counter=self.traffic)
         self.host_memory = HostMemory()
         self.link = PCIeLink(self.config.link, self.config.timing,
-                             self.traffic)
+                             self.traffic, injector=self.faults)
         self.bar = BarSpace()
         self.dram = DeviceDram(self.config.device_dram_bytes)
         self.nand = NandArray(self.clock, self.config.timing)
         self.ftl = PageMappingFtl(self.nand)
         self.controller = NvmeController(self.config, self.clock, self.link,
                                          self.host_memory, bar=self.bar,
-                                         mode=mode)
+                                         mode=mode, injector=self.faults)
 
     @property
     def nand_enabled(self) -> bool:

@@ -48,9 +48,15 @@ class Testbed:
 
 def make_block_testbed(config: Optional[SimConfig] = None,
                        mode: str = MODE_QUEUE_LOCAL,
-                       include_mmio: bool = True) -> Testbed:
-    """Block-SSD rig: the Figure 1(b)/1(c)/5 microbenchmark setup."""
-    ssd = OpenSsd(config or SimConfig().nand_off(), mode=mode)
+                       include_mmio: bool = True,
+                       fault_plan=None) -> Testbed:
+    """Block-SSD rig: the Figure 1(b)/1(c)/5 microbenchmark setup.
+
+    *fault_plan* (a :class:`repro.faults.FaultPlan`) arms deterministic
+    fault injection on the rig's link, firmware, and driver.
+    """
+    ssd = OpenSsd(config or SimConfig().nand_off(), mode=mode,
+                  fault_plan=fault_plan)
     personality = BlockSsdPersonality(ssd)
     driver = NvmeDriver(ssd)
     methods = make_methods(ssd, driver, include_mmio=include_mmio)
@@ -60,9 +66,10 @@ def make_block_testbed(config: Optional[SimConfig] = None,
 
 def make_kv_testbed(config: Optional[SimConfig] = None,
                     memtable_entries: int = 4096,
-                    include_mmio: bool = False) -> Testbed:
+                    include_mmio: bool = False,
+                    fault_plan=None) -> Testbed:
     """KV-SSD rig with NAND enabled: the Figure 6 setup."""
-    ssd = OpenSsd(config or SimConfig())
+    ssd = OpenSsd(config or SimConfig(), fault_plan=fault_plan)
     personality = KvSsdPersonality(ssd, memtable_entries=memtable_entries)
     driver = NvmeDriver(ssd)
     methods = make_methods(ssd, driver, include_mmio=include_mmio)
@@ -72,9 +79,10 @@ def make_kv_testbed(config: Optional[SimConfig] = None,
 
 def make_csd_testbed(config: Optional[SimConfig] = None,
                      execute_inline: bool = True,
-                     include_mmio: bool = False) -> Testbed:
+                     include_mmio: bool = False,
+                     fault_plan=None) -> Testbed:
     """CSD rig: the Figure 7 pushdown setup."""
-    ssd = OpenSsd(config or SimConfig().nand_off())
+    ssd = OpenSsd(config or SimConfig().nand_off(), fault_plan=fault_plan)
     personality = CsdPersonality(ssd, execute_inline=execute_inline)
     driver = NvmeDriver(ssd)
     methods = make_methods(ssd, driver, include_mmio=include_mmio)

@@ -39,6 +39,8 @@ from repro.nvme.constants import (
     StatusCode,
     VendorOpcode,
 )
+from repro.nvme.passthrough import PassthruRequest
+from repro.pcie.traffic import EVT_INLINE_FALLBACK
 from repro.ssd.controller import CommandContext, CommandResult
 from repro.ssd.device import OpenSsd
 from repro.transfer.base import TransferMethod, TransferStats
@@ -169,6 +171,20 @@ class BandSlimTransfer(TransferMethod):
               qid: Optional[int] = None) -> TransferStats:
         if not payload:
             raise ValueError("BandSlim transfer requires a payload")
+        if not self.driver.breaker.allow_inline():
+            # Circuit breaker open: the inline paths are misbehaving, so
+            # deliver through the always-correct PRP baseline.  The stats
+            # keep this method's name — the caller asked for BandSlim and
+            # the fallback is an implementation detail of degraded mode.
+            self.driver.inline_fallbacks += 1
+            self.driver.link.counter.record_event(EVT_INLINE_FALLBACK)
+            req = PassthruRequest(opcode=opcode, nsid=nsid, data=payload,
+                                  cdw10=cdw10, cdw11=cdw11)
+            res = self.driver.passthru(req, method="prp", qid=qid)
+            return TransferStats(method=self.name, payload_len=len(payload),
+                                 latency_ns=res.latency_ns,
+                                 pcie_bytes=res.pcie_bytes,
+                                 commands=1, status=res.status)
         qid = qid if qid is not None else self.driver.io_qids[0]
         clock = self.driver.clock
         timing = self.driver.timing
@@ -201,6 +217,12 @@ class BandSlimTransfer(TransferMethod):
 
         cqe = self.driver.wait(qid)
         status = cqe.status
+        if cqe.ok:
+            self.driver.breaker.record_success()
+        elif cqe.retryable:
+            # Transient transfer fault on the inline path (semantic
+            # failures would fail on PRP too, so they don't count).
+            self.driver.breaker.record_failure()
         return TransferStats(method=self.name, payload_len=len(payload),
                              latency_ns=clock.now - start_ns,
                              pcie_bytes=counter.total_bytes - start_bytes,

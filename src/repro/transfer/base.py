@@ -72,9 +72,14 @@ class AggregateStats:
         self.latencies_ns.append(stats.latency_ns)
 
     def latency_summary(self):
-        """Mean + percentile summary of the per-op latencies."""
-        from repro.metrics.stats import summarize_latencies
+        """Mean + percentile summary of the per-op latencies.
 
+        Empty-safe: zero recorded ops yield ``LatencySummary.empty()``.
+        """
+        from repro.metrics.stats import LatencySummary, summarize_latencies
+
+        if not self.latencies_ns:
+            return LatencySummary.empty()
         return summarize_latencies(self.latencies_ns)
 
     @property

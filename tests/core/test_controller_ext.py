@@ -30,7 +30,7 @@ def _submit(payload, depth=64):
     with sq.lock:
         submit_with_inline_payload(sq, NvmeCommand(opcode=1), payload,
                                    clock, TIMING)
-    sq.ring_doorbell()
+        sq.ring_doorbell()
     state = DeviceSqState(qid=1, base_addr=sq.base_addr, depth=sq.depth)
     raw = mem.read(state.slot_addr(0), SQE_SIZE)
     state.advance()  # past the command
@@ -101,7 +101,7 @@ def test_wraparound_chunk_fetch():
     with sq.lock:
         submit_with_inline_payload(sq, NvmeCommand(opcode=1), payload,
                                    clock, TIMING)
-    sq.ring_doorbell()
+        sq.ring_doorbell()
     state = DeviceSqState(qid=1, base_addr=sq.base_addr, depth=8, head=6)
     cmd = NvmeCommand.unpack(mem.read(state.slot_addr(6), SQE_SIZE))
     state.advance()

@@ -85,7 +85,7 @@ def test_prp_pull_of_unmapped_memory_fails_cleanly():
     cmd.cid = 1
     with res.sq.lock:
         res.sq.push_raw(cmd.pack())
-    tb.driver._ring_sq_doorbell(res)
+        tb.driver._ring_sq_doorbell(res)
     cqe = tb.driver.wait(1)
     assert cqe.status == StatusCode.DATA_TRANSFER_ERROR
 

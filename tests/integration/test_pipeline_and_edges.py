@@ -59,7 +59,7 @@ class TestSglMultiExtentWrite:
         cmd.prp2 = int.from_bytes(desc[8:], "little")
         with res.sq.lock:
             submit_plain(res.sq, cmd, tb.clock, tb.ssd.config.timing)
-        tb.driver._ring_sq_doorbell(res)
+            tb.driver._ring_sq_doorbell(res)
         assert tb.driver.wait(1).ok
         assert tb.personality.read_back(0, 10) == b"AAAABBBBBB"
 
@@ -77,7 +77,7 @@ class TestSglMultiExtentWrite:
         cmd.prp2 = int.from_bytes(desc[8:], "little")
         with res.sq.lock:
             submit_plain(res.sq, cmd, tb.clock, tb.ssd.config.timing)
-        tb.driver._ring_sq_doorbell(res)
+            tb.driver._ring_sq_doorbell(res)
         assert tb.driver.wait(1).status == StatusCode.DATA_TRANSFER_ERROR
 
 

@@ -37,14 +37,31 @@ def test_unpack_rejects_wrong_size():
 
 
 def test_status_width_enforced():
+    # Status is 14 bits: bit 15 of the half-word is DNR, bit 0 is phase.
     with pytest.raises(ValueError):
-        NvmeCompletion(status=1 << 15).pack()
+        NvmeCompletion(status=1 << 14).pack()
+
+
+def test_dnr_bit_roundtrip():
+    cqe = NvmeCompletion(status=StatusCode.INVALID_FIELD, dnr=True)
+    back = NvmeCompletion.unpack(cqe.pack())
+    assert back.dnr and back.status == StatusCode.INVALID_FIELD
+    assert not back.retryable  # DNR set: do not retry
+
+
+def test_retryable_property():
+    assert not NvmeCompletion(status=StatusCode.SUCCESS).retryable
+    assert NvmeCompletion(status=StatusCode.DATA_TRANSFER_ERROR,
+                          dnr=False).retryable
+    assert not NvmeCompletion(status=StatusCode.DATA_TRANSFER_ERROR,
+                              dnr=True).retryable
 
 
 @given(result=st.integers(0, 0xFFFFFFFF), sq_head=st.integers(0, 0xFFFF),
        sq_id=st.integers(0, 0xFFFF), cid=st.integers(0, 0xFFFF),
-       phase=st.integers(0, 1), status=st.integers(0, (1 << 15) - 1))
-def test_roundtrip_property(result, sq_head, sq_id, cid, phase, status):
+       phase=st.integers(0, 1), status=st.integers(0, (1 << 14) - 1),
+       dnr=st.booleans())
+def test_roundtrip_property(result, sq_head, sq_id, cid, phase, status, dnr):
     cqe = NvmeCompletion(result=result, sq_head=sq_head, sq_id=sq_id,
-                         cid=cid, phase=phase, status=status)
+                         cid=cid, phase=phase, status=status, dnr=dnr)
     assert NvmeCompletion.unpack(cqe.pack()) == cqe

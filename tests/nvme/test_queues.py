@@ -80,8 +80,8 @@ class TestSubmissionQueue:
         with sq.lock:
             sq.push_raw(_entry(0))
             sq.push_raw(_entry(1))
-        assert sq.shadow_tail == 0  # device can't see them yet
-        assert sq.ring_doorbell() == 2
+            assert sq.shadow_tail == 0  # device can't see them yet
+            assert sq.ring_doorbell() == 2
         assert sq.shadow_tail == 2
 
     def test_device_pending_counts_from_doorbell(self):
@@ -89,7 +89,7 @@ class TestSubmissionQueue:
         with sq.lock:
             sq.push_raw(_entry(0))
             sq.push_raw(_entry(1))
-        sq.ring_doorbell()
+            sq.ring_doorbell()
         assert sq.device_pending(0) == 2
         assert sq.device_pending(1) == 1
 

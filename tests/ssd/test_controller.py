@@ -76,7 +76,7 @@ def test_inline_chunks_beyond_doorbell_fail_command(tb):
     cmd.set_inline_length(64 * 5)  # claims 5 chunks
     with res.sq.lock:
         res.sq.push_raw(cmd.pack())  # but inserts none
-    tb.driver._ring_sq_doorbell(res)
+        tb.driver._ring_sq_doorbell(res)
     cqe = tb.driver.wait(1)
     assert cqe.status == StatusCode.INVALID_FIELD
 
