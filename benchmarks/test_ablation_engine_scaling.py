@@ -1,0 +1,102 @@
+"""Ablation: asynchronous engine scaling — queue count × queue depth.
+
+The paper's microbenchmarks run at queue depth 1; this ablation measures
+what the asynchronous multi-queue engine buys on top of the same
+protocol stack.  64 B ByteExpress writes (NAND off, the paper's
+microbenchmark configuration) are pushed through every (queues, QD)
+combination; throughput should rise with the number of queues until the
+controller's command-fetch path — ``fetch_lanes`` parallel fetch/DMA
+engines — saturates, after which extra queues only add queueing.
+
+Acceptance: 4 queues × QD 8 sustains at least 2× the simulated-clock
+IOPS of 1 queue × QD 1, and every cell is deterministic per seed.
+"""
+
+import pytest
+
+from conftest import DEFAULT_OPS, report
+from repro.engine import LoadGenerator, StreamSpec
+from repro.metrics import format_table
+from repro.testbed import make_engine_testbed
+
+QUEUE_COUNTS = (1, 2, 4, 8)
+QUEUE_DEPTHS = (1, 8, 32)
+STREAMS = 4
+PAYLOAD = 64
+
+
+def _run_cell(queues: int, qd: int, ops: int, seed: int = 0x5EED):
+    tb = make_engine_testbed(queues=queues)
+    engine = tb.make_engine(queues=queues, qd=qd)
+    window = max(1, queues * qd // STREAMS)
+    streams = [StreamSpec(stream_id=i, ops=max(1, ops // STREAMS),
+                          size=f"fixed:{PAYLOAD}", concurrency=window)
+               for i in range(STREAMS)]
+    rep = LoadGenerator(engine, streams, seed=seed,
+                        method="byteexpress").run()
+    assert rep.total_ok == rep.total_ops, rep
+    return rep
+
+
+@pytest.fixture(scope="module")
+def grid():
+    out = {}
+    for queues in QUEUE_COUNTS:
+        for qd in QUEUE_DEPTHS:
+            out[(queues, qd)] = _run_cell(queues, qd, DEFAULT_OPS * 2)
+    return out
+
+
+def test_scaling_report(grid):
+    fetch_lanes = make_engine_testbed(queues=1).ssd.config.fetch_lanes
+    base = grid[(1, 1)]
+    rows = []
+    for (queues, qd), rep in sorted(grid.items()):
+        rows.append([
+            queues, qd,
+            f"{rep.kiops:.1f}",
+            f"{rep.kiops / base.kiops:.2f}x",
+            f"{rep.latency.p50 / 1000:.2f}",
+            f"{rep.latency.p99 / 1000:.2f}",
+            f"{rep.latency.p999 / 1000:.2f}",
+            f"{rep.bytes_per_op:.0f}",
+            rep.inflight_high_water,
+        ])
+    report("ablation_engine_scaling", format_table(
+        ["queues", "QD", "kops", "vs 1q/QD1", "p50 (us)", "p99 (us)",
+         "p99.9 (us)", "PCIe B/op", "max inflight"], rows,
+        title=(f"Engine scaling ablation — {PAYLOAD} B ByteExpress "
+               f"writes, {STREAMS} streams, NAND off "
+               f"(controller fetch lanes: {fetch_lanes})")))
+
+
+def test_acceptance_multi_queue_speedup(grid):
+    """The ISSUE 2 acceptance bar: >= 2x for 4 queues x QD 8."""
+    speedup = grid[(4, 8)].kiops / grid[(1, 1)].kiops
+    assert speedup >= 2.0, f"4q x QD8 only {speedup:.2f}x over 1q x QD1"
+
+
+def test_throughput_monotone_in_queues_until_fetch_saturation(grid):
+    """More queues help until the fetch path saturates; beyond
+    ``fetch_lanes`` queues the curve flattens (within 10%)."""
+    lanes = make_engine_testbed(queues=1).ssd.config.fetch_lanes
+    for qd in (8, 32):
+        series = [grid[(q, qd)].kiops for q in QUEUE_COUNTS]
+        for i in range(1, len(series)):
+            if QUEUE_COUNTS[i] <= lanes:
+                assert series[i] > series[i - 1] * 1.05, (
+                    f"no gain from {QUEUE_COUNTS[i - 1]} -> "
+                    f"{QUEUE_COUNTS[i]} queues at QD {qd}")
+            else:
+                assert series[i] >= series[i - 1] * 0.90, (
+                    f"regression past saturation at QD {qd}")
+
+
+def test_deterministic_per_seed(grid):
+    again = _run_cell(4, 8, DEFAULT_OPS * 2)
+    assert again == grid[(4, 8)]
+    different = _run_cell(4, 8, DEFAULT_OPS * 2, seed=0xBEEF)
+    # same sizes (fixed) => same traffic, but think-free closed loop is
+    # fully deterministic, so even another seed matches on throughput
+    # only if nothing random is in play; payload bytes differ though.
+    assert different.total_ok == grid[(4, 8)].total_ok

@@ -8,6 +8,7 @@ Commands:
 * ``pushdown``  — CSD pushdown run over the Figure-4 corpus
 * ``replay``    — replay a recorded KV trace against a chosen method
 * ``faults``    — fault-injection demo: seeded faults vs driver recovery
+* ``engine``    — asynchronous multi-queue engine + concurrent load gen
 """
 
 from __future__ import annotations
@@ -72,12 +73,14 @@ def _fault_plan(args):
              if getattr(args, "fault_kinds", None) else list(ALL_KINDS))
     for k in kinds:
         if k not in ALL_KINDS:
-            raise SystemExit(
-                f"unknown fault kind {k!r}; pick from {sorted(ALL_KINDS)}")
+            print(f"unknown fault kind {k!r}; pick from {sorted(ALL_KINDS)}",
+                  file=sys.stderr)
+            raise SystemExit(2)
     try:
         return FaultPlan.uniform(rate, seed=args.fault_seed, kinds=kinds)
     except ValueError as exc:
-        raise SystemExit(f"bad fault plan: {exc}")
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def cmd_sweep(args) -> int:
@@ -250,6 +253,56 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_engine(args) -> int:
+    """Concurrent load over the asynchronous multi-queue engine."""
+    from repro.engine import LoadGenerator, StreamSpec
+    from repro.faults import fault_event
+    from repro.sim.config import LinkConfig
+    from repro.ssd.controller import MODE_QUEUE_LOCAL, MODE_TAGGED
+    from repro.testbed import make_engine_testbed
+
+    if args.method not in ("byteexpress", "bandslim", "prp"):
+        print(f"unknown engine method {args.method!r}", file=sys.stderr)
+        return 2
+    cfg = SimConfig(link=LinkConfig(generation=args.gen),
+                    lba_bytes=args.lba,
+                    num_io_queues=args.queues).nand_off()
+    mode = MODE_TAGGED if args.tagged else MODE_QUEUE_LOCAL
+    tb = make_engine_testbed(queues=args.queues, config=cfg, mode=mode,
+                             fault_plan=_fault_plan(args))
+    engine = tb.make_engine(queues=args.queues, qd=args.qd,
+                            policy=args.policy)
+    per_stream = max(1, args.ops // args.streams)
+    window = max(1, args.queues * args.qd // args.streams)
+    streams = [StreamSpec(stream_id=i, ops=per_stream, size=args.dist,
+                          concurrency=window, think_ns=args.think_ns)
+               for i in range(args.streams)]
+    gen = LoadGenerator(engine, streams, seed=args.seed,
+                        method=args.method)
+    report = gen.run()
+    print(report.table())
+    print()
+    rows = [[k, v] for k, v in report.engine_stats.items()]
+    rows.append(["breaker state", tb.driver.breaker.state])
+    rows.append(["inflight high water", report.inflight_high_water])
+    if getattr(args, "faults", 0.0):
+        for kind in (args.fault_kinds.split(",") if args.fault_kinds
+                     else sorted(_all_fault_kinds())):
+            rows.append([f"injected {kind}",
+                         tb.traffic.event_count(fault_event(kind))])
+    title = (f"engine: {args.queues} queue(s) x QD {args.qd}, "
+             f"{args.streams} stream(s), {args.method}"
+             + (", tagged" if args.tagged else "")
+             + f", policy {args.policy}")
+    print(format_table(["counter", "value"], rows, title=title))
+    return 0 if report.total_ok == report.total_ops else 1
+
+
+def _all_fault_kinds():
+    from repro.faults import ALL_KINDS
+    return ALL_KINDS
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -311,6 +364,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kinds", default="",
                    help="comma-separated fault kinds (default: all)")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "engine",
+        help="asynchronous multi-queue engine with concurrent streams")
+    common(p)
+    p.add_argument("--queues", type=int, default=4,
+                   help="I/O queue pairs the engine drives")
+    p.add_argument("--qd", type=int, default=8,
+                   help="per-queue queue-depth cap")
+    p.add_argument("--streams", type=int, default=4,
+                   help="concurrent client streams")
+    p.add_argument("--method", default="byteexpress",
+                   choices=("byteexpress", "bandslim", "prp"))
+    p.add_argument("--ops", type=int, default=2000,
+                   help="total operations across all streams")
+    p.add_argument("--dist", default="fixed:64",
+                   help="payload sizes: fixed:N | uniform:LO:HI | mixgraph")
+    p.add_argument("--policy", default="round_robin",
+                   choices=("round_robin", "least_inflight", "affinity"),
+                   help="queue placement policy")
+    p.add_argument("--think-ns", type=float, default=0.0,
+                   help="mean exponential think time per stream (0 = closed)")
+    p.add_argument("--tagged", action="store_true",
+                   help="tagged chunk mode (cross-SQ reassembly, §3.3.2)")
+    p.add_argument("--seed", type=_seed_int, default=0x5EED)
+    p.add_argument("--faults", type=float, default=0.0, metavar="RATE",
+                   help="per-opportunity fault probability (0 disables)")
+    p.add_argument("--fault-seed", type=_seed_int, default=0xFA017)
+    p.add_argument("--fault-kinds", default="",
+                   help="comma-separated fault kinds (default: all)")
+    p.set_defaults(func=cmd_engine)
     return parser
 
 

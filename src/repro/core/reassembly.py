@@ -102,12 +102,26 @@ class ReassemblyBuffer:
         #: Expected true payload lengths, registered from the command's
         #: reserved field when the ByteExpress command itself arrives.
         self._expected_len: Dict[int, int] = {}
+        #: Most payloads ever tracked concurrently — the engine's scaling
+        #: reports surface this against ``max_in_flight`` to show how close
+        #: multi-SQ interleaving comes to the modelled SRAM budget.
+        self.high_water = 0
 
     def expect(self, payload_id: int, payload_len: int) -> None:
         """Register the command-side metadata for *payload_id*."""
         if payload_len <= 0:
             raise ReassemblyError("expected payload length must be positive")
         self._expected_len[payload_id] = payload_len
+
+    def abort(self, payload_id: int) -> None:
+        """Drop all state for *payload_id* (host abandoned the command).
+
+        Idempotent: aborting an id that was never registered, or that
+        already completed, is a no-op — exactly what a timeout-driven
+        host cleanup path needs.
+        """
+        self._inflight.pop(payload_id, None)
+        self._expected_len.pop(payload_id, None)
 
     def accept(self, chunk: bytes) -> Optional[bytes]:
         """Consume one tagged chunk; returns the payload when complete."""
@@ -127,6 +141,7 @@ class ReassemblyBuffer:
                     f"{tagged_chunk_count(expected)} chunks, chunk says {total}")
             entry = _InFlight(total=total, payload_len=expected)
             self._inflight[payload_id] = entry
+            self.high_water = max(self.high_water, len(self._inflight))
         if entry.total != total:
             raise ReassemblyError(
                 f"payload {payload_id}: inconsistent total chunk count")

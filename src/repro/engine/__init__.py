@@ -1,0 +1,44 @@
+"""repro.engine — asynchronous multi-queue I/O engine.
+
+The synchronous driver issues one command and blocks for its completion:
+queue depth 1, forever.  This package layers deeply-pipelined submission
+on top of the same driver/device stack:
+
+* :mod:`repro.engine.table` — the in-flight command table: per-command
+  futures keyed by (qid, cid), with deadlines and retry state.
+* :mod:`repro.engine.scheduler` — the multi-queue scheduler: N I/O queue
+  pairs, submission placement policies (round-robin, least-inflight,
+  stream affinity), per-queue QD caps with backpressure.
+* :mod:`repro.engine.reactor` — the completion reactor: drains CQs as
+  CQEs arrive (phase-bit driven), resolves futures out of order, and
+  feeds the RetryPolicy/CircuitBreaker recovery paths at QD ≫ 1.
+* :mod:`repro.engine.engine` — :class:`IoEngine`, the façade tying the
+  three together.
+* :mod:`repro.engine.loadgen` — the concurrent load generator: many
+  independent client streams multiplexed onto the queue set, with
+  per-stream and aggregate latency/throughput/traffic reports.
+"""
+
+from repro.engine.engine import EngineSaturatedError, EngineStats, IoEngine
+from repro.engine.loadgen import LoadGenerator, LoadReport, StreamSpec
+from repro.engine.scheduler import (
+    POLICIES,
+    MultiQueueScheduler,
+    SchedulerError,
+)
+from repro.engine.table import CommandFuture, InFlightCommand, InFlightTable
+
+__all__ = [
+    "CommandFuture",
+    "EngineSaturatedError",
+    "EngineStats",
+    "InFlightCommand",
+    "InFlightTable",
+    "IoEngine",
+    "LoadGenerator",
+    "LoadReport",
+    "MultiQueueScheduler",
+    "POLICIES",
+    "SchedulerError",
+    "StreamSpec",
+]

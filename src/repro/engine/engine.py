@@ -1,0 +1,313 @@
+"""The asynchronous I/O engine façade.
+
+:class:`IoEngine` ties the in-flight table, the multi-queue scheduler
+and the completion reactor to one driver/device pair:
+
+* ``submit()`` places a write on a queue chosen by the scheduler,
+  registers it in the table, and returns a :class:`CommandFuture`
+  immediately — no per-command wait.  Doorbells are deferred: the next
+  ``poll()`` publishes all dirty tails with one MMIO write per queue.
+* ``poll()`` runs one reactor round (kick, drive, reap, recover).
+* ``drain()`` polls until every future is resolved.
+
+Backpressure is built in: when every eligible queue is at its QD cap
+(or lacks SQ slots for the submission's footprint) the engine reaps
+completions inline until capacity frees, so memory and CID usage stay
+bounded no matter how fast the caller submits.
+
+Transfer methods are the write paths whose submission maps onto SQ
+entries: ``byteexpress`` (queue-local or tagged chunks, following the
+controller's mode), ``prp`` (stock baseline, private per-command DMA
+buffers), and ``bandslim`` (fragment command sequences; requires the
+device layer from :mod:`repro.transfer.bandslim` to be registered).
+Inline methods respect the driver's circuit breaker per submission and
+are downgraded to PRP while it is open.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.chunking import chunk_count
+from repro.core.reassembly import tagged_chunk_count
+from repro.engine.reactor import CompletionReactor
+from repro.engine.scheduler import MultiQueueScheduler
+from repro.engine.table import CommandFuture, InFlightCommand, InFlightTable
+from repro.host.driver import NvmeDriver
+from repro.nvme.command import NvmeCommand
+from repro.nvme.constants import (
+    BANDSLIM_FRAGMENT_CAPACITY,
+    IoOpcode,
+    VendorOpcode,
+)
+from repro.pcie.traffic import EVT_INLINE_FALLBACK
+from repro.ssd.controller import MODE_TAGGED
+from repro.ssd.device import OpenSsd
+
+#: Write paths the engine can drive asynchronously.
+ENGINE_METHODS = ("byteexpress", "prp", "bandslim")
+
+
+class EngineError(Exception):
+    """Engine misuse or unrecoverable engine state."""
+
+
+class EngineSaturatedError(EngineError):
+    """A submission can never be placed (footprint exceeds every queue)."""
+
+
+@dataclass
+class EngineStats:
+    """Aggregate engine counters (recovery events mirror the driver's)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    re_rings: int = 0
+    inline_fallbacks: int = 0
+    breaker_trips: int = 0
+    stale_completions: int = 0
+    backpressure_waits: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class IoEngine:
+    """Asynchronous multi-queue submission over one driver/device pair."""
+
+    def __init__(self, ssd: OpenSsd, driver: NvmeDriver,
+                 queues: Optional[Sequence[int]] = None,
+                 qd: int = 8, policy: str = "round_robin",
+                 fetch_lanes: Optional[int] = None) -> None:
+        self.ssd = ssd
+        self.driver = driver
+        self.clock = driver.clock
+        self.timing = driver.timing
+        self.qids: List[int] = list(queues) if queues else list(driver.io_qids)
+        for qid in self.qids:
+            driver.queue(qid)  # validates existence
+        self.qd = qd
+        self.fetch_lanes = (fetch_lanes if fetch_lanes is not None
+                            else ssd.config.fetch_lanes)
+        if self.fetch_lanes < 1:
+            raise EngineError(f"fetch_lanes must be >= 1, got "
+                              f"{self.fetch_lanes}")
+        self.table = InFlightTable()
+        self.scheduler = MultiQueueScheduler(self.qids, qd, policy)
+        self.reactor = CompletionReactor(self)
+        self.stats = EngineStats()
+        #: Entries awaiting backoff expiry before resubmission.
+        self.parked: List[InFlightCommand] = []
+        #: Queues with submissions whose doorbell has not been rung yet.
+        self._dirty: Set[int] = set()
+        self._payload_ids = itertools.count(1)
+        self._live_payload_ids: Set[int] = set()
+        self.tagged = ssd.controller.mode == MODE_TAGGED
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, payload: bytes, method: str = "byteexpress",
+               opcode: int = IoOpcode.WRITE, cdw10: int = 0,
+               cdw11: int = 0, nsid: int = 1,
+               stream: Optional[int] = None) -> CommandFuture:
+        """Issue one asynchronous write; returns its future immediately.
+
+        Blocks (in simulated time) only under backpressure, reaping
+        completions until the scheduler finds capacity.
+        """
+        if method not in ENGINE_METHODS:
+            raise EngineError(
+                f"unknown engine method {method!r}; "
+                f"expected one of {ENGINE_METHODS}")
+        if not payload:
+            raise EngineError("engine submissions require a payload")
+        if (method == "bandslim"
+                and not self.ssd.controller.supports(
+                    VendorOpcode.BANDSLIM_FRAG)):
+            raise EngineError(
+                "bandslim requires the BandSlimDeviceLayer to be "
+                "registered on the controller")
+        future = CommandFuture(stream=stream, payload_len=len(payload))
+        future.submit_ns = self.clock.now
+        entry = InFlightCommand(
+            future=future, method=method, opcode=opcode, payload=payload,
+            cdw10=cdw10, cdw11=cdw11, nsid=nsid, stream=stream,
+            first_submit_ns=self.clock.now,
+            deadline_ns=self.clock.now + self.driver.retry_policy.deadline_ns)
+        self.stats.submitted += 1
+        self._dispatch(entry)
+        return future
+
+    def _slots_needed(self, entry: InFlightCommand) -> int:
+        """SQ slots the submission occupies (worst case: inline path)."""
+        n = len(entry.payload)
+        if entry.method == "byteexpress":
+            chunks = tagged_chunk_count(n) if self.tagged else chunk_count(n)
+            return 1 + chunks
+        if entry.method == "bandslim":
+            cap = BANDSLIM_FRAGMENT_CAPACITY
+            return (n + cap - 1) // cap
+        return 1
+
+    def _dispatch(self, entry: InFlightCommand) -> None:
+        """Place *entry* on a queue, reaping under backpressure."""
+        need = self._slots_needed(entry)
+        if not any(self.driver.queue(qid).sq.depth - 1 >= need
+                   for qid in self.qids):
+            raise EngineSaturatedError(
+                f"submission needs {need} SQ slots; no queue is that deep")
+
+        def fits(qid: int) -> bool:
+            return self.driver.queue(qid).sq.space() >= need
+
+        guard = 0
+        while True:
+            qid = self.scheduler.pick(stream=entry.stream, fits=fits)
+            if qid is not None:
+                self._submit_entry(entry, qid)
+                return
+            self.stats.backpressure_waits += 1
+            resolved = self.poll()
+            if resolved == 0 and not self.table and not self.parked:
+                raise EngineSaturatedError(
+                    f"no queue can accept a {need}-slot submission and "
+                    f"nothing is in flight to free capacity")
+            guard = guard + 1 if resolved == 0 else 0
+            if guard > 10_000:
+                raise EngineError(
+                    "backpressure loop made no progress (livelock)")
+
+    def _submit_entry(self, entry: InFlightCommand, qid: int) -> None:
+        """Drive one (re)submission through the driver, no doorbell."""
+        method = entry.method
+        if (method in ("byteexpress", "bandslim")
+                and not self.driver.breaker.allow_inline()):
+            # Breaker open: this attempt rides the stock path instead.
+            method = "prp"
+            self.stats.inline_fallbacks += 1
+            self.driver.inline_fallbacks += 1
+            self.driver.link.counter.record_event(EVT_INLINE_FALLBACK)
+        entry.method_used = method
+        entry.attempts += 1
+        entry.last_submit_ns = self.clock.now
+        # The async submission API call itself (io_uring-style ioctl).
+        self.clock.advance(self.timing.passthrough_ns)
+
+        cmd = NvmeCommand(opcode=entry.opcode, nsid=entry.nsid,
+                          cdw10=entry.cdw10, cdw11=entry.cdw11)
+        if method == "prp":
+            cid = self.driver.submit_write_prp(cmd, entry.payload, qid,
+                                               ring=False,
+                                               private_buffer=True)
+        elif method == "byteexpress":
+            if self.tagged:
+                pid = self._alloc_payload_id()
+                cid = self.driver.submit_write_inline_tagged(
+                    cmd, entry.payload, qid, pid, ring=False)
+                entry.payload_id = pid
+            else:
+                cid = self.driver.submit_write_inline(cmd, entry.payload,
+                                                      qid, ring=False)
+        else:  # bandslim
+            cid = self._submit_bandslim(entry, qid)
+        entry.key = (qid, cid)
+        self.table.add(entry)
+        self.scheduler.note_submit(qid)
+        self._dirty.add(qid)
+
+    def _submit_bandslim(self, entry: InFlightCommand, qid: int) -> int:
+        """Fragment-sequence submission; only the last fragment's CQE
+        exists, so only its CID enters the table."""
+        from repro.transfer.bandslim import pack_fragment
+
+        stream_id = self._alloc_payload_id()
+        entry.payload_id = stream_id
+        payload = entry.payload
+        cap = BANDSLIM_FRAGMENT_CAPACITY
+        pieces = [payload[off:off + cap]
+                  for off in range(0, len(payload), cap)]
+        # The fragment-management software layer (per payload).
+        self.clock.advance(self.timing.bandslim_task_host_ns)
+        cid = -1
+        for seq, piece in enumerate(pieces):
+            last = seq == len(pieces) - 1
+            frag = pack_fragment(stream_id, seq, len(payload), piece,
+                                 last=last, target_opcode=entry.opcode,
+                                 target_cdw10=entry.cdw10)
+            self.clock.advance(self.timing.bandslim_frag_host_ns)
+            cid = self.driver.submit_raw(frag, qid, ring=False,
+                                        expect_completion=last)
+        return cid
+
+    def resubmit(self, entry: InFlightCommand) -> None:
+        """Reactor callback: re-place a parked entry after backoff.
+
+        Non-blocking: if every queue is saturated at this instant the
+        entry re-parks and the next poll round tries again — recursing
+        into the backpressure loop from inside the reactor would
+        re-enter ``poll``.
+        """
+        need = self._slots_needed(entry)
+
+        def fits(qid: int) -> bool:
+            return self.driver.queue(qid).sq.space() >= need
+
+        qid = self.scheduler.pick(stream=entry.stream, fits=fits)
+        if qid is None:
+            self.stats.backpressure_waits += 1
+            entry.retry_at_ns = self.clock.now
+            self.parked.append(entry)
+            return
+        self._submit_entry(entry, qid)
+
+    # ------------------------------------------------------------------
+    # payload-id allocation (tagged mode, BandSlim streams)
+    # ------------------------------------------------------------------
+    def _alloc_payload_id(self) -> int:
+        while True:
+            pid = next(self._payload_ids) & 0xFFFFFFFF
+            if pid and pid not in self._live_payload_ids:
+                self._live_payload_ids.add(pid)
+                return pid
+
+    def release_payload_id(self, pid: int) -> None:
+        self._live_payload_ids.discard(pid)
+
+    # ------------------------------------------------------------------
+    # progress
+    # ------------------------------------------------------------------
+    def kick_dirty(self) -> None:
+        """Publish every deferred tail: one doorbell MMIO per queue."""
+        for qid in sorted(self._dirty):
+            self.driver.kick(qid)
+        self._dirty.clear()
+
+    def poll(self) -> int:
+        """One reactor round; returns futures resolved this round."""
+        return self.reactor.poll()
+
+    def drain(self) -> int:
+        """Poll until nothing is in flight or parked; returns the number
+        of futures resolved while draining."""
+        resolved = 0
+        stall = 0
+        while self.table or self.parked:
+            before = (len(self.table), len(self.parked), self.clock.now)
+            resolved += self.poll()
+            after = (len(self.table), len(self.parked), self.clock.now)
+            stall = stall + 1 if after == before else 0
+            if stall > 100:
+                raise EngineError(
+                    f"drain stalled with {len(self.table)} in flight "
+                    f"and {len(self.parked)} parked")
+        return resolved
+
+    @property
+    def inflight(self) -> int:
+        return len(self.table)

@@ -1,0 +1,304 @@
+"""Concurrent load generator: many client streams over one engine.
+
+Each :class:`StreamSpec` describes an independent client — its own
+closed-loop concurrency (outstanding-ops window), its own seeded
+arrival process (exponential think times between a completion and the
+next issue), and its own payload-size distribution (fixed, uniform, or
+the MixGraph generalised-Pareto value sizes from
+:mod:`repro.workloads.mixgraph`).  The generator multiplexes all
+streams onto the engine's queue set and reports per-stream and
+aggregate latency (p50/p99/p99.9), throughput and PCIe traffic.
+
+Everything is seeded: two runs with the same specs and seed produce
+byte-identical reports, which the determinism tests and the scaling
+ablation rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.engine import IoEngine
+from repro.engine.table import CommandFuture, TIMED_OUT
+from repro.metrics.stats import LatencySummary, summarize_latencies
+from repro.metrics.reporting import format_table
+from repro.nvme.constants import PAGE_SIZE, IoOpcode
+from repro.sim.rng import make_rng
+from repro.workloads.mixgraph import GPD_SCALE, GPD_SHAPE
+
+
+class LoadGenError(Exception):
+    """Bad stream specification or a wedged run."""
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One client stream.
+
+    ``size`` accepts ``"fixed:N"``, ``"uniform:LO:HI"`` or
+    ``"mixgraph"`` (GPD value sizes, clamped to *max_size*).
+    ``concurrency`` is the stream's closed-loop window: how many of its
+    ops may be outstanding at once.  ``think_ns`` is the mean of an
+    exponential pause between one completion and the next issue
+    (0 = issue back-to-back).
+    """
+
+    stream_id: int
+    ops: int
+    size: str = "fixed:64"
+    concurrency: int = 1
+    think_ns: float = 0.0
+    method: Optional[str] = None
+    max_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.ops < 1:
+            raise LoadGenError("stream needs at least one op")
+        if self.concurrency < 1:
+            raise LoadGenError("stream concurrency must be >= 1")
+        if self.think_ns < 0:
+            raise LoadGenError("think time must be non-negative")
+
+
+def _draw_sizes(spec: StreamSpec, seed: int) -> np.ndarray:
+    """Pre-draw every payload size for one stream, seeded per stream."""
+    rng = make_rng(seed, f"loadgen.sizes.{spec.stream_id}")
+    kind, _, rest = spec.size.partition(":")
+    if kind == "fixed":
+        n = int(rest) if rest else 64
+        if not 0 < n <= spec.max_size:
+            raise LoadGenError(f"fixed size {n} out of range")
+        return np.full(spec.ops, n, dtype=np.int64)
+    if kind == "uniform":
+        lo_s, _, hi_s = rest.partition(":")
+        lo, hi = int(lo_s), int(hi_s)
+        if not 0 < lo <= hi <= spec.max_size:
+            raise LoadGenError(f"bad uniform range {lo}..{hi}")
+        return rng.integers(lo, hi + 1, size=spec.ops, dtype=np.int64)
+    if kind == "mixgraph":
+        u = rng.random(spec.ops)
+        sizes = GPD_SCALE / GPD_SHAPE * ((1.0 - u) ** -GPD_SHAPE - 1.0)
+        return np.clip(sizes.astype(np.int64) + 1, 1, spec.max_size)
+    raise LoadGenError(f"unknown size distribution {spec.size!r}")
+
+
+@dataclass
+class _StreamState:
+    spec: StreamSpec
+    sizes: np.ndarray
+    think: Optional[np.ndarray]
+    issued: int = 0
+    start_ns: float = 0.0
+    end_ns: float = 0.0
+    next_issue_ns: float = 0.0
+    outstanding: List[CommandFuture] = field(default_factory=list)
+    latencies: List[float] = field(default_factory=list)
+    ok: int = 0
+    errors: int = 0
+    timeouts: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.issued >= self.spec.ops and not self.outstanding
+
+    def can_issue(self, now_ns: float) -> bool:
+        return (self.issued < self.spec.ops
+                and len(self.outstanding) < self.spec.concurrency
+                and now_ns >= self.next_issue_ns)
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    stream_id: int
+    method: str
+    ops: int
+    ok: int
+    errors: int
+    timeouts: int
+    latency: LatencySummary
+    elapsed_ns: float
+
+    @property
+    def kops(self) -> float:
+        """Completed ops per millisecond of the stream's active window."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.ok / self.elapsed_ns * 1e6
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Aggregate outcome of one load-generator run."""
+
+    streams: Tuple[StreamReport, ...]
+    elapsed_ns: float
+    total_ops: int
+    total_ok: int
+    total_errors: int
+    total_timeouts: int
+    latency: LatencySummary
+    pcie_bytes: int
+    engine_stats: dict
+    inflight_high_water: int
+
+    @property
+    def kiops(self) -> float:
+        """Aggregate completed ops per millisecond of simulated time."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.total_ok / self.elapsed_ns * 1e6
+
+    @property
+    def bytes_per_op(self) -> float:
+        return self.pcie_bytes / self.total_ok if self.total_ok else 0.0
+
+    def table(self) -> str:
+        rows = []
+        for s in self.streams:
+            rows.append([
+                s.stream_id, s.method, s.ops, s.ok,
+                s.errors + s.timeouts,
+                f"{s.latency.p50 / 1000:.2f}",
+                f"{s.latency.p99 / 1000:.2f}",
+                f"{s.latency.p999 / 1000:.2f}",
+                f"{s.kops:.1f}",
+            ])
+        body = format_table(
+            ["stream", "method", "ops", "ok", "fail",
+             "p50(us)", "p99(us)", "p99.9(us)", "kops"],
+            rows, title="per-stream results")
+        agg = (f"aggregate: {self.total_ok}/{self.total_ops} ok, "
+               f"{self.kiops:.1f} kops, "
+               f"p50={self.latency.p50 / 1000:.2f}us "
+               f"p99={self.latency.p99 / 1000:.2f}us "
+               f"p99.9={self.latency.p999 / 1000:.2f}us, "
+               f"{self.bytes_per_op:.1f} PCIe B/op, "
+               f"max inflight {self.inflight_high_water}")
+        return body + "\n" + agg
+
+
+class LoadGenerator:
+    """Drives many client streams through one :class:`IoEngine`."""
+
+    def __init__(self, engine: IoEngine, streams: List[StreamSpec],
+                 seed: int = 0x5EED, method: str = "byteexpress",
+                 opcode: int = IoOpcode.WRITE) -> None:
+        if not streams:
+            raise LoadGenError("load generator needs at least one stream")
+        ids = [s.stream_id for s in streams]
+        if len(set(ids)) != len(ids):
+            raise LoadGenError(f"duplicate stream ids: {ids}")
+        self.engine = engine
+        self.seed = seed
+        self.method = method
+        self.opcode = opcode
+        self._states: List[_StreamState] = []
+        for spec in streams:
+            think = None
+            if spec.think_ns > 0:
+                rng = make_rng(seed, f"loadgen.think.{spec.stream_id}")
+                think = rng.exponential(spec.think_ns, size=spec.ops)
+            self._states.append(_StreamState(
+                spec=spec, sizes=_draw_sizes(spec, seed), think=think))
+        #: Distinct write offset per op — concurrent writes must not
+        #: overlap, or verification of the backing store is meaningless.
+        self._next_offset = 0
+
+    # ------------------------------------------------------------------
+    def _issue(self, state: _StreamState) -> None:
+        spec = state.spec
+        size = int(state.sizes[state.issued])
+        offset = self._next_offset
+        self._next_offset += PAGE_SIZE
+        payload = bytes((state.issued * 131 + spec.stream_id * 31 + i) & 0xFF
+                        for i in range(size))
+        future = self.engine.submit(
+            payload, method=spec.method or self.method, opcode=self.opcode,
+            cdw10=offset & 0xFFFFFFFF, stream=spec.stream_id)
+        if state.issued == 0:
+            state.start_ns = future.submit_ns
+        if state.think is not None:
+            state.next_issue_ns = (self.engine.clock.now
+                                   + float(state.think[state.issued]))
+        state.outstanding.append(future)
+        state.issued += 1
+
+    def _harvest(self, state: _StreamState) -> int:
+        done = [f for f in state.outstanding if f.done]
+        if not done:
+            return 0
+        state.outstanding = [f for f in state.outstanding if not f.done]
+        for f in done:
+            if f.ok:
+                state.ok += 1
+                state.latencies.append(f.latency_ns)
+            elif f.state == TIMED_OUT:
+                state.timeouts += 1
+            else:
+                state.errors += 1
+        if state.finished:
+            state.end_ns = self.engine.clock.now
+        return len(done)
+
+    def run(self) -> LoadReport:
+        """Run every stream to completion; returns the report."""
+        engine = self.engine
+        clock = engine.clock
+        counter = engine.driver.link.counter
+        start_ns, start_bytes = clock.now, counter.total_bytes
+
+        stall = 0
+        while not all(s.finished for s in self._states):
+            progressed = 0
+            for state in self._states:
+                while state.can_issue(clock.now):
+                    self._issue(state)
+                    progressed += 1
+            resolved = engine.poll()
+            for state in self._states:
+                progressed += self._harvest(state)
+            if progressed == 0 and resolved == 0:
+                if engine.table or engine.parked:
+                    stall += 1
+                    if stall > 100:
+                        raise LoadGenError("load generator wedged")
+                    continue
+                # Every stream is merely thinking: jump to the earliest
+                # next arrival instead of spinning.
+                waiting = [s.next_issue_ns for s in self._states
+                           if not s.finished]
+                if not waiting:
+                    break
+                clock.advance_to(min(waiting))
+            else:
+                stall = 0
+
+        elapsed_ns = clock.now - start_ns
+        reports = []
+        all_lat: List[float] = []
+        for state in self._states:
+            all_lat.extend(state.latencies)
+            lat = (summarize_latencies(state.latencies)
+                   if state.latencies else LatencySummary.empty())
+            reports.append(StreamReport(
+                stream_id=state.spec.stream_id,
+                method=state.spec.method or self.method,
+                ops=state.spec.ops, ok=state.ok, errors=state.errors,
+                timeouts=state.timeouts, latency=lat,
+                elapsed_ns=max(state.end_ns - state.start_ns, 0.0)))
+        agg_lat = (summarize_latencies(all_lat) if all_lat
+                   else LatencySummary.empty())
+        return LoadReport(
+            streams=tuple(reports),
+            elapsed_ns=elapsed_ns,
+            total_ops=sum(s.spec.ops for s in self._states),
+            total_ok=sum(s.ok for s in self._states),
+            total_errors=sum(s.errors for s in self._states),
+            total_timeouts=sum(s.timeouts for s in self._states),
+            latency=agg_lat,
+            pcie_bytes=counter.total_bytes - start_bytes,
+            engine_stats=engine.stats.as_dict(),
+            inflight_high_water=engine.table.high_water)

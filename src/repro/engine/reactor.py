@@ -1,0 +1,207 @@
+"""Completion reactor: CQ draining, future resolution, recovery at QD ≫ 1.
+
+One ``poll()`` round is the engine's heartbeat:
+
+1. **Kick** — ring the doorbell of every queue with unpublished
+   submissions (one MMIO write per queue, amortised over the batch).
+2. **Drive** — run the device firmware loop to quiescence.  While N
+   queues have doorbell'd work and the controller has ``fetch_lanes``
+   parallel fetch/DMA engines, per-command service overlaps: the sweep
+   runs under :meth:`SimClock.concurrent`, which is where multi-queue
+   scaling physically comes from in the cost model.
+3. **Reap** — drain every CQ phase-bit-first via ``driver.reap`` and
+   resolve the matching futures out of order.  Error completions with
+   DNR clear are parked for backoff and resubmission; DNR-set errors
+   fail their future immediately.
+4. **Recover** — entries still tabled after a quiescent drive got no
+   CQE at all: re-ring their doorbells (recovers a dropped tail write),
+   drive and reap again, then resubmit survivors under fresh CIDs with
+   exponential backoff (recovers a dropped CQE) until the retry policy's
+   attempt/deadline budget runs out.
+5. **Release** — resubmit parked entries whose backoff expired; when the
+   pipeline is otherwise empty, sleep the clock forward to the earliest
+   ``retry_at`` so backoff consumes simulated time exactly once.
+
+This is the asynchronous generalisation of ``NvmeDriver.passthru``'s
+inline recovery loop — same policy object, same breaker, same event
+taxonomy — applied to many commands concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.pcie.traffic import (
+    EVT_BREAKER_TRIP,
+    EVT_RETRY,
+    EVT_TIMEOUT,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import IoEngine
+    from repro.engine.table import InFlightCommand
+
+
+class CompletionReactor:
+    """Drives completions for one :class:`~repro.engine.engine.IoEngine`."""
+
+    def __init__(self, engine: "IoEngine") -> None:
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    # the heartbeat
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        """One kick → drive → reap → recover → release round.
+
+        Returns the number of futures resolved (successfully or not).
+        """
+        e = self.engine
+        e.kick_dirty()
+        self.drive_device()
+        resolved = self.reap_all()
+        if e.table:
+            resolved += self._recover_stuck()
+        self._release_parked(pipeline_idle=resolved == 0 and not e.table)
+        return resolved
+
+    # ------------------------------------------------------------------
+    # device service under modelled concurrency
+    # ------------------------------------------------------------------
+    def drive_device(self) -> None:
+        """Run the firmware loop to quiescence with parallel lanes.
+
+        Each ``poll_once`` services one command on one queue; while K
+        queues are active and the controller has L fetch lanes, that
+        service overlaps min(K, L)-wide, so a sweep across K queues
+        costs roughly one serial command time instead of K.
+        """
+        e = self.engine
+        ctrl = e.ssd.controller
+        while ctrl.has_pending():
+            lanes = min(max(1, ctrl.active_queue_count()), e.fetch_lanes)
+            with e.clock.concurrent(lanes):
+                ctrl.poll_once()
+
+    # ------------------------------------------------------------------
+    # completion harvesting
+    # ------------------------------------------------------------------
+    def reap_all(self) -> int:
+        resolved = 0
+        e = self.engine
+        for qid in e.qids:
+            for cqe in e.driver.reap(qid):
+                resolved += self._on_cqe(qid, cqe)
+        return resolved
+
+    def _on_cqe(self, qid: int, cqe) -> int:
+        e = self.engine
+        entry = e.table.pop((qid, cqe.cid))
+        if entry is None:
+            # A CQE for a command the engine already abandoned (its
+            # delayed completion raced our timeout resubmission).  The
+            # driver has retired the CID; nothing to resolve.
+            e.stats.stale_completions += 1
+            return 0
+        e.scheduler.note_complete(qid)
+        if entry.payload_id is not None:
+            e.release_payload_id(entry.payload_id)
+        breaker = e.driver.breaker
+        if cqe.ok:
+            if entry.is_inline:
+                breaker.record_success()
+            entry.resolve(cqe, e.clock.now)
+            e.stats.completed += 1
+            return 1
+        if entry.is_inline and cqe.retryable:
+            trips_before = breaker.trips
+            breaker.record_failure()
+            if breaker.trips > trips_before:
+                e.stats.breaker_trips += 1
+                e.driver.link.counter.record_event(EVT_BREAKER_TRIP)
+        if cqe.retryable and self._park_for_retry(entry):
+            return 0
+        entry.resolve(cqe, e.clock.now)
+        e.stats.failed += 1
+        return 1
+
+    # ------------------------------------------------------------------
+    # timeout recovery
+    # ------------------------------------------------------------------
+    def _recover_stuck(self) -> int:
+        """Handle entries that survived a quiescent drive with no CQE."""
+        e = self.engine
+        stuck: List["InFlightCommand"] = e.table.entries()
+        e.stats.timeouts += len(stuck)
+        e.driver.timeouts += len(stuck)
+        for _ in stuck:
+            e.driver.link.counter.record_event(EVT_TIMEOUT)
+        # First line of defence: republish every affected tail.  This is
+        # idempotent and exactly recovers a dropped doorbell write — the
+        # SQEs are in host memory, the device just never saw the tail.
+        for qid in sorted({entry.key[0] for entry in stuck}):
+            e.driver.kick(qid)
+            e.stats.re_rings += 1
+        self.drive_device()
+        resolved = self.reap_all()
+
+        # Whatever is still tabled lost its completion for good (dropped
+        # CQE): the command may or may not have executed, so abandon the
+        # CID and resubmit from scratch — writes are idempotent here.
+        for entry in e.table.entries():
+            e.table.pop(entry.key)
+            e.scheduler.note_complete(entry.key[0])
+            e.driver.retire(*entry.key)
+            if entry.payload_id is not None:
+                e.ssd.controller.abort_payload(entry.payload_id)
+                e.release_payload_id(entry.payload_id)
+            entry.key = None
+            entry.payload_id = None
+            if not self._park_for_retry(entry):
+                entry.fail(None, e.clock.now)
+                e.stats.failed += 1
+                resolved += 1
+        return resolved
+
+    # ------------------------------------------------------------------
+    # backoff / resubmission
+    # ------------------------------------------------------------------
+    def _park_for_retry(self, entry: "InFlightCommand") -> bool:
+        """Queue *entry* for resubmission after exponential backoff.
+
+        Returns False when the retry budget (attempts or deadline) is
+        exhausted — the caller must fail the future.
+        """
+        e = self.engine
+        policy = e.driver.retry_policy
+        if entry.attempts >= policy.max_attempts:
+            return False
+        backoff_ns = policy.backoff_ns(entry.attempts)
+        if e.clock.now + backoff_ns > entry.deadline_ns:
+            return False
+        if entry.key is not None:
+            # Parked off an error CQE: the CID already retired via reap.
+            entry.key = None
+            entry.payload_id = None
+        entry.retry_at_ns = e.clock.now + backoff_ns
+        e.parked.append(entry)
+        e.stats.retries += 1
+        e.driver.retries += 1
+        e.driver.link.counter.record_event(EVT_RETRY)
+        return True
+
+    def _release_parked(self, pipeline_idle: bool) -> None:
+        e = self.engine
+        if not e.parked:
+            return
+        if pipeline_idle and not e.table:
+            # Nothing in flight to absorb the wait: backoff is the only
+            # thing standing between now and progress, so sleep to the
+            # earliest resubmission point.
+            e.clock.advance_to(min(p.retry_at_ns for p in e.parked))
+        ready = [p for p in e.parked if p.retry_at_ns <= e.clock.now]
+        if not ready:
+            return
+        e.parked = [p for p in e.parked if p.retry_at_ns > e.clock.now]
+        for entry in ready:
+            e.resubmit(entry)

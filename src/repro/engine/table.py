@@ -1,0 +1,187 @@
+"""In-flight command table: futures keyed by (qid, cid).
+
+The table is the engine's source of truth for outstanding work.  Every
+asynchronous submission registers an :class:`InFlightCommand` under the
+(queue id, command id) pair its CQE will carry; the completion reactor
+pops entries as CQEs arrive and resolves their futures — out of order,
+exactly as NVMe permits.
+
+Entries also carry everything the recovery paths need to *re-issue* a
+command from scratch: the original payload and command words, the
+attempt count, the first-submission timestamp, and the absolute
+deadline derived from the driver's :class:`~repro.host.driver.RetryPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.nvme.completion import NvmeCompletion
+
+#: Future lifecycle states.
+PENDING = "pending"
+OK = "ok"
+FAILED = "failed"
+TIMED_OUT = "timed_out"
+
+
+class FutureError(Exception):
+    """Misuse of a command future (double resolve, result before done)."""
+
+
+class CommandFuture:
+    """Single-assignment result slot for one asynchronous command.
+
+    The simulation is single-threaded, so this is a plain state machine
+    rather than a synchronised primitive: ``done`` flips exactly once,
+    when the reactor resolves or fails the command.
+    """
+
+    __slots__ = ("state", "cqe", "status", "latency_ns", "attempts",
+                 "method_used", "stream", "payload_len", "submit_ns")
+
+    def __init__(self, stream: Optional[int] = None,
+                 payload_len: int = 0) -> None:
+        self.state = PENDING
+        self.cqe: Optional[NvmeCompletion] = None
+        self.status: Optional[int] = None
+        self.latency_ns: float = 0.0
+        self.attempts: int = 0
+        #: Transfer method of the final (resolving) submission — may
+        #: differ from the requested one after a breaker fallback.
+        self.method_used: Optional[str] = None
+        self.stream = stream
+        self.payload_len = payload_len
+        self.submit_ns: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.state != PENDING
+
+    @property
+    def ok(self) -> bool:
+        return self.state == OK
+
+    def result(self) -> NvmeCompletion:
+        """The resolving CQE; raises if the command is still pending or
+        produced no completion at all (hard timeout)."""
+        if not self.done:
+            raise FutureError("command still in flight")
+        if self.cqe is None:
+            raise FutureError("command timed out without a completion")
+        return self.cqe
+
+    def _resolve(self, state: str, cqe: Optional[NvmeCompletion],
+                 latency_ns: float) -> None:
+        if self.done:
+            raise FutureError(f"future already resolved ({self.state})")
+        self.state = state
+        self.cqe = cqe
+        self.status = cqe.status if cqe is not None else None
+        self.latency_ns = latency_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CommandFuture({self.state}, status={self.status}, "
+                f"attempts={self.attempts})")
+
+
+@dataclass
+class InFlightCommand:
+    """One outstanding command plus everything needed to re-issue it."""
+
+    future: CommandFuture
+    #: Requested transfer method ("byteexpress" | "prp" | "bandslim").
+    method: str
+    opcode: int
+    payload: bytes
+    cdw10: int = 0
+    cdw11: int = 0
+    nsid: int = 1
+    stream: Optional[int] = None
+    #: Method actually used for the current submission (breaker fallback
+    #: may downgrade an inline request to "prp" per attempt).
+    method_used: str = ""
+    #: (qid, cid) of the current submission; None while parked for retry.
+    key: Optional[Tuple[int, int]] = None
+    #: Tagged-mode payload id of the current submission, if any.
+    payload_id: Optional[int] = None
+    attempts: int = 0
+    first_submit_ns: float = 0.0
+    last_submit_ns: float = 0.0
+    deadline_ns: float = float("inf")
+    #: Absolute simulated time before which a parked entry must not be
+    #: resubmitted (exponential backoff).
+    retry_at_ns: float = 0.0
+
+    @property
+    def qid(self) -> Optional[int]:
+        return self.key[0] if self.key else None
+
+    def fail(self, cqe: Optional[NvmeCompletion], now_ns: float) -> None:
+        state = FAILED if cqe is not None else TIMED_OUT
+        self.future.attempts = self.attempts
+        self.future.method_used = self.method_used
+        self.future._resolve(state, cqe, now_ns - self.first_submit_ns)
+
+    def resolve(self, cqe: NvmeCompletion, now_ns: float) -> None:
+        self.future.attempts = self.attempts
+        self.future.method_used = self.method_used
+        state = OK if cqe.ok else FAILED
+        self.future._resolve(state, cqe, now_ns - self.first_submit_ns)
+
+    @property
+    def is_inline(self) -> bool:
+        """Did the *current* submission use an inline transfer path?"""
+        return self.method_used in ("byteexpress", "bandslim")
+
+
+class InFlightTable:
+    """All commands currently owned by the device, keyed by (qid, cid).
+
+    Mirrors the driver's live-CID sets at a higher level: the driver
+    tracks which CIDs are unavailable, the table tracks *what the host
+    is waiting for* under each of them.  ``high_water`` records the
+    deepest the pipeline ever got — the scaling reports surface it to
+    show the engine actually sustained QD ≫ 1.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, int], InFlightCommand] = {}
+        self._per_queue: Dict[int, int] = {}
+        self.high_water = 0
+
+    def add(self, entry: InFlightCommand) -> None:
+        if entry.key is None:
+            raise ValueError("entry has no (qid, cid) key")
+        if entry.key in self._entries:
+            raise ValueError(f"duplicate in-flight key {entry.key}")
+        self._entries[entry.key] = entry
+        self._per_queue[entry.key[0]] = self._per_queue.get(entry.key[0], 0) + 1
+        self.high_water = max(self.high_water, len(self._entries))
+
+    def pop(self, key: Tuple[int, int]) -> Optional[InFlightCommand]:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._per_queue[key[0]] -= 1
+        return entry
+
+    def get(self, key: Tuple[int, int]) -> Optional[InFlightCommand]:
+        return self._entries.get(key)
+
+    def pending_on(self, qid: int) -> int:
+        return self._per_queue.get(qid, 0)
+
+    def entries(self) -> List[InFlightCommand]:
+        """Snapshot of current entries (safe to mutate the table while
+        iterating the returned list)."""
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[InFlightCommand]:
+        return iter(list(self._entries.values()))

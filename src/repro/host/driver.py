@@ -25,7 +25,7 @@ succeeds — fault-tolerant, merely slower.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.driver_ext import submit_plain, submit_with_inline_payload
 from repro.faults.plan import DROP_DOORBELL
@@ -101,8 +101,15 @@ class _QueueResources:
     scratch: int
     scratch_pages: int
     next_cid: int = 0
-    #: PRP list pages to release once the in-flight command completes.
-    pending_list_pages: List[int] = field(default_factory=list)
+    #: CIDs currently in flight on this queue.  At QD>1 a CID may not be
+    #: reused until its completion arrives (or the host abandons the
+    #: command) — a reused CID would make two outstanding commands
+    #: indistinguishable in the CQ.
+    live_cids: Set[int] = field(default_factory=set)
+    #: Host pages (PRP/SGL list pages, private data buffers) to release
+    #: when the owning CID retires — keyed per CID so that out-of-order
+    #: completions at QD>1 free exactly their own pages.
+    pending_pages: Dict[int, List[int]] = field(default_factory=dict)
 
 
 #: Scratch buffer size per queue (covers the largest microbench transfer).
@@ -250,10 +257,55 @@ class NvmeDriver:
         except KeyError:
             raise DriverError(f"no such I/O queue: {qid}")
 
-    def _alloc_cid(self, res: _QueueResources) -> int:
+    def _alloc_cid(self, res: _QueueResources, track: bool = True) -> int:
+        """Hand out the next CID that is not in flight on this queue.
+
+        A CID identifies an outstanding command; reusing one before its
+        completion arrives would make the matching CQE ambiguous, so live
+        CIDs are skipped.  Exhaustion (the whole 16-bit space in flight)
+        raises instead of silently aliasing — it indicates a leak or a
+        pathological queue depth, never a condition to paper over.
+
+        *track=False* hands out a CID without marking it live: for
+        commands that by protocol produce no completion of their own
+        (BandSlim intermediate fragments are acknowledged only through
+        the final fragment's CQE).
+        """
+        if len(res.live_cids) >= 0xFFFF:
+            raise DriverError(
+                f"CID space exhausted on SQ{res.sq.qid}: "
+                f"{len(res.live_cids)} commands in flight")
         cid = res.next_cid
-        res.next_cid = (res.next_cid + 1) & 0xFFFF
+        while cid in res.live_cids:
+            cid = (cid + 1) & 0xFFFF
+        res.next_cid = (cid + 1) & 0xFFFF
+        if track:
+            res.live_cids.add(cid)
         return cid
+
+    def _retire_cid(self, res: _QueueResources, cid: int) -> None:
+        """Release a CID and any host pages pinned for its command.
+
+        Idempotent: retiring an already-retired CID (a stale or duplicate
+        CQE, or an abandoned attempt that later completes) is harmless.
+        """
+        res.live_cids.discard(cid)
+        for page in res.pending_pages.pop(cid, ()):
+            self.memory.free_page(page)
+
+    def inflight(self, qid: int) -> int:
+        """Commands currently outstanding on *qid* (live CIDs)."""
+        return len(self.queue(qid).live_cids)
+
+    def retire(self, qid: int, cid: int) -> None:
+        """Abandon an outstanding command: release its CID and pages.
+
+        The engine's timeout path calls this before resubmitting under a
+        fresh CID — if the original CQE was lost for good, nothing else
+        will ever retire the old one.  Idempotent, like
+        :meth:`_retire_cid`.
+        """
+        self._retire_cid(self.queue(qid), cid)
 
     def _stage_data(self, res: _QueueResources, data: bytes) -> int:
         """Copy the user payload into the queue's DMA-able scratch buffer."""
@@ -289,15 +341,31 @@ class NvmeDriver:
     # submission primitives
     # ------------------------------------------------------------------
     def submit_write_prp(self, cmd: NvmeCommand, data: bytes,
-                         qid: int, ring: bool = True) -> int:
-        """Stock write path: stage data, build PRPs, insert SQE, doorbell."""
+                         qid: int, ring: bool = True,
+                         private_buffer: bool = False) -> int:
+        """Stock write path: stage data, build PRPs, insert SQE, doorbell.
+
+        *private_buffer* allocates a dedicated DMA buffer for this command
+        instead of reusing the queue's scratch area.  Mandatory at QD>1:
+        concurrent in-flight writes staged into the shared scratch would
+        overwrite each other before the device fetches them.  The buffer
+        is freed automatically when the command's CID retires.
+        """
         if not data:
             raise DriverError("PRP write requires a payload")
         res = self.queue(qid)
-        addr = self._stage_data(res, data)
+        data_pages: List[int] = []
+        if private_buffer:
+            data_pages = self.memory.alloc_pages(
+                max(1, (len(data) + PAGE_SIZE - 1) // PAGE_SIZE))
+            addr = data_pages[0]
+            self.memory.write(addr, data)
+        else:
+            addr = self._stage_data(res, data)
         mapping = build_prps(self.memory, addr, len(data))
-        res.pending_list_pages.extend(mapping.list_pages)
         cmd.cid = self._alloc_cid(res)
+        res.pending_pages.setdefault(cmd.cid, []).extend(
+            list(mapping.list_pages) + data_pages)
         cmd.prp1 = mapping.prp1
         cmd.prp2 = mapping.prp2
         cmd.cdw12 = len(data)
@@ -316,8 +384,8 @@ class NvmeDriver:
         res = self.queue(qid)
         addr = self._stage_data(res, data)
         mapping = build_sgl(self.memory, [(addr, len(data))])
-        res.pending_list_pages.extend(mapping.segment_pages)
         cmd.cid = self._alloc_cid(res)
+        res.pending_pages.setdefault(cmd.cid, []).extend(mapping.segment_pages)
         cmd.use_sgl()
         desc = mapping.inline.pack()
         cmd.prp1 = int.from_bytes(desc[:8], "little")
@@ -386,11 +454,16 @@ class NvmeDriver:
         return cmd.cid
 
     def submit_raw(self, cmd: NvmeCommand, qid: int,
-                   ring: bool = True) -> int:
+                   ring: bool = True, expect_completion: bool = True) -> int:
         """Insert a command with no driver-managed data phase (BandSlim
-        fragments, flushes, result-fetch commands)."""
+        fragments, flushes, result-fetch commands).
+
+        *expect_completion=False* marks a command whose CQE is suppressed
+        by protocol (BandSlim intermediate fragments): its CID is not
+        tracked as live, because no completion will ever retire it.
+        """
         res = self.queue(qid)
-        cmd.cid = self._alloc_cid(res)
+        cmd.cid = self._alloc_cid(res, track=expect_completion)
         with res.sq.lock:
             with self.clock.span("drv.sq_submit"):
                 submit_plain(res.sq, cmd, self.clock, self.timing)
@@ -434,8 +507,8 @@ class NvmeDriver:
             raise DriverError("total read length smaller than wanted bytes")
         mapping = build_read_sgl(self.memory, res.scratch, want,
                                  total - want)
-        res.pending_list_pages.extend(mapping.segment_pages)
         cmd.cid = self._alloc_cid(res)
+        res.pending_pages.setdefault(cmd.cid, []).extend(mapping.segment_pages)
         cmd.use_sgl()
         desc = mapping.inline.pack()
         cmd.prp1 = int.from_bytes(desc[:8], "little")
@@ -488,8 +561,8 @@ class NvmeDriver:
             temp_pages.extend(pages)
             self.memory.write(pages[0], payload)
             mapping = build_prps(self.memory, pages[0], len(payload))
-            res.pending_list_pages.extend(mapping.list_pages)
             cmd.cid = self._alloc_cid(res)
+            res.pending_pages.setdefault(cmd.cid, []).extend(mapping.list_pages)
             cmd.prp1, cmd.prp2 = mapping.prp1, mapping.prp2
             cmd.cdw12 = len(payload)
             with self.clock.span("drv.sq_submit"):
@@ -516,6 +589,42 @@ class NvmeDriver:
         """Drive the device until one completion arrives on *qid*."""
         return self._wait_on(self.queue(qid))
 
+    def kick(self, qid: int) -> None:
+        """Ring *qid*'s SQ doorbell, publishing any unrung submissions.
+
+        The engine submits with ``ring=False`` and kicks once per batch;
+        this is also the timeout-recovery re-ring (republishing the tail
+        is idempotent and recovers a dropped doorbell write).
+        """
+        res = self.queue(qid)
+        with res.sq.lock:
+            self._ring_sq_doorbell(res)
+
+    def reap(self, qid: int,
+             limit: Optional[int] = None) -> List[NvmeCompletion]:
+        """Drain up to *limit* visible CQEs from *qid* without blocking.
+
+        Pure completion-side harvesting for the reactor: never drives the
+        device.  Each CQE pays host handling cost, applies the SQ-head
+        report, and retires its CID (freeing that command's pinned
+        pages).  The CQ doorbell is rung once per batch — the head
+        publication amortises exactly as interrupt-coalesced drivers do.
+        """
+        res = self.queue(qid)
+        out: List[NvmeCompletion] = []
+        while limit is None or len(out) < limit:
+            cqe = res.cq.poll()
+            if cqe is None:
+                break
+            with self.clock.span("drv.completion"):
+                self.clock.advance(self.timing.completion_handle_ns)
+                res.sq.note_sq_head(cqe.sq_head)
+            self._retire_cid(res, cqe.cid)
+            out.append(cqe)
+        if out:
+            self._ring_cq_doorbell(res)
+        return out
+
     def _try_wait_on(self,
                      res: _QueueResources) -> Optional[NvmeCompletion]:
         """One poll → process → poll round; ``None`` means timeout.
@@ -534,9 +643,7 @@ class NvmeDriver:
             self.clock.advance(self.timing.completion_handle_ns)
             res.sq.note_sq_head(cqe.sq_head)
             self._ring_cq_doorbell(res)
-        for page in res.pending_list_pages:
-            self.memory.free_page(page)
-        res.pending_list_pages.clear()
+        self._retire_cid(res, cqe.cid)
         return cqe
 
     def _wait_on(self, res: _QueueResources) -> NvmeCompletion:
@@ -583,8 +690,13 @@ class NvmeDriver:
         attempt = 0
         cqe: Optional[NvmeCompletion] = None
         read_buf: Optional[int] = None
+        prev_cid: Optional[int] = None
         while True:
             attempt += 1
+            if prev_cid is not None:
+                # The previous attempt is abandoned; if its CQE was lost
+                # for good, nothing else will ever retire the CID.
+                self._retire_cid(res, prev_cid)
             cmd = NvmeCommand(opcode=req.opcode, nsid=req.nsid,
                               cdw10=req.cdw10, cdw11=req.cdw11,
                               cdw12=req.cdw12, cdw13=req.cdw13,
@@ -592,17 +704,18 @@ class NvmeDriver:
             read_buf = None
             if req.is_write:
                 if method == "prp":
-                    self.submit_write_prp(cmd, req.data, qid)
+                    prev_cid = self.submit_write_prp(cmd, req.data, qid)
                 elif method == "sgl":
-                    self.submit_write_sgl(cmd, req.data, qid)
+                    prev_cid = self.submit_write_sgl(cmd, req.data, qid)
                 elif method == "byteexpress":
-                    self.submit_write_inline(cmd, req.data, qid)
+                    prev_cid = self.submit_write_inline(cmd, req.data, qid)
                 else:
                     raise DriverError(f"unknown transfer method {method!r}")
             elif req.read_len:
-                _, read_buf = self.submit_read_prp(cmd, req.read_len, qid)
+                prev_cid, read_buf = self.submit_read_prp(cmd, req.read_len,
+                                                          qid)
             else:
-                self.submit_raw(cmd, qid)
+                prev_cid = self.submit_raw(cmd, qid)
 
             cqe = self._try_wait_on(res)
             if cqe is None:

@@ -56,10 +56,13 @@ def format_latency_summary(summary) -> str:
     """
     if summary.count == 0:
         return "no samples"
-    return (f"n={summary.count} mean={summary.mean_us:.2f}us "
+    line = (f"n={summary.count} mean={summary.mean_us:.2f}us "
             f"p1={summary.p1 / 1000.0:.2f}us "
             f"p50={summary.p50 / 1000.0:.2f}us "
             f"p99={summary.p99 / 1000.0:.2f}us")
+    if getattr(summary, "p999", 0.0):
+        line += f" p99.9={summary.p999 / 1000.0:.2f}us"
+    return line
 
 
 def format_bytes(nbytes: float) -> str:

@@ -71,3 +71,13 @@ class NvmeCompletion:
     def retryable(self) -> bool:
         """A failure the host driver is allowed to resubmit."""
         return not self.ok and not self.dnr
+
+    @property
+    def command_key(self):
+        """The (sq_id, cid) pair that identifies the completed command.
+
+        At queue depth > 1 completions arrive out of submission order;
+        the engine's in-flight table is keyed by exactly this pair, which
+        is the only identity the CQE carries back to the host.
+        """
+        return (self.sq_id, self.cid)

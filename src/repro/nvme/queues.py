@@ -167,22 +167,35 @@ class CompletionQueue:
         return slot
 
     # -- host operations -----------------------------------------------------
-    def poll(self) -> Optional[NvmeCompletion]:
-        """Consume the next completion if its phase bit matches; else None."""
+    def peek(self) -> Optional[NvmeCompletion]:
+        """Read the next completion without consuming it; None if empty.
+
+        The completion reactor uses this to decide whether a CQ has work
+        before paying per-CQE handling costs — the phase-bit check is the
+        only host-side signal that a new entry has landed.
+        """
         raw = self.memory.read(self.slot_addr(self.head), CQE_SIZE)
         cqe = NvmeCompletion.unpack(raw)
         if cqe.phase != self.phase:
+            return None
+        return cqe
+
+    def poll(self) -> Optional[NvmeCompletion]:
+        """Consume the next completion if its phase bit matches; else None."""
+        cqe = self.peek()
+        if cqe is None:
             return None
         self.head = (self.head + 1) % self.depth
         if self.head == 0:
             self.phase ^= 1
         return cqe
 
-    def drain(self) -> List[NvmeCompletion]:
-        """Consume all currently visible completions."""
+    def drain(self, limit: Optional[int] = None) -> List[NvmeCompletion]:
+        """Consume all currently visible completions (up to *limit*)."""
         out: List[NvmeCompletion] = []
-        while True:
+        while limit is None or len(out) < limit:
             cqe = self.poll()
             if cqe is None:
-                return out
+                break
             out.append(cqe)
+        return out

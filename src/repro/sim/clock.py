@@ -57,6 +57,7 @@ class SimClock:
         self._now = float(start_ns)
         self._spans: List[Span] = []
         self._open: List[Tuple[str, float]] = []
+        self._concurrency: List[float] = []
         self.jitter = jitter
         self._rng_state = seed & 0xFFFFFFFFFFFFFFFF or 1
 
@@ -84,7 +85,32 @@ class SimClock:
             gaussian = (self._next_uniform() + self._next_uniform()
                         + self._next_uniform() - 1.5) * 2.0
             duration_ns *= math.exp(self.jitter * gaussian)
+        if self._concurrency:
+            duration_ns /= self._concurrency[-1]
         self._now += duration_ns
+
+    @contextmanager
+    def concurrent(self, lanes: float) -> Iterator[None]:
+        """Scale advances inside the block by ``1/lanes``.
+
+        Models *lanes* identical units progressing in parallel under
+        processor sharing: when the firmware loop services N queues with
+        N parallel fetch/DMA engines, each unit of per-command work only
+        occupies ``1/N`` of wall-clock time.  The cost-accounting clock
+        is otherwise strictly serial, which would make multi-queue
+        service no faster than single-queue — this is the one place the
+        model expresses hardware concurrency.
+
+        Nested regions are allowed; the innermost factor wins (the engine
+        never nests them in practice).
+        """
+        if lanes < 1:
+            raise ValueError(f"concurrency must be >= 1, got {lanes}")
+        self._concurrency.append(float(lanes))
+        try:
+            yield
+        finally:
+            self._concurrency.pop()
 
     def advance_to(self, t_ns: float) -> None:
         """Jump forward to an absolute time; no-op if already past it."""

@@ -166,19 +166,16 @@ class SimConfig:
     timing_jitter: float = 0.0
     #: Deterministic seed for workload generators.
     seed: int = 0x5EED
+    #: Tagged-mode reassembly capacity: payloads the controller tracks
+    #: concurrently (paper §3.3.2 SRAM budget).  Must cover the engine's
+    #: worst case of ``num_io_queues * per-queue QD`` in-flight writes.
+    reassembly_in_flight: int = 256
+    #: Parallel command-fetch/DMA engines in the controller.  The engine's
+    #: completion reactor services up to this many SQs concurrently; more
+    #: host queues than lanes saturate the fetch path (the scaling
+    #: ablation's knee).  The Cosmos+-class controller models 4.
+    fetch_lanes: int = 4
 
     def nand_off(self) -> "SimConfig":
         """Copy of this config with NAND I/O disabled (latency-only runs)."""
-        cfg = SimConfig(
-            link=self.link,
-            timing=self.timing,
-            num_io_queues=self.num_io_queues,
-            sq_depth=self.sq_depth,
-            cq_depth=self.cq_depth,
-            device_dram_bytes=self.device_dram_bytes,
-            nand_enabled=False,
-            lba_bytes=self.lba_bytes,
-            timing_jitter=self.timing_jitter,
-            seed=self.seed,
-        )
-        return cfg
+        return replace(self, nand_enabled=False)

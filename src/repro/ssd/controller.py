@@ -203,9 +203,14 @@ class NvmeController:
         self._rr_next = 0
         self.enabled = False
         # tagged-mode state
-        self._reassembly = ReassemblyBuffer(max_in_flight=256)
+        self._reassembly = ReassemblyBuffer(
+            max_in_flight=config.reassembly_in_flight)
         self._pending_chunks: Dict[int, int] = {}
         self._deferred: List[_DeferredCommand] = []
+        #: Optional fetch-order trace: when set to a list, every serviced
+        #: qid is appended.  Off by default (unbounded growth); the
+        #: round-robin fairness regression test switches it on.
+        self.service_log: Optional[List[int]] = None
         # stats
         self.commands_processed = 0
         self.admin_commands_processed = 0
@@ -351,27 +356,69 @@ class NvmeController:
                    or self._pending_chunks.get(qid, 0) > 0
                    for qid in self._sqs)
 
+    def active_queue_count(self) -> int:
+        """Queues with doorbell'd work the next sweep would service.
+
+        The engine's completion reactor uses this to size the firmware's
+        parallel service width (bounded by ``config.fetch_lanes``).
+        """
+        return sum(1 for qid in self._sqs
+                   if self._pending_on(qid) > 0
+                   or self._pending_chunks.get(qid, 0) > 0)
+
+    def supports(self, opcode: int) -> bool:
+        """Is firmware registered for *opcode*?  (Feature probing for
+        layered transports such as BandSlim fragment reassembly.)"""
+        return opcode in self._handlers
+
+    def abort_payload(self, payload_id: int) -> None:
+        """Drop tagged-reassembly state for an abandoned payload.
+
+        The engine's timeout path calls this before resubmitting a
+        tagged command under a fresh payload id, so half-received chunk
+        state cannot pin SRAM forever.  Idempotent.
+        """
+        self._reassembly.abort(payload_id)
+
     def process_all(self) -> int:
         """Run the firmware loop until every queue is drained."""
         done = 0
         while self.has_pending():
-            done += self._poll_once()
+            done += self.poll_once()
         return done
 
-    def _poll_once(self) -> int:
-        """One round-robin sweep over the doorbells."""
+    def poll_once(self) -> int:
+        """One round-robin sweep over the doorbells.
+
+        Fairness: the sweep *resumes from the queue after the last one it
+        serviced* rather than restarting from a fixed position.  A full
+        sweep advances ``_rr_next`` by exactly its own length, so the old
+        code always began at the same queue — under sustained multi-queue
+        load the lowest-numbered SQ was serviced first every sweep and
+        high-numbered SQs saw systematically worse fetch latency.
+        """
         done = 0
-        for _ in range(len(self._rr_order)):
-            qid = self._rr_order[self._rr_next]
-            self._rr_next = (self._rr_next + 1) % len(self._rr_order)
+        order = self._rr_order
+        if not order:
+            return 0
+        start = self._rr_next
+        for i in range(len(order)):
+            idx = (start + i) % len(order)
+            qid = order[idx]
             if self.mode == MODE_TAGGED and self._pending_chunks.get(qid, 0):
                 self._fetch_tagged_chunk(qid)
-                done += 1
-                continue
-            if self._pending_on(qid) > 0:
+            elif self._pending_on(qid) > 0:
                 self._fetch_and_execute(qid)
-                done += 1
+            else:
+                continue
+            done += 1
+            self._rr_next = (idx + 1) % len(order)
+            if self.service_log is not None:
+                self.service_log.append(qid)
         return done
+
+    #: Backwards-compatible alias (pre-engine name).
+    _poll_once = poll_once
 
     # ------------------------------------------------------------------
     # command fetch (the get_nvme_cmd analogue)

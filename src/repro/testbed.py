@@ -45,6 +45,26 @@ class Testbed:
             raise KeyError(f"unknown transfer method {name!r}; "
                            f"have {sorted(self.methods)}")
 
+    def make_engine(self, queues: Optional[int] = None, qd: int = 8,
+                    policy: str = "round_robin",
+                    fetch_lanes: Optional[int] = None):
+        """Build an :class:`~repro.engine.IoEngine` over this rig.
+
+        *queues* limits the engine to the first N of the rig's I/O
+        queues (default: all of them).
+        """
+        from repro.engine import IoEngine
+
+        qids = self.driver.io_qids
+        if queues is not None:
+            if not 1 <= queues <= len(qids):
+                raise ValueError(
+                    f"rig has {len(qids)} I/O queues, cannot run on "
+                    f"{queues}")
+            qids = qids[:queues]
+        return IoEngine(self.ssd, self.driver, queues=qids, qd=qd,
+                        policy=policy, fetch_lanes=fetch_lanes)
+
 
 def make_block_testbed(config: Optional[SimConfig] = None,
                        mode: str = MODE_QUEUE_LOCAL,
@@ -62,6 +82,27 @@ def make_block_testbed(config: Optional[SimConfig] = None,
     methods = make_methods(ssd, driver, include_mmio=include_mmio)
     return Testbed(ssd=ssd, driver=driver, methods=methods,
                    personality=personality)
+
+
+def make_engine_testbed(queues: int = 4,
+                        config: Optional[SimConfig] = None,
+                        mode: str = MODE_QUEUE_LOCAL,
+                        include_mmio: bool = False,
+                        fault_plan=None) -> Testbed:
+    """Block-SSD rig sized for the asynchronous engine's scaling runs.
+
+    Unless an explicit *config* is given, the rig gets exactly *queues*
+    I/O queue pairs with NAND off — the configuration the queue-count ×
+    queue-depth ablation sweeps.  Combine with
+    :meth:`Testbed.make_engine` to obtain the engine itself.
+    """
+    cfg = config or SimConfig(num_io_queues=queues).nand_off()
+    if cfg.num_io_queues < queues:
+        raise ValueError(f"config has {cfg.num_io_queues} I/O queues, "
+                         f"engine rig needs {queues}")
+    return make_block_testbed(config=cfg, mode=mode,
+                              include_mmio=include_mmio,
+                              fault_plan=fault_plan)
 
 
 def make_kv_testbed(config: Optional[SimConfig] = None,

@@ -212,8 +212,11 @@ class BandSlimTransfer(TransferMethod):
                                  target_cdw10=cdw10)
             clock.advance(timing.bandslim_frag_host_ns)
             # Every fragment is a full command with its own SQE; the tail
-            # update is published once the sequence is in place.
-            self.driver.submit_raw(frag, qid, ring=last)
+            # update is published once the sequence is in place.  Only the
+            # final fragment produces a CQE (intermediates are suppressed
+            # by the device layer), so only its CID is tracked as live.
+            self.driver.submit_raw(frag, qid, ring=last,
+                                   expect_completion=last)
 
         cqe = self.driver.wait(qid)
         status = cqe.status
