@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Perf-regression guard over the burst-path ablation (ISSUE 3, CI).
+
+Compares a freshly generated ``ablation_burst_path.json`` against the
+committed baseline, cell by cell (keyed on method × doorbell × burst):
+
+* simulated-clock throughput may not fall below ``1 - TOLERANCE`` of
+  the baseline — the cost model is deterministic, so a real drop means
+  a code change made the protocol path slower;
+* doorbell and cmd-fetch TLPs per op may not rise above
+  ``1 + TOLERANCE`` of the baseline — these are the two categories the
+  burst path exists to shrink, and a silent increase is exactly the
+  regression this PR's machinery must catch.
+
+Counts near zero (shadow mode's doorbell column) get a small absolute
+allowance instead of a ratio, which would be meaningless at ~0.
+
+Usage::
+
+    python check_perf_regression.py BASELINE.json FRESH.json
+
+Exit status 0 = within tolerance, 1 = regression, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+#: Relative headroom on every guarded metric (deterministic model: the
+#: slack only absorbs op-count-dependent amortisation differences).
+TOLERANCE = 0.20
+#: Absolute TLP/op allowance when the baseline is (near) zero.
+ABS_TLP_FLOOR = 0.05
+
+#: TLP categories whose growth fails the build.
+GUARDED_TLP_CATS = ("doorbell", "cmd_fetch")
+
+
+def _load(path: str) -> dict:
+    cells = json.loads(pathlib.Path(path).read_text())["cells"]
+    return {(c["method"], c["doorbell"], c["burst"]): c for c in cells}
+
+
+def compare(baseline: dict, fresh: dict) -> list:
+    """All tolerance violations of *fresh* against *baseline*."""
+    problems = []
+    for key, base in sorted(baseline.items()):
+        cell = fresh.get(key)
+        if cell is None:
+            problems.append(f"{key}: cell missing from fresh results")
+            continue
+        floor = base["kiops"] * (1.0 - TOLERANCE)
+        if cell["kiops"] < floor:
+            problems.append(
+                f"{key}: kiops {cell['kiops']:.1f} < {floor:.1f} "
+                f"(baseline {base['kiops']:.1f})")
+        for cat in GUARDED_TLP_CATS:
+            ref = base["tlps_per_op"].get(cat, 0.0)
+            ceil = max(ref * (1.0 + TOLERANCE), ref + ABS_TLP_FLOOR)
+            got = cell["tlps_per_op"].get(cat, 0.0)
+            if got > ceil:
+                problems.append(
+                    f"{key}: {cat} {got:.3f} TLP/op > {ceil:.3f} "
+                    f"(baseline {ref:.3f})")
+    return problems
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        baseline, fresh = _load(argv[1]), _load(argv[2])
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"cannot load results: {exc}", file=sys.stderr)
+        return 2
+    problems = compare(baseline, fresh)
+    for p in problems:
+        print(f"PERF REGRESSION: {p}", file=sys.stderr)
+    if not problems:
+        print(f"perf guard: {len(baseline)} cells within "
+              f"{TOLERANCE:.0%} of baseline")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

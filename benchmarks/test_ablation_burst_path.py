@@ -1,0 +1,165 @@
+"""Ablation: burst-mode data path — shadow doorbells × burst fetch ×
+coalesced completions (ISSUE 3).
+
+Sweeps the three burst-path mechanisms over the engine's 4-queue × QD 8
+configuration on 64 B writes (the paper's small-payload regime, NAND
+off), for both the ByteExpress inline path and the PRP baseline:
+
+* ``doorbell_mode``: stock per-update MMIO doorbells vs the shadow
+  page the controller DMA-reads (one small read per wake-up);
+* ``burst_limit`` (with ``cq_coalesce`` set to match): per-SQE fetch
+  round trips vs one large DMA read per tail advance, and per-CQE
+  posting vs one DMA write + one MSI-X per batch.
+
+Every cell records per-op PCIe TLP counts by protocol category — the
+mechanism-level view of where the wire operations go.  Results are
+archived twice: the human-readable table, and
+``results/ablation_burst_path.json``, which the CI perf-regression
+guard (``check_perf_regression.py``) diffs fresh runs against.
+
+Acceptance (ISSUE 3): at 4q × QD 8 on 64 B ByteExpress writes, shadow
+mode cuts doorbell TLPs by ≥ 50 %, and burst_limit ≥ 4 delivers
+measurably higher simulated-clock IOPS than burst_limit = 1.
+"""
+
+import json
+
+import pytest
+
+from conftest import DEFAULT_OPS, RESULTS_DIR, report
+from repro.engine import LoadGenerator, StreamSpec
+from repro.metrics import format_table
+from repro.pcie.traffic import (
+    CAT_CMD_FETCH,
+    CAT_CQE,
+    CAT_DOORBELL,
+    CAT_INLINE_CHUNK,
+    CAT_MSIX,
+    CAT_SHADOW_SYNC,
+)
+from repro.sim.config import SimConfig
+from repro.testbed import make_engine_testbed
+
+METHODS = ("byteexpress", "prp")
+DOORBELL_MODES = ("mmio", "shadow")
+BURST_LIMITS = (1, 4, 16)
+QUEUES = 4
+QD = 8
+STREAMS = 4
+PAYLOAD = 64
+CATS = (CAT_DOORBELL, CAT_SHADOW_SYNC, CAT_CMD_FETCH, CAT_INLINE_CHUNK,
+        CAT_CQE, CAT_MSIX)
+
+
+def _run_cell(method, doorbell, burst, ops, seed=0x5EED):
+    cfg = SimConfig(num_io_queues=QUEUES, doorbell_mode=doorbell,
+                    burst_limit=burst, cq_coalesce=burst).nand_off()
+    tb = make_engine_testbed(queues=QUEUES, config=cfg)
+    engine = tb.make_engine(queues=QUEUES, qd=QD)
+    tlps_before = {c: tb.traffic.category(c).tlp_count for c in CATS}
+    window = max(1, QUEUES * QD // STREAMS)
+    streams = [StreamSpec(stream_id=i, ops=max(1, ops // STREAMS),
+                          size=f"fixed:{PAYLOAD}", concurrency=window)
+               for i in range(STREAMS)]
+    rep = LoadGenerator(engine, streams, seed=seed, method=method).run()
+    assert rep.total_ok == rep.total_ops, rep
+    return {
+        "method": method,
+        "doorbell": doorbell,
+        "burst": burst,
+        "kiops": rep.kiops,
+        "bytes_per_op": rep.bytes_per_op,
+        "p50_us": rep.latency.p50 / 1000,
+        "p99_us": rep.latency.p99 / 1000,
+        "tlps_per_op": {
+            c: (tb.traffic.category(c).tlp_count - tlps_before[c])
+            / rep.total_ok
+            for c in CATS},
+    }
+
+
+@pytest.fixture(scope="module")
+def grid():
+    out = {}
+    for method in METHODS:
+        for doorbell in DOORBELL_MODES:
+            for burst in BURST_LIMITS:
+                out[(method, doorbell, burst)] = _run_cell(
+                    method, doorbell, burst, DEFAULT_OPS * 2)
+    return out
+
+
+def test_burst_path_report(grid):
+    rows = []
+    for (method, doorbell, burst), cell in sorted(grid.items()):
+        t = cell["tlps_per_op"]
+        rows.append([
+            method, doorbell, burst,
+            f"{cell['kiops']:.1f}",
+            f"{cell['p50_us']:.2f}",
+            f"{cell['bytes_per_op']:.0f}",
+            f"{t[CAT_DOORBELL]:.2f}",
+            f"{t[CAT_SHADOW_SYNC]:.2f}",
+            f"{t[CAT_CMD_FETCH]:.2f}",
+            f"{t[CAT_CQE] + t[CAT_MSIX]:.2f}",
+        ])
+    report("ablation_burst_path", format_table(
+        ["method", "doorbell", "burst", "kops", "p50 (us)", "PCIe B/op",
+         "db TLP/op", "sync TLP/op", "fetch TLP/op", "cqe+irq TLP/op"],
+        rows,
+        title=(f"Burst-path ablation — {PAYLOAD} B writes, {QUEUES} queues "
+               f"x QD {QD}, {STREAMS} streams, NAND off "
+               f"(cq_coalesce = burst_limit)")))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "config": {"queues": QUEUES, "qd": QD, "streams": STREAMS,
+                   "payload": PAYLOAD, "ops": DEFAULT_OPS * 2},
+        "cells": [cell for _, cell in sorted(grid.items())],
+    }
+    (RESULTS_DIR / "ablation_burst_path.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def test_acceptance_shadow_halves_doorbell_tlps(grid):
+    """ISSUE 3 acceptance (a): ≥ 50 % fewer doorbell TLPs in shadow mode."""
+    mmio = grid[("byteexpress", "mmio", 1)]["tlps_per_op"][CAT_DOORBELL]
+    shadow = grid[("byteexpress", "shadow", 1)]["tlps_per_op"][CAT_DOORBELL]
+    assert shadow <= mmio * 0.5, (
+        f"shadow {shadow:.2f} vs mmio {mmio:.2f} doorbell TLP/op")
+
+
+def test_acceptance_burst_fetch_raises_iops(grid):
+    """ISSUE 3 acceptance (b): burst_limit ≥ 4 measurably beats 1."""
+    for doorbell in DOORBELL_MODES:
+        base = grid[("byteexpress", doorbell, 1)]["kiops"]
+        for burst in (4, 16):
+            k = grid[("byteexpress", doorbell, burst)]["kiops"]
+            assert k > base * 1.05, (
+                f"burst {burst} on {doorbell}: {k:.1f} vs {base:.1f} kops")
+
+
+def test_burst_cuts_fetch_and_completion_tlps(grid):
+    """The mechanism view: bigger bursts mean fewer cmd-fetch TLPs and
+    fewer CQE/MSI-X TLPs per op, monotonically."""
+    for method in METHODS:
+        for doorbell in DOORBELL_MODES:
+            fetch = [grid[(method, doorbell, b)]["tlps_per_op"][CAT_CMD_FETCH]
+                     for b in BURST_LIMITS]
+            irq = [grid[(method, doorbell, b)]["tlps_per_op"][CAT_MSIX]
+                   for b in BURST_LIMITS]
+            assert fetch[0] > fetch[1] >= fetch[2], (method, doorbell, fetch)
+            assert irq[0] > irq[1] >= irq[2], (method, doorbell, irq)
+
+
+def test_default_cell_matches_engine_scaling_baseline(grid):
+    """The (mmio, burst 1) ByteExpress cell is exactly the engine-scaling
+    ablation's 4q × QD8 configuration — the default path is untouched."""
+    from test_ablation_engine_scaling import _run_cell as scaling_cell
+
+    rep = scaling_cell(QUEUES, QD, DEFAULT_OPS * 2)
+    assert abs(rep.kiops - grid[("byteexpress", "mmio", 1)]["kiops"]) < 1e-9
+
+
+def test_deterministic_per_seed(grid):
+    again = _run_cell("byteexpress", "shadow", 4, DEFAULT_OPS * 2)
+    assert again == grid[("byteexpress", "shadow", 4)]

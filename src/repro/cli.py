@@ -20,7 +20,7 @@ from typing import List
 from repro.csd.pushdown import CsdClient
 from repro.csd.queries import CORPUS
 from repro.kvssd import KVStore
-from repro.metrics import format_table
+from repro.metrics import format_table, format_traffic_breakdown
 from repro.metrics.ascii_plot import ascii_chart
 from repro.sim.config import LinkConfig, SimConfig
 from repro.testbed import make_block_testbed, make_csd_testbed, make_kv_testbed
@@ -264,9 +264,16 @@ def cmd_engine(args) -> int:
     if args.method not in ("byteexpress", "bandslim", "prp"):
         print(f"unknown engine method {args.method!r}", file=sys.stderr)
         return 2
-    cfg = SimConfig(link=LinkConfig(generation=args.gen),
-                    lba_bytes=args.lba,
-                    num_io_queues=args.queues).nand_off()
+    try:
+        cfg = SimConfig(link=LinkConfig(generation=args.gen),
+                        lba_bytes=args.lba,
+                        num_io_queues=args.queues,
+                        doorbell_mode=args.doorbell_mode,
+                        burst_limit=args.burst_limit,
+                        cq_coalesce=args.cq_coalesce).nand_off()
+    except ValueError as exc:
+        print(f"bad engine configuration: {exc}", file=sys.stderr)
+        return 2
     mode = MODE_TAGGED if args.tagged else MODE_QUEUE_LOCAL
     tb = make_engine_testbed(queues=args.queues, config=cfg, mode=mode,
                              fault_plan=_fault_plan(args))
@@ -290,11 +297,26 @@ def cmd_engine(args) -> int:
                      else sorted(_all_fault_kinds())):
             rows.append([f"injected {kind}",
                          tb.traffic.event_count(fault_event(kind))])
+    ctrl = tb.ssd.controller
+    if args.doorbell_mode == "shadow":
+        rows.append(["shadow syncs", ctrl.shadow_syncs])
+        rows.append(["shadow MMIO wakes", tb.driver.shadow_wakes])
+    if args.burst_limit > 1:
+        rows.append(["burst fetches", ctrl.burst_fetches])
+    if args.cq_coalesce > 1:
+        rows.append(["cqe flushes", ctrl.cqe_flushes])
     title = (f"engine: {args.queues} queue(s) x QD {args.qd}, "
              f"{args.streams} stream(s), {args.method}"
              + (", tagged" if args.tagged else "")
-             + f", policy {args.policy}")
+             + f", policy {args.policy}"
+             + (f", doorbells {args.doorbell_mode}"
+                f", burst {args.burst_limit}"
+                f", coalesce {args.cq_coalesce}"
+                if (args.doorbell_mode != "mmio" or args.burst_limit > 1
+                    or args.cq_coalesce > 1) else ""))
     print(format_table(["counter", "value"], rows, title=title))
+    print()
+    print(format_traffic_breakdown(tb.traffic, title="PCIe traffic"))
     return 0 if report.total_ok == report.total_ops else 1
 
 
@@ -388,6 +410,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mean exponential think time per stream (0 = closed)")
     p.add_argument("--tagged", action="store_true",
                    help="tagged chunk mode (cross-SQ reassembly, §3.3.2)")
+    p.add_argument("--doorbell-mode", choices=("mmio", "shadow"),
+                   default="mmio",
+                   help="doorbell publication: posted MMIO writes (stock) "
+                        "or a DMA-read host-memory shadow page")
+    p.add_argument("--burst-limit", type=int, default=1,
+                   help="max contiguous SQEs fetched in one DMA read "
+                        "(1 = stock per-SQE fetch)")
+    p.add_argument("--cq-coalesce", type=int, default=1,
+                   help="CQEs buffered per completion DMA write + MSI-X "
+                        "(1 = stock per-CQE posting)")
     p.add_argument("--seed", type=_seed_int, default=0x5EED)
     p.add_argument("--faults", type=float, default=0.0, metavar="RATE",
                    help="per-opportunity fault probability (0 disables)")

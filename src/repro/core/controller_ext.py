@@ -15,8 +15,8 @@ the traffic figures are both reproduced from one code path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.core.chunking import CHUNK_SIZE, join_chunks
 from repro.core.inline_command import InlineInfo
@@ -48,6 +48,42 @@ class DeviceSqState:
         self.head = (self.head + count) % self.depth
 
 
+@dataclass
+class SqeWindow:
+    """A run of contiguous SQ entries prefetched by one burst DMA read.
+
+    When a doorbell advances the tail by N, the controller may fetch
+    min(N, burst_limit) entries with a single large MRd instead of N
+    per-SQE round trips.  The window hands entries back one at a time,
+    but only while they still line up with the queue's device head —
+    after a resync (head jump) the remaining prefetched entries are
+    stale and the window refuses to serve them.
+    """
+
+    start: int
+    depth: int
+    entries: List[bytes] = field(default_factory=list)
+    consumed: int = 0
+
+    @property
+    def next_index(self) -> int:
+        """Ring slot of the next unconsumed prefetched entry."""
+        return (self.start + self.consumed) % self.depth
+
+    @property
+    def remaining(self) -> int:
+        return len(self.entries) - self.consumed
+
+    def take(self, head: int) -> Optional[bytes]:
+        """The entry at ring slot *head*, or None if the window cannot
+        serve it (exhausted, or the head diverged from the prefetch)."""
+        if self.remaining <= 0 or self.next_index != head % self.depth:
+            return None
+        raw = self.entries[self.consumed]
+        self.consumed += 1
+        return raw
+
+
 class InlineFetchError(Exception):
     """Raised when the advertised chunk count exceeds the doorbell'd tail."""
 
@@ -70,6 +106,7 @@ def fetch_inline_payload(
     clock: SimClock,
     timing: TimingModel,
     injector=None,
+    window: Optional[SqeWindow] = None,
 ) -> bytes:
     """Fetch ``info.chunks`` payload entries following the command.
 
@@ -83,6 +120,11 @@ def fetch_inline_payload(
     chunk's DMA with a detected ``corrupt_chunk`` fault; the fetch is
     abandoned with :class:`ChunkCorruptionError` after paying for the
     entries already moved.
+
+    *window* (a :class:`SqeWindow`) supplies chunks the controller
+    already burst-prefetched: those cost no new TLPs and only the cheap
+    on-die decode time; chunks past the window's end fall back to the
+    per-entry DMA path.
     """
     from repro.faults.plan import CORRUPT_CHUNK
 
@@ -94,13 +136,19 @@ def fetch_inline_payload(
 
     chunks: List[bytes] = []
     for i in range(info.chunks):
-        raw = host_memory.read(state.slot_addr(state.head), CHUNK_SIZE)
-        state.advance()
-        # Traffic: a real 64 B DMA fetch per chunk; time: the calibrated
-        # all-in per-entry cost (wire share included — do not double charge).
-        link.record_only(CAT_INLINE_CHUNK,
-                         tlpmod.device_dma_read(CHUNK_SIZE, link.config))
-        clock.advance(timing.chunk_fetch_ns)
+        raw = window.take(state.head) if window is not None else None
+        if raw is not None:
+            state.advance()
+            clock.advance(timing.burst_sqe_logic_ns)
+        else:
+            raw = host_memory.read(state.slot_addr(state.head), CHUNK_SIZE)
+            state.advance()
+            # Traffic: a real 64 B DMA fetch per chunk; time: the
+            # calibrated all-in per-entry cost (wire share included —
+            # do not double charge).
+            link.record_only(CAT_INLINE_CHUNK,
+                             tlpmod.device_dma_read(CHUNK_SIZE, link.config))
+            clock.advance(timing.chunk_fetch_ns)
         if injector is not None and injector.fire(CORRUPT_CHUNK):
             raise ChunkCorruptionError(
                 f"SQ{state.qid}: inline chunk {i + 1}/{info.chunks} "

@@ -82,6 +82,10 @@ class CompletionReactor:
             lanes = min(max(1, ctrl.active_queue_count()), e.fetch_lanes)
             with e.clock.concurrent(lanes):
                 ctrl.poll_once()
+        # The device ran dry: flush coalesced completions before the
+        # reap phase and, under shadow doorbells, publish the park
+        # record so the host knows when a BAR wake becomes necessary.
+        ctrl.quiesce()
 
     # ------------------------------------------------------------------
     # completion harvesting

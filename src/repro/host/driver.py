@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.driver_ext import submit_plain, submit_with_inline_payload
 from repro.faults.plan import DROP_DOORBELL
 from repro.host.breaker import CircuitBreaker
+from repro.host.shadow import ShadowDoorbells
 from repro.pcie.traffic import (
     EVT_BREAKER_TRIP,
     EVT_INLINE_FALLBACK,
@@ -161,12 +162,18 @@ class NvmeDriver:
         self.retries = 0
         self.timeouts = 0
         self.inline_fallbacks = 0
+        #: Shadow-doorbell pages (None in stock MMIO mode).
+        self.shadow: Optional[ShadowDoorbells] = None
+        self.shadow_rings = 0
+        self.shadow_wakes = 0
         self._queues: Dict[int, _QueueResources] = {}
         self._admin = self._make_resources(0, _ADMIN_DEPTH, _ADMIN_DEPTH)
         self._enable_controller()
         self.identify = self._identify_controller()
         for qid in range(1, ssd.config.num_io_queues + 1):
             self._create_io_queue_pair(qid)
+        if ssd.config.doorbell_mode == "shadow":
+            self._setup_shadow_doorbells()
 
     # ------------------------------------------------------------------
     # bring-up
@@ -244,6 +251,25 @@ class NvmeDriver:
             raise DriverError(f"CREATE_SQ {qid} failed: {cqe.status:#x}")
         self._queues[qid] = res
 
+    def _setup_shadow_doorbells(self) -> None:
+        """Arm shadow doorbells: allocate the shadow + eventidx pages
+        and register them with a Doorbell Buffer Config admin command.
+
+        After this, I/O doorbell updates become plain host-memory stores
+        the controller DMA-reads on its next wake-up; a BAR write
+        survives only as the wake path for a parked device.  The admin
+        queue keeps MMIO doorbells throughout.
+        """
+        shadow = ShadowDoorbells(self.memory)
+        cmd = NvmeCommand(opcode=AdminOpcode.DBBUF_CONFIG,
+                          prp1=shadow.shadow_addr,
+                          prp2=shadow.eventidx_addr)
+        cqe = self._admin_command(cmd)
+        if not cqe.ok:
+            raise DriverError(
+                f"DBBUF_CONFIG failed with status {cqe.status:#x}")
+        self.shadow = shadow
+
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
@@ -316,23 +342,54 @@ class NvmeDriver:
         return res.scratch
 
     def _ring_sq_doorbell(self, res: _QueueResources) -> None:
-        """Publish the SQ tail: one posted 4-byte MMIO write.
+        """Publish the SQ tail.
+
+        Stock MMIO mode: one posted 4-byte BAR write (one TLP).  Shadow
+        mode (I/O queues only): a plain store into the shadow page —
+        no TLP at all — escalated to a BAR wake only when the
+        device-published park record says the controller stopped
+        polling and the eventidx test says it has not seen this tail.
 
         Must be called with ``res.sq.lock`` held (the real driver writes
         the doorbell under the same spinlock acquisition that inserted
         the entries — releasing first would let another CPU publish a
         tail that skips our entries).
         """
+        old_tail = res.sq.shadow_tail
         tail = res.sq.ring_doorbell()
+        qid = res.sq.qid
+        if self.shadow is not None and qid != 0:
+            self.clock.advance(self.timing.shadow_db_write_ns)
+            if self.faults.fire(DROP_DOORBELL):
+                # The tail store stalled before becoming visible to the
+                # device (model of a torn/not-yet-flushed publication):
+                # the shadow page keeps the stale value and only the
+                # timeout re-ring — which repeats this store — recovers.
+                return
+            self.shadow.write_sq_tail(qid, tail)
+            self.shadow_rings += 1
+            if self.shadow.needs_mmio_wake(qid, old_tail, tail,
+                                           res.sq.depth, self.clock.now):
+                self.link.host_mmio_write(4, CAT_DOORBELL)
+                self.clock.advance(self.timing.doorbell_write_ns)
+                self.shadow_wakes += 1
+                self.ssd.bar.write32(sq_doorbell_offset(qid), tail)
+            return
         self.link.host_mmio_write(4, CAT_DOORBELL)
         self.clock.advance(self.timing.doorbell_write_ns)
         if self.faults.fire(DROP_DOORBELL):
             # The posted write left the root complex but never landed:
             # the host paid the cost, the device's tail stays stale.
             return
-        self.ssd.bar.write32(sq_doorbell_offset(res.sq.qid), tail)
+        self.ssd.bar.write32(sq_doorbell_offset(qid), tail)
 
     def _ring_cq_doorbell(self, res: _QueueResources) -> None:
+        if self.shadow is not None and res.cq.qid != 0:
+            # CQ heads never need a wake: the device only cares when it
+            # next posts completions, and it syncs the shadow page then.
+            self.shadow.write_cq_head(res.cq.qid, res.cq.head)
+            self.clock.advance(self.timing.shadow_db_write_ns)
+            return
         self.ssd.bar.write32(cq_doorbell_offset(res.cq.qid), res.cq.head)
         self.link.host_mmio_write(4, CAT_DOORBELL)
         self.clock.advance(self.timing.doorbell_write_ns)

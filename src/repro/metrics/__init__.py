@@ -7,6 +7,7 @@ from repro.metrics.reporting import (
     format_bytes,
     format_latency_summary,
     format_table,
+    format_traffic_breakdown,
 )
 from repro.metrics.stats import (
     LatencyRecorder,
@@ -27,6 +28,7 @@ __all__ = [
     "reduction_pct",
     "format_table",
     "format_bytes",
+    "format_traffic_breakdown",
     "EnergyModel",
     "EnergyReport",
     "measure_energy",

@@ -65,6 +65,24 @@ def format_latency_summary(summary) -> str:
     return line
 
 
+def format_traffic_breakdown(counter, title: str = "") -> str:
+    """Per-category bytes *and TLP counts* of a
+    :class:`~repro.pcie.traffic.TrafficCounter`.
+
+    TLP counts are the figure of merit for the burst-path work: shadow
+    doorbells remove `doorbell` MMIO TLPs and burst fetch collapses
+    `cmd_fetch` MRd/CplD pairs, which bytes alone under-report (a 4 B
+    doorbell still costs a full TLP's framing on the wire).
+    """
+    bytes_by_cat = counter.breakdown()
+    tlps_by_cat = counter.tlp_breakdown()
+    rows = [[cat, format_bytes(bytes_by_cat[cat]), tlps_by_cat[cat]]
+            for cat in sorted(bytes_by_cat)]
+    rows.append(["total", format_bytes(counter.total_bytes),
+                 counter.tlp_count])
+    return format_table(["category", "bytes", "TLPs"], rows, title=title)
+
+
 def format_bytes(nbytes: float) -> str:
     """Human-readable byte count (KiB/MiB/GiB)."""
     value = float(nbytes)

@@ -71,6 +71,9 @@ class AdminOpcode(enum.IntEnum):
     DELETE_CQ = 0x04
     CREATE_CQ = 0x05
     IDENTIFY = 0x06
+    #: Doorbell Buffer Config (NVMe 1.3, originally for virtualised
+    #: controllers): PRP1 = shadow-doorbell page, PRP2 = eventidx page.
+    DBBUF_CONFIG = 0x7C
 
 
 class StatusCode(enum.IntEnum):

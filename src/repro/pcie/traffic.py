@@ -24,6 +24,9 @@ CAT_CQE = "cqe"
 CAT_MSIX = "msix"
 CAT_MMIO_DATA = "mmio_data"
 CAT_PRP_LIST = "prp_list"
+#: Shadow-doorbell maintenance: the controller's DMA reads of the
+#: host-memory tail/head page and its eventidx/park-record writes.
+CAT_SHADOW_SYNC = "shadow_sync"
 
 #: Well-known protocol events (counted, byteless).
 EVT_RETRY = "retry"
@@ -99,6 +102,15 @@ class TrafficCounter:
     def breakdown(self) -> Dict[str, int]:
         """Total bytes per category (stable ordering by name)."""
         return {k: self._by_cat[k].total_bytes for k in sorted(self._by_cat)}
+
+    def tlp_breakdown(self) -> Dict[str, int]:
+        """TLP count per category (stable ordering by name).
+
+        Counts, not bytes, are what the burst-path optimisations move:
+        shadow doorbells remove `doorbell` MMIO writes and burst fetch
+        collapses N `cmd_fetch` MRd/CplD pairs into one.
+        """
+        return {k: self._by_cat[k].tlp_count for k in sorted(self._by_cat)}
 
     def snapshot(self) -> int:
         """Current total, for delta measurements around an operation."""

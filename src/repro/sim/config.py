@@ -104,6 +104,18 @@ class TimingModel:
     sgl_parse_ns: float = 500.0
     #: Write one CQE back + raise MSI-X.
     completion_post_ns: float = 350.0
+    #: Decode one SQ entry that is already on-die (burst-prefetched):
+    #: no DMA round trip, just copy-out + parse.
+    burst_sqe_logic_ns: float = 150.0
+    #: Append one CQE to the coalescing buffer (device DRAM write).
+    cqe_coalesce_ns: float = 50.0
+    #: Host store to the shadow-doorbell page (cacheable write + sfence)
+    #: — the cost MMIO doorbells are traded against.
+    shadow_db_write_ns: float = 15.0
+    #: Device DMA read of the shadow tail/head array (one small MRd).
+    shadow_sync_ns: float = 500.0
+    #: Device DMA write of the eventidx/park record at idle transition.
+    shadow_park_ns: float = 250.0
     #: Per-page device-DRAM copy-in cost after DMA receive.
     dram_copy_per_kb_ns: float = 90.0
 
@@ -175,6 +187,34 @@ class SimConfig:
     #: host queues than lanes saturate the fetch path (the scaling
     #: ablation's knee).  The Cosmos+-class controller models 4.
     fetch_lanes: int = 4
+    #: Doorbell publication mechanism: ``"mmio"`` (stock NVMe: one posted
+    #: 4 B BAR write per tail/head update) or ``"shadow"`` (Doorbell
+    #: Buffer Config: tails/heads go to a host-memory shadow page the
+    #: controller reads via DMA; a BAR write happens only when the
+    #: device-published eventidx/park record says the device went idle).
+    doorbell_mode: str = "mmio"
+    #: Maximum contiguous SQ entries the controller fetches in one DMA
+    #: read when a doorbell advances the tail by more than one (1 =
+    #: stock per-SQE fetch).  Burst fetch applies to queue-local mode.
+    burst_limit: int = 1
+    #: CQEs the controller buffers before posting them with one DMA
+    #: write and one aggregated MSI-X (1 = stock per-CQE posting).
+    #: Buffered CQEs always flush when the device goes idle, which
+    #: bounds the added completion delay in this poll-driven model.
+    cq_coalesce: int = 1
+    #: How long the controller promises to keep polling the shadow page
+    #: after going idle before the host must fall back to a BAR wake.
+    shadow_idle_ns: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if self.doorbell_mode not in ("mmio", "shadow"):
+            raise ValueError(
+                f"doorbell_mode must be 'mmio' or 'shadow', "
+                f"got {self.doorbell_mode!r}")
+        if self.burst_limit < 1:
+            raise ValueError("burst_limit must be at least 1")
+        if self.cq_coalesce < 1:
+            raise ValueError("cq_coalesce must be at least 1")
 
     def nand_off(self) -> "SimConfig":
         """Copy of this config with NAND I/O disabled (latency-only runs)."""

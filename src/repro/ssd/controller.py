@@ -24,13 +24,15 @@ Figure 1(b).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.controller_ext import (
     ChunkCorruptionError,
     DeviceSqState,
     InlineFetchError,
+    SqeWindow,
     fetch_inline_payload,
 )
 from repro.core.inline_command import InlineEncodingError, inspect_command
@@ -41,6 +43,7 @@ from repro.core.reassembly import (
     tagged_chunk_count,
 )
 from repro.host.memory import HostMemory
+from repro.host.shadow import SLOT_SIZE, ShadowDoorbells
 from repro.nvme.command import NvmeCommand
 from repro.nvme.completion import NvmeCompletion
 from repro.nvme.constants import (
@@ -80,6 +83,7 @@ from repro.pcie.traffic import (
     CAT_INLINE_CHUNK,
     CAT_MSIX,
     CAT_PRP_LIST,
+    CAT_SHADOW_SYNC,
 )
 from repro.sim.clock import SimClock
 from repro.sim.config import SimConfig
@@ -91,6 +95,9 @@ MODE_TAGGED = "tagged"
 
 #: Admin queue id.
 ADMIN_QID = 0
+
+#: Default bounded capacity of the service-order trace (ring buffer).
+SERVICE_LOG_CAPACITY = 4096
 
 
 @dataclass
@@ -207,10 +214,17 @@ class NvmeController:
             max_in_flight=config.reassembly_in_flight)
         self._pending_chunks: Dict[int, int] = {}
         self._deferred: List[_DeferredCommand] = []
-        #: Optional fetch-order trace: when set to a list, every serviced
-        #: qid is appended.  Off by default (unbounded growth); the
-        #: round-robin fairness regression test switches it on.
-        self.service_log: Optional[List[int]] = None
+        #: Optional fetch-order trace: every serviced qid is appended.
+        #: Off by default; :meth:`enable_service_log` arms it as a
+        #: *bounded* ring buffer so long traced engine runs cannot grow
+        #: memory without limit.
+        self.service_log: Optional[Deque[int]] = None
+        # shadow-doorbell state (armed by the DBBUF_CONFIG admin command)
+        self._shadow: Optional[ShadowDoorbells] = None
+        self._shadow_stale = False
+        self._busy_since_park = False
+        # CQE coalescing: buffered-but-unposted completion counts per CQ
+        self._coalesced: Dict[int, int] = {}
         # stats
         self.commands_processed = 0
         self.admin_commands_processed = 0
@@ -218,7 +232,20 @@ class NvmeController:
         self.fetch_errors = 0
         self.queue_resyncs = 0
         self.dropped_cqes = 0
+        self.shadow_syncs = 0
+        self.shadow_rejects = 0
+        self.burst_fetches = 0
+        self.cqe_flushes = 0
         self._publish_capabilities()
+
+    def enable_service_log(
+            self, capacity: int = SERVICE_LOG_CAPACITY) -> Deque[int]:
+        """Arm the fetch-order trace, keeping only the last *capacity*
+        serviced qids (a ring buffer — tracing a long run is safe)."""
+        if capacity < 1:
+            raise ValueError("service log capacity must be at least 1")
+        self.service_log = deque(maxlen=capacity)
+        return self.service_log
 
     # ------------------------------------------------------------------
     # register file
@@ -257,6 +284,10 @@ class NvmeController:
         self._rr_next = 0
         self._pending_chunks.clear()
         self._deferred.clear()
+        self._shadow = None
+        self._shadow_stale = False
+        self._busy_since_park = False
+        self._coalesced.clear()
         self.enabled = False
         self.bar.write32(REG_CSTS, 0)
 
@@ -351,7 +382,98 @@ class NvmeController:
         state = self._sqs[qid]
         return (self._sq_tails[qid] - state.head) % state.depth
 
+    # ------------------------------------------------------------------
+    # shadow doorbells (DBBUF): device-side poll / sync / park
+    # ------------------------------------------------------------------
+    def _shadow_span_bytes(self) -> int:
+        """Bytes of the per-queue slot array the device reads/writes."""
+        io_qids = [q for q in self._sqs if q != ADMIN_QID]
+        return SLOT_SIZE * (max(io_qids) + 1) if io_qids else 0
+
+    def _peek_shadow(self) -> bool:
+        """The device's idle poll of the shadow page: does it publish a
+        tail we have not latched?  Functional comparison only — the
+        productive DMA read is charged once, in :meth:`_sync_shadow`.
+        Out-of-range (torn) values never look like work."""
+        for qid, state in self._sqs.items():
+            if qid == ADMIN_QID:
+                continue
+            tail = self._shadow.read_sq_tail(qid)
+            if 0 <= tail < state.depth and tail != self._sq_tails[qid]:
+                self._shadow_stale = True
+                return True
+        return False
+
+    def _sync_shadow(self) -> None:
+        """Latch every SQ tail and CQ head with ONE DMA read of the
+        shadow array — the burst-mode replacement for N doorbell TLPs.
+
+        Validation matches :meth:`note_sq_doorbell`: a torn or stale
+        out-of-range value is ignored (and counted), never trusted — the
+        fetch path can therefore never read past a sanely published
+        tail.
+        """
+        span = self._shadow_span_bytes()
+        if span == 0:
+            self._shadow_stale = False
+            return
+        with self.clock.span("ctrl.shadow_sync"):
+            self.link.record_only(
+                CAT_SHADOW_SYNC,
+                tlpmod.device_dma_read(span, self.link.config))
+            self.clock.advance(self.timing.shadow_sync_ns)
+        for qid, state in self._sqs.items():
+            if qid == ADMIN_QID:
+                continue
+            tail = self._shadow.read_sq_tail(qid)
+            if 0 <= tail < state.depth:
+                self._sq_tails[qid] = tail
+            else:
+                self.shadow_rejects += 1
+        for qid, cq in self._cqs.items():
+            if qid == ADMIN_QID:
+                continue
+            head = self._shadow.read_cq_head(qid)
+            if 0 <= head < cq.depth:
+                cq.host_head = head
+            else:
+                self.shadow_rejects += 1
+        self._shadow_stale = False
+        self.shadow_syncs += 1
+        self._busy_since_park = True
+
+    def quiesce(self) -> None:
+        """The device-idle transition, called by the host-side drive
+        loops once the firmware loop runs dry.
+
+        Flushes any coalesced completions, then (under shadow doorbells)
+        publishes the per-queue eventidx values and the park record —
+        the promise to keep polling the shadow page for another
+        ``shadow_idle_ns`` — with one small DMA write.  A no-op unless
+        the device did work since the last park: an idle host polling an
+        idle device must not generate traffic.
+        """
+        self.flush_completions()
+        if self._shadow is None or not self._busy_since_park:
+            return
+        with self.clock.span("ctrl.shadow_sync"):
+            for qid in self._sqs:
+                if qid != ADMIN_QID:
+                    self._shadow.write_sq_eventidx(qid, self._sq_tails[qid])
+            self._shadow.write_poll_until(
+                self.clock.now + self.config.shadow_idle_ns)
+            self.link.record_only(
+                CAT_SHADOW_SYNC,
+                tlpmod.device_dma_write(self._shadow_span_bytes() + 8,
+                                        self.link.config))
+            self.clock.advance(self.timing.shadow_park_ns)
+        self._busy_since_park = False
+
     def has_pending(self) -> bool:
+        if self._shadow is not None and not self._shadow_stale:
+            self._peek_shadow()
+        if self._shadow_stale:
+            return True
         return any(self._pending_on(qid) > 0
                    or self._pending_chunks.get(qid, 0) > 0
                    for qid in self._sqs)
@@ -362,6 +484,8 @@ class NvmeController:
         The engine's completion reactor uses this to size the firmware's
         parallel service width (bounded by ``config.fetch_lanes``).
         """
+        if self._shadow is not None and self._shadow_stale:
+            self._sync_shadow()
         return sum(1 for qid in self._sqs
                    if self._pending_on(qid) > 0
                    or self._pending_chunks.get(qid, 0) > 0)
@@ -385,6 +509,7 @@ class NvmeController:
         done = 0
         while self.has_pending():
             done += self.poll_once()
+        self.quiesce()
         return done
 
     def poll_once(self) -> int:
@@ -397,6 +522,11 @@ class NvmeController:
         load the lowest-numbered SQ was serviced first every sweep and
         high-numbered SQs saw systematically worse fetch latency.
         """
+        if self._shadow is not None:
+            if not self._shadow_stale:
+                self._peek_shadow()
+            if self._shadow_stale:
+                self._sync_shadow()
         done = 0
         order = self._rr_order
         if not order:
@@ -407,14 +537,17 @@ class NvmeController:
             qid = order[idx]
             if self.mode == MODE_TAGGED and self._pending_chunks.get(qid, 0):
                 self._fetch_tagged_chunk(qid)
+                serviced = 1
             elif self._pending_on(qid) > 0:
-                self._fetch_and_execute(qid)
+                serviced = self._service_queue(qid)
             else:
                 continue
-            done += 1
+            done += serviced
             self._rr_next = (idx + 1) % len(order)
             if self.service_log is not None:
-                self.service_log.append(qid)
+                self.service_log.extend([qid] * serviced)
+        if done:
+            self._busy_since_park = True
         return done
 
     #: Backwards-compatible alias (pre-engine name).
@@ -444,16 +577,74 @@ class NvmeController:
             state.head = self._sq_tails[qid]
             self.queue_resyncs += 1
 
-    def _fetch_and_execute(self, qid: int) -> None:
+    def _service_queue(self, qid: int) -> int:
+        """Service *qid*'s slot in the sweep: one command, or — when a
+        doorbell advanced the tail by several entries and burst mode is
+        on — every command whose SQE landed in one burst window.
+        Returns the number of commands serviced."""
+        window = self._burst_fetch(qid)
+        if window is None:
+            self._fetch_and_execute(qid)
+            return 1
+        state = self._sqs[qid]
+        serviced = 0
+        while (window.remaining > 0 and window.next_index == state.head
+               and self._pending_on(qid) > 0):
+            self._fetch_and_execute(qid, window=window)
+            serviced += 1
+        return serviced
+
+    def _burst_fetch(self, qid: int) -> Optional[SqeWindow]:
+        """Fetch min(pending, burst_limit) contiguous SQEs in ONE large
+        DMA read (one MRd + its CplD batch instead of one pair per SQE).
+
+        The window is clamped to the *published* tail — a torn or stale
+        shadow value was already rejected by the doorbell/sync
+        validation, so the burst can never read past what the host
+        actually doorbell'd — and never wraps the ring end, keeping the
+        transfer a single contiguous MRd.  Queue-local mode only: tagged
+        chunks interleave across queues per-entry by design.
+        """
+        if (self.config.burst_limit <= 1 or qid == ADMIN_QID
+                or self.mode != MODE_QUEUE_LOCAL):
+            return None
+        state = self._sqs[qid]
+        count = min(self._pending_on(qid), self.config.burst_limit,
+                    state.depth - state.head)
+        if count <= 1:
+            return None
+        with self.clock.span("ctrl.sq_fetch"):
+            self.clock.advance(self.timing.doorbell_poll_ns)
+            raw = self.host_memory.read(state.slot_addr(state.head),
+                                        count * SQE_SIZE)
+            self.link.record_only(
+                CAT_CMD_FETCH,
+                tlpmod.device_dma_read(count * SQE_SIZE, self.link.config))
+            self.clock.advance(self.timing.cmd_fetch_logic_ns)
+        self.burst_fetches += 1
+        return SqeWindow(
+            start=state.head, depth=state.depth,
+            entries=[raw[i * SQE_SIZE:(i + 1) * SQE_SIZE]
+                     for i in range(count)])
+
+    def _fetch_and_execute(self, qid: int,
+                           window: Optional[SqeWindow] = None) -> None:
         from repro.faults.plan import CORRUPT_INLINE_LENGTH
 
         state = self._sqs[qid]
         with self.clock.span("ctrl.sq_fetch"):
-            self.clock.advance(self.timing.doorbell_poll_ns)
-            raw = self._fetch_sqe(state)
-            self.link.record_only(
-                CAT_CMD_FETCH, tlpmod.device_dma_read(SQE_SIZE, self.link.config))
-            self.clock.advance(self.timing.cmd_fetch_logic_ns)
+            raw = window.take(state.head) if window is not None else None
+            if raw is not None:
+                # Burst-prefetched: already on-die, decode cost only.
+                state.advance()
+                self.clock.advance(self.timing.burst_sqe_logic_ns)
+            else:
+                self.clock.advance(self.timing.doorbell_poll_ns)
+                raw = self._fetch_sqe(state)
+                self.link.record_only(
+                    CAT_CMD_FETCH,
+                    tlpmod.device_dma_read(SQE_SIZE, self.link.config))
+                self.clock.advance(self.timing.cmd_fetch_logic_ns)
             cmd = NvmeCommand.unpack(raw)
 
             if cmd.inline_length and self.faults.fire(CORRUPT_INLINE_LENGTH):
@@ -488,7 +679,7 @@ class NvmeController:
                     ctx.data = fetch_inline_payload(
                         state, info, self._sq_tails[qid],
                         self.host_memory, self.link, self.clock, self.timing,
-                        injector=self.faults)
+                        injector=self.faults, window=window)
                     ctx.transport = "inline"
                     self.inline_payloads += 1
                 except ChunkCorruptionError:
@@ -749,12 +940,43 @@ class NvmeController:
                 self.commands_processed += 1
                 return
             cq.post(cqe, self.host_memory)
+            if self.config.cq_coalesce > 1 and qid != ADMIN_QID:
+                # Coalesced posting: the CQE text is staged (functional
+                # visibility keeps the phase-bit protocol intact); the
+                # DMA write and MSI-X are batched — one of each per
+                # ``cq_coalesce`` completions, or at quiescence.
+                self._coalesced[cq.qid] = self._coalesced.get(cq.qid, 0) + 1
+                self.clock.advance(self.timing.cqe_coalesce_ns)
+                if self._coalesced[cq.qid] >= self.config.cq_coalesce:
+                    self._flush_cq(cq.qid)
+            else:
+                self.link.record_only(
+                    CAT_CQE,
+                    tlpmod.device_dma_write(CQE_SIZE, self.link.config))
+                self.link.record_only(CAT_MSIX,
+                                      tlpmod.msix_interrupt(self.link.config))
+                self.clock.advance(self.timing.completion_post_ns)
+        self.commands_processed += 1
+
+    def _flush_cq(self, cq_qid: int) -> None:
+        """Post one buffered CQE batch: one DMA write, one MSI-X."""
+        count = self._coalesced.pop(cq_qid, 0)
+        if not count:
+            return
+        with self.clock.span("ctrl.completion"):
             self.link.record_only(
-                CAT_CQE, tlpmod.device_dma_write(CQE_SIZE, self.link.config))
+                CAT_CQE,
+                tlpmod.device_dma_write(count * CQE_SIZE, self.link.config))
             self.link.record_only(CAT_MSIX,
                                   tlpmod.msix_interrupt(self.link.config))
             self.clock.advance(self.timing.completion_post_ns)
-        self.commands_processed += 1
+        self.cqe_flushes += 1
+
+    def flush_completions(self) -> None:
+        """Flush every CQ's buffered completion batch (idle transition,
+        or any point the host needs the accounting settled)."""
+        for cq_qid in list(self._coalesced):
+            self._flush_cq(cq_qid)
 
     # ------------------------------------------------------------------
     # admin command set
@@ -767,6 +989,7 @@ class NvmeController:
             AdminOpcode.CREATE_SQ: self._admin_create_sq,
             AdminOpcode.DELETE_SQ: self._admin_delete_sq,
             AdminOpcode.DELETE_CQ: self._admin_delete_cq,
+            AdminOpcode.DBBUF_CONFIG: self._admin_dbbuf_config,
         }
         handler = dispatch.get(cmd.opcode)
         if handler is None:
@@ -820,4 +1043,22 @@ class NvmeController:
             self.delete_cq(cmd.cdw10 & 0xFFFF)
         except ValueError:
             return CommandResult(StatusCode.INVALID_FIELD)
+        return CommandResult()
+
+    def _admin_dbbuf_config(self, cmd: NvmeCommand) -> CommandResult:
+        """Doorbell Buffer Config: attach the shadow + eventidx pages.
+
+        From here on the controller latches I/O SQ tails and CQ heads
+        from the shadow page (one DMA read per wake-up) and publishes
+        eventidx/park records so the host knows when a BAR doorbell is
+        still required.  The admin queue itself always stays on MMIO
+        doorbells — DBBUF must remain reachable on a device whose
+        shadow state is broken.
+        """
+        if not cmd.prp1 or not cmd.prp2 or cmd.prp1 == cmd.prp2:
+            return CommandResult(StatusCode.INVALID_FIELD)
+        self._shadow = ShadowDoorbells.attach(self.host_memory,
+                                              cmd.prp1, cmd.prp2)
+        self._shadow_stale = False
+        self._busy_since_park = False
         return CommandResult()

@@ -1,0 +1,86 @@
+"""ShadowDoorbells unit behaviour: page layout, bounds, wake decision."""
+
+import pytest
+
+from repro.host.memory import HostMemory
+from repro.host.shadow import MAX_QID, ShadowDoorbells
+
+
+@pytest.fixture
+def shadow():
+    return ShadowDoorbells(HostMemory())
+
+
+def test_slots_roundtrip_independently(shadow):
+    shadow.write_sq_tail(1, 17)
+    shadow.write_cq_head(1, 9)
+    shadow.write_sq_tail(2, 33)
+    shadow.write_sq_eventidx(1, 16)
+    assert shadow.read_sq_tail(1) == 17
+    assert shadow.read_cq_head(1) == 9
+    assert shadow.read_sq_tail(2) == 33
+    assert shadow.read_sq_eventidx(1) == 16
+    # untouched slots stay zero (fresh pages)
+    assert shadow.read_sq_tail(3) == 0
+    assert shadow.read_cq_head(2) == 0
+
+
+def test_park_record_roundtrip(shadow):
+    assert shadow.read_poll_until() == 0.0
+    shadow.write_poll_until(123_456.5)
+    assert shadow.read_poll_until() == 123_456.5
+    # the park record lives outside every queue slot
+    shadow.write_sq_tail(MAX_QID, 7)
+    assert shadow.read_poll_until() == 123_456.5
+
+
+def test_qid_out_of_page_raises(shadow):
+    with pytest.raises(ValueError):
+        shadow.write_sq_tail(MAX_QID + 1, 0)
+    with pytest.raises(ValueError):
+        shadow.read_sq_eventidx(-1)
+
+
+def test_attach_sees_the_same_pages(shadow):
+    other = ShadowDoorbells.attach(shadow.memory, shadow.shadow_addr,
+                                   shadow.eventidx_addr)
+    shadow.write_sq_tail(1, 5)
+    other.write_sq_eventidx(1, 4)
+    assert other.read_sq_tail(1) == 5
+    assert shadow.read_sq_eventidx(1) == 4
+
+
+class TestNeedsMmioWake:
+    DEPTH = 64
+
+    def test_polling_device_never_needs_a_wake(self, shadow):
+        shadow.write_poll_until(10_000.0)
+        assert not shadow.needs_mmio_wake(1, 0, 5, self.DEPTH, now_ns=9_999.0)
+
+    def test_parked_device_with_unseen_tail_wakes(self, shadow):
+        shadow.write_poll_until(10_000.0)
+        shadow.write_sq_eventidx(1, 0)
+        assert shadow.needs_mmio_wake(1, 0, 5, self.DEPTH, now_ns=10_001.0)
+
+    def test_parked_device_that_already_saw_the_tail_stays_asleep(
+            self, shadow):
+        # eventidx caught up to the new tail: the device consumed it
+        # before parking, so no wake is required.
+        shadow.write_sq_eventidx(1, 5)
+        assert not shadow.needs_mmio_wake(1, 4, 5, self.DEPTH, now_ns=1.0)
+
+    def test_rering_of_unchanged_tail_always_wakes_a_parked_device(
+            self, shadow):
+        # timeout recovery republishes the same tail: the host is
+        # explicitly demanding attention, crossing test or not.
+        shadow.write_sq_eventidx(1, 5)
+        assert shadow.needs_mmio_wake(1, 5, 5, self.DEPTH, now_ns=1.0)
+
+    def test_crossing_test_handles_ring_wrap(self, shadow):
+        # old=62, new=2 (wrapped); the device parked after consuming
+        # tail 62 -> it has not seen entries 62..1, wake needed.
+        shadow.write_sq_eventidx(1, 62)
+        assert shadow.needs_mmio_wake(1, 62, 2, self.DEPTH, now_ns=1.0)
+        # eventidx=2: the device consumed through the wrap already.
+        shadow.write_sq_eventidx(1, 2)
+        assert not shadow.needs_mmio_wake(1, 62, 2, self.DEPTH, now_ns=1.0)

@@ -17,7 +17,7 @@ from repro.testbed import make_block_testbed
 def _rig(queues=3):
     tb = make_block_testbed(
         config=SimConfig(num_io_queues=queues).nand_off())
-    tb.ssd.controller.service_log = []
+    tb.ssd.controller.enable_service_log()
     return tb
 
 
@@ -34,11 +34,11 @@ def test_scan_resumes_after_last_serviced_queue():
     ctrl = tb.ssd.controller
     _put(tb, 1)
     assert ctrl.process_all() == 1
-    assert ctrl.service_log == [1]
+    assert list(ctrl.service_log) == [1]
     for qid in (1, 2, 3):
         _put(tb, qid, offset=qid * 4096)
     ctrl.process_all()
-    assert ctrl.service_log == [1, 2, 3, 1]
+    assert list(ctrl.service_log) == [1, 2, 3, 1]
 
 
 def test_no_starvation_under_sustained_low_qid_load():
@@ -52,7 +52,7 @@ def test_no_starvation_under_sustained_low_qid_load():
         # keep q1 looking "always busy": one extra command every round
         _put(tb, 1, offset=(100 + round_no) * 4096)
     ctrl.process_all()
-    log = ctrl.service_log
+    log = list(ctrl.service_log)
     # q1 holds 8 commands, q2/q3 hold 4 each: fair rotation interleaves
     # all three until q2/q3 drain, then finishes q1's surplus — it never
     # front-loads q1's backlog.
@@ -66,7 +66,7 @@ def test_single_queue_service_order_is_fifo():
     for i in range(3):
         _put(tb, 1, offset=i * 4096)
     ctrl.process_all()
-    assert ctrl.service_log == [1, 1, 1]
+    assert list(ctrl.service_log) == [1, 1, 1]
 
 
 def test_fairness_starts_at_lowest_qid_on_fresh_rig():
@@ -77,4 +77,4 @@ def test_fairness_starts_at_lowest_qid_on_fresh_rig():
     for qid in (1, 2, 3):
         _put(tb, qid, offset=qid * 4096)
     ctrl.process_all()
-    assert ctrl.service_log == [1, 2, 3]
+    assert list(ctrl.service_log) == [1, 2, 3]
