@@ -6,7 +6,6 @@ histogram from the same Generalized-Pareto model and check the headline
 fractions.
 """
 
-import pytest
 
 from conftest import report
 from repro.metrics import format_table

@@ -4,7 +4,6 @@ Paper: a 32-byte request generates over 130x more PCIe traffic than its
 size under PRP.
 """
 
-import pytest
 
 from conftest import report, scaled_ops
 from repro.metrics import format_table

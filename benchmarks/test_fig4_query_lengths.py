@@ -6,7 +6,6 @@ strings; TPC-H queries isolate to single-table filter segments that are
 also under 100 B.
 """
 
-import pytest
 
 from conftest import report
 from repro.csd.queries import CORPUS, by_name

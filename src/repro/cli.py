@@ -9,6 +9,7 @@ Commands:
 * ``replay``    — replay a recorded KV trace against a chosen method
 * ``faults``    — fault-injection demo: seeded faults vs driver recovery
 * ``engine``    — asynchronous multi-queue engine + concurrent load gen
+* ``lint``      — project-specific AST lint (determinism, queue protocol)
 """
 
 from __future__ import annotations
@@ -320,6 +321,12 @@ def cmd_engine(args) -> int:
     return 0 if report.total_ok == report.total_ops else 1
 
 
+def cmd_lint(args) -> int:
+    from repro.verify.lint import run_lint
+
+    return run_lint(args.paths, list_rules=args.list_rules)
+
+
 def _all_fault_kinds():
     from repro.faults import ALL_KINDS
     return ALL_KINDS
@@ -427,6 +434,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-kinds", default="",
                    help="comma-separated fault kinds (default: all)")
     p.set_defaults(func=cmd_engine)
+
+    p = sub.add_parser(
+        "lint",
+        help="project-specific AST lint (determinism + queue protocol)")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--list", action="store_true", dest="list_rules",
+                   help="list the rule codes and exit")
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

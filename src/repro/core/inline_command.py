@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.chunking import CHUNK_SIZE, chunk_count
+from repro.core.chunking import chunk_count
 from repro.nvme.command import NvmeCommand
 
 #: Inline payloads above this length would not beat PRP on any testbed the

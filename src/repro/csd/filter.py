@@ -9,7 +9,7 @@ high-selectivity filters show their device-side cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.csd.schema import TableSchema

@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Tuple
 
-import numpy as np
 
 from repro.csd.schema import Column, ColumnType, TableSchema
 from repro.csd.sql import extract_segment

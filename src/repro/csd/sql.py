@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Union
 
 
 class SqlError(Exception):
@@ -227,7 +227,6 @@ def parse_query(sql: str) -> SelectQuery:
     parser = _Parser(tokens, sql)
     parser.expect_keyword("select")
 
-    select_start = parser.peek()
     depth = 0
     select_tokens: List[_Token] = []
     while True:

@@ -11,7 +11,7 @@ simulation's clock.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.csd.schema import TableSchema
 from repro.ssd.ftl import PageMappingFtl

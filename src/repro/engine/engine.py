@@ -108,6 +108,18 @@ class IoEngine:
         self._payload_ids = itertools.count(1)
         self._live_payload_ids: Set[int] = set()
         self.tagged = ssd.controller.mode == MODE_TAGGED
+        #: Optional interleaving controller (repro.verify.explore.Schedule).
+        #: When set, the reactor routes its arbitrary ordering decisions
+        #: through ``schedule.order(label, seq)`` so the explorer can
+        #: permute them; None (the default) keeps deterministic order.
+        self.schedule: Optional[object] = None
+
+    def _order(self, label: str, qids: Sequence[int]) -> Sequence[int]:
+        """Apply the schedule permutation to an ordering decision."""
+        if self.schedule is None:
+            return qids
+        ordered: Sequence[int] = self.schedule.order(label, qids)  # type: ignore[attr-defined]
+        return ordered
 
     # ------------------------------------------------------------------
     # submission
@@ -284,7 +296,7 @@ class IoEngine:
     # ------------------------------------------------------------------
     def kick_dirty(self) -> None:
         """Publish every deferred tail: one doorbell MMIO per queue."""
-        for qid in sorted(self._dirty):
+        for qid in self._order("kick", sorted(self._dirty)):
             self.driver.kick(qid)
         self._dirty.clear()
 

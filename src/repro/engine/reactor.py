@@ -93,7 +93,7 @@ class CompletionReactor:
     def reap_all(self) -> int:
         resolved = 0
         e = self.engine
-        for qid in e.qids:
+        for qid in e._order("reap", e.qids):
             for cqe in e.driver.reap(qid):
                 resolved += self._on_cqe(qid, cqe)
         return resolved
@@ -207,5 +207,7 @@ class CompletionReactor:
         if not ready:
             return
         e.parked = [p for p in e.parked if p.retry_at_ns > e.clock.now]
+        if e.schedule is not None:
+            ready = e.schedule.order("parked", ready)
         for entry in ready:
             e.resubmit(entry)

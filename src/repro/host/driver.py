@@ -42,7 +42,7 @@ from repro.nvme.completion import NvmeCompletion
 from repro.nvme.constants import PAGE_SIZE, AdminOpcode, StatusCode
 from repro.nvme.identify import IDENTIFY_SIZE, IdentifyController
 from repro.nvme.passthrough import PassthruRequest, PassthruResult
-from repro.nvme.prp import PrpMapping, build_prps
+from repro.nvme.prp import build_prps
 from repro.nvme.queues import CompletionQueue, SubmissionQueue
 from repro.nvme.registers import (
     CC_ENABLE,
@@ -107,6 +107,14 @@ class _QueueResources:
     #: command) — a reused CID would make two outstanding commands
     #: indistinguishable in the CQ.
     live_cids: Set[int] = field(default_factory=set)
+    #: Quarantined CIDs of *abandoned* commands.  Abandoning releases a
+    #: CID the device may still complete (its SQE can sit unfetched
+    #: behind a dropped doorbell, or its CQE can arrive late): handing
+    #: the CID out again inside that window would let the old command's
+    #: CQE resolve the new command.  Zombies stay unallocatable until
+    #: their late CQE arrives or the queue fully drains (PR 4 monitor
+    #: finding, INV_CID_UNIQUE).
+    zombie_cids: Set[int] = field(default_factory=set)
     #: Host pages (PRP/SGL list pages, private data buffers) to release
     #: when the owning CID retires — keyed per CID so that out-of-order
     #: completions at QD>1 free exactly their own pages.
@@ -297,12 +305,13 @@ class NvmeDriver:
         (BandSlim intermediate fragments are acknowledged only through
         the final fragment's CQE).
         """
-        if len(res.live_cids) >= 0xFFFF:
+        if len(res.live_cids) + len(res.zombie_cids) >= 0xFFFF:
             raise DriverError(
                 f"CID space exhausted on SQ{res.sq.qid}: "
-                f"{len(res.live_cids)} commands in flight")
+                f"{len(res.live_cids)} in flight + "
+                f"{len(res.zombie_cids)} quarantined")
         cid = res.next_cid
-        while cid in res.live_cids:
+        while cid in res.live_cids or cid in res.zombie_cids:
             cid = (cid + 1) & 0xFFFF
         res.next_cid = (cid + 1) & 0xFFFF
         if track:
@@ -316,8 +325,37 @@ class NvmeDriver:
         CQE, or an abandoned attempt that later completes) is harmless.
         """
         res.live_cids.discard(cid)
+        # A CQE for a quarantined CID is the late completion the
+        # quarantine was waiting for: the CID is provably out of the
+        # device now, so it leaves the zombie set too.
+        res.zombie_cids.discard(cid)
         for page in res.pending_pages.pop(cid, ()):
             self.memory.free_page(page)
+
+    def _abandon_cid(self, res: _QueueResources, cid: int) -> None:
+        """Release an abandoned command's CID into quarantine.
+
+        Unlike :meth:`_retire_cid` (called when a CQE proves the command
+        left the device), abandonment happens while the device may still
+        hold the command — its SQE unfetched behind a lost doorbell, or
+        its CQE delayed.  Reusing the CID inside that window would make
+        the late CQE resolve the *new* command, so the CID is parked in
+        ``zombie_cids`` until the late CQE arrives or the queue drains.
+        """
+        self._retire_cid(res, cid)
+        res.zombie_cids.add(cid)
+
+    def _maybe_clear_zombies(self, res: _QueueResources) -> None:
+        """Lift the quarantine once no late CQE can exist.
+
+        With nothing in flight, the device's SQ head caught up to the
+        published tail, and every posted CQE consumed, any completion
+        the abandoned commands could ever produce has already happened.
+        """
+        if (res.zombie_cids and not res.live_cids
+                and res.sq.head == res.sq.tail == res.sq.shadow_tail
+                and res.cq.outstanding == 0):
+            res.zombie_cids.clear()
 
     def inflight(self, qid: int) -> int:
         """Commands currently outstanding on *qid* (live CIDs)."""
@@ -328,10 +366,12 @@ class NvmeDriver:
 
         The engine's timeout path calls this before resubmitting under a
         fresh CID — if the original CQE was lost for good, nothing else
-        will ever retire the old one.  Idempotent, like
+        will ever retire the old one.  The CID enters quarantine (see
+        ``zombie_cids``) rather than the free pool: the device may still
+        complete the abandoned command.  Idempotent, like
         :meth:`_retire_cid`.
         """
-        self._retire_cid(self.queue(qid), cid)
+        self._abandon_cid(self.queue(qid), cid)
 
     def _stage_data(self, res: _QueueResources, data: bytes) -> int:
         """Copy the user payload into the queue's DMA-able scratch buffer."""
@@ -356,7 +396,9 @@ class NvmeDriver:
         tail that skips our entries).
         """
         old_tail = res.sq.shadow_tail
-        tail = res.sq.ring_doorbell()
+        # Lock is held by every caller (documented contract above);
+        # ring_doorbell() itself raises LockNotHeldError if not.
+        tail = res.sq.ring_doorbell()  # verify: ignore[VER103]
         qid = res.sq.qid
         if self.shadow is not None and qid != 0:
             self.clock.advance(self.timing.shadow_db_write_ns)
@@ -680,6 +722,7 @@ class NvmeDriver:
             out.append(cqe)
         if out:
             self._ring_cq_doorbell(res)
+        self._maybe_clear_zombies(res)
         return out
 
     def _try_wait_on(self,
@@ -701,6 +744,7 @@ class NvmeDriver:
             res.sq.note_sq_head(cqe.sq_head)
             self._ring_cq_doorbell(res)
         self._retire_cid(res, cqe.cid)
+        self._maybe_clear_zombies(res)
         return cqe
 
     def _wait_on(self, res: _QueueResources) -> NvmeCompletion:
@@ -752,8 +796,10 @@ class NvmeDriver:
             attempt += 1
             if prev_cid is not None:
                 # The previous attempt is abandoned; if its CQE was lost
-                # for good, nothing else will ever retire the CID.
-                self._retire_cid(res, prev_cid)
+                # for good, nothing else will ever retire the CID — and
+                # if it was merely delayed, quarantine keeps the CID
+                # unallocatable until the late CQE lands.
+                self._abandon_cid(res, prev_cid)
             cmd = NvmeCommand(opcode=req.opcode, nsid=req.nsid,
                               cdw10=req.cdw10, cdw11=req.cdw11,
                               cdw12=req.cdw12, cdw13=req.cdw13,

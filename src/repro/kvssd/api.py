@@ -57,7 +57,6 @@ class KVStore:
         """Fetch the value for *key* (keys are limited to 16 bytes)."""
         self._check_key(key)
         cmd = make_retrieve_command(key)
-        start = self.driver.clock.now
         _, buf = self.driver.submit_read_prp(cmd, max_value_len, self.qid)
         cqe = self.driver.wait(self.qid)
         if cqe.status == StatusCode.KV_KEY_NOT_FOUND:
@@ -68,7 +67,6 @@ class KVStore:
         if value_len > max_value_len:
             raise KvError(
                 f"value of {value_len} B exceeds buffer of {max_value_len} B")
-        del start
         return self.driver.memory.read(buf, value_len)
 
     def delete(self, key: bytes) -> None:

@@ -11,7 +11,7 @@ deterministic phase totals make exact.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Mapping
 
 #: Span names attributed to host CPU work.
 HOST_SPANS = ("drv.sq_submit", "drv.completion")

@@ -73,7 +73,7 @@ class NvmeCompletion:
         return not self.ok and not self.dnr
 
     @property
-    def command_key(self):
+    def command_key(self) -> "tuple[int, int]":
         """The (sq_id, cid) pair that identifies the completed command.
 
         At queue depth > 1 completions arrive out of submission order;

@@ -9,7 +9,7 @@ the request/response records exchanged across that boundary; the driver
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.nvme.constants import StatusCode

@@ -15,7 +15,7 @@ and the page-rounded fetch sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Tuple
+from typing import Callable, List
 
 from repro.host.memory import HostMemory
 from repro.nvme.constants import PAGE_SIZE, PRP_ENTRY_SIZE

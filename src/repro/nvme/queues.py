@@ -25,6 +25,18 @@ class QueueFullError(Exception):
     """Raised when pushing to a submission queue with no free slots."""
 
 
+class CqOverrunError(Exception):
+    """Raised when a completion would overwrite an unconsumed CQE.
+
+    The CQ has no full/empty doorbell handshake of its own — the
+    producer must bound itself by the consumer's progress.  Posting a
+    ``depth+1``-th unconsumed entry silently destroys a live completion
+    (the host would never learn its command finished), so both the
+    host-side ring model here and the controller's device-side producer
+    state refuse it loudly.
+    """
+
+
 class LockNotHeldError(Exception):
     """Raised when the SQ is mutated outside its lock (ordering violation)."""
 
@@ -51,7 +63,7 @@ class QueueLock:
         self.acquisitions += 1
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._held = False
 
 
@@ -151,19 +163,34 @@ class CompletionQueue:
         #: Device-side producer state.
         self.device_tail = 0
         self.device_phase = 1
+        #: Posted-but-unconsumed completions currently in the ring.
+        #: The phase-bit protocol lets the ring hold *depth* of them
+        #: (no slot is sacrificed); one more would overwrite a live CQE.
+        self.outstanding = 0
 
     def slot_addr(self, index: int) -> int:
         return self.base_addr + (index % self.depth) * CQE_SIZE
 
     # -- device operations ---------------------------------------------------
     def device_post(self, cqe: NvmeCompletion) -> int:
-        """Device writes a completion at its tail; returns the slot used."""
+        """Device writes a completion at its tail; returns the slot used.
+
+        Refuses to overwrite an unconsumed CQE: with ``depth`` entries
+        already posted and none polled, the next write would land on a
+        completion the host has not seen yet and lose it silently
+        (the bug class the PR 4 protocol monitor was built to catch).
+        """
+        if self.outstanding >= self.depth:
+            raise CqOverrunError(
+                f"CQ{self.qid} overrun: {self.outstanding} unconsumed "
+                f"CQEs already fill the {self.depth}-deep ring")
         cqe.phase = self.device_phase
         slot = self.device_tail
         self.memory.write(self.slot_addr(slot), cqe.pack())
         self.device_tail = (self.device_tail + 1) % self.depth
         if self.device_tail == 0:
             self.device_phase ^= 1
+        self.outstanding += 1
         return slot
 
     # -- host operations -----------------------------------------------------
@@ -188,6 +215,8 @@ class CompletionQueue:
         self.head = (self.head + 1) % self.depth
         if self.head == 0:
             self.phase ^= 1
+        if self.outstanding > 0:
+            self.outstanding -= 1
         return cqe
 
     def drain(self, limit: Optional[int] = None) -> List[NvmeCompletion]:

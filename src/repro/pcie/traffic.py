@@ -9,7 +9,7 @@ action that generated them.  Categories let benchmarks show *where* PRP's
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.pcie.tlp import TlpBatch

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.controller_ext import (
     ChunkCorruptionError,
@@ -56,7 +56,7 @@ from repro.nvme.constants import (
 )
 from repro.nvme.identify import IdentifyController
 from repro.nvme.prp import walk_prps
-from repro.nvme.queues import CompletionQueue, SubmissionQueue
+from repro.nvme.queues import CompletionQueue, CqOverrunError, SubmissionQueue
 from repro.nvme.registers import (
     CC_ENABLE,
     CSTS_READY,
@@ -130,10 +130,6 @@ class CommandResult:
 
 
 Handler = Callable[[CommandContext], CommandResult]
-
-
-class CqOverrunError(Exception):
-    """The device produced more completions than the host consumed."""
 
 
 @dataclass

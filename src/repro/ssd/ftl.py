@@ -14,9 +14,9 @@ the failure-injection tests exercise it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
-from repro.ssd.nand import NandArray, NandError, PhysicalPage
+from repro.ssd.nand import NandArray, PhysicalPage
 
 
 class FtlError(Exception):

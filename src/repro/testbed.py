@@ -29,6 +29,8 @@ class Testbed:
     methods: Dict[str, TransferMethod]
     #: The active device personality (block / KV / CSD object).
     personality: object
+    #: Protocol monitor, when ``REPRO_VERIFY`` is set (else None).
+    monitor: Optional[object] = None
 
     @property
     def clock(self):
@@ -44,6 +46,19 @@ class Testbed:
         except KeyError:
             raise KeyError(f"unknown transfer method {name!r}; "
                            f"have {sorted(self.methods)}")
+
+    def unmonitor(self) -> "Testbed":
+        """Detach the ``REPRO_VERIFY`` protocol monitor, if armed.
+
+        For tests that *forge* protocol violations (torn shadow
+        stores, malformed inline lengths) to probe device robustness:
+        the monitor flagging those is correct, but they are the test's
+        subject, not a bug.  Returns self for chaining.
+        """
+        if self.monitor is not None:
+            self.monitor.detach()  # type: ignore[attr-defined]
+            self.monitor = None
+        return self
 
     def make_engine(self, queues: Optional[int] = None, qd: int = 8,
                     policy: str = "round_robin",
@@ -62,8 +77,19 @@ class Testbed:
                     f"rig has {len(qids)} I/O queues, cannot run on "
                     f"{queues}")
             qids = qids[:queues]
-        return IoEngine(self.ssd, self.driver, queues=qids, qd=qd,
-                        policy=policy, fetch_lanes=fetch_lanes)
+        engine = IoEngine(self.ssd, self.driver, queues=qids, qd=qd,
+                          policy=policy, fetch_lanes=fetch_lanes)
+        if self.monitor is not None:
+            self.monitor.attach_engine(engine)  # type: ignore[attr-defined]
+        return engine
+
+
+def _finish(tb: Testbed) -> Testbed:
+    """Arm the protocol monitor when ``REPRO_VERIFY`` asks for it."""
+    from repro.verify import maybe_attach
+
+    tb.monitor = maybe_attach(tb)
+    return tb
 
 
 def make_block_testbed(config: Optional[SimConfig] = None,
@@ -80,8 +106,8 @@ def make_block_testbed(config: Optional[SimConfig] = None,
     personality = BlockSsdPersonality(ssd)
     driver = NvmeDriver(ssd)
     methods = make_methods(ssd, driver, include_mmio=include_mmio)
-    return Testbed(ssd=ssd, driver=driver, methods=methods,
-                   personality=personality)
+    return _finish(Testbed(ssd=ssd, driver=driver, methods=methods,
+                           personality=personality))
 
 
 def make_engine_testbed(queues: int = 4,
@@ -114,8 +140,8 @@ def make_kv_testbed(config: Optional[SimConfig] = None,
     personality = KvSsdPersonality(ssd, memtable_entries=memtable_entries)
     driver = NvmeDriver(ssd)
     methods = make_methods(ssd, driver, include_mmio=include_mmio)
-    return Testbed(ssd=ssd, driver=driver, methods=methods,
-                   personality=personality)
+    return _finish(Testbed(ssd=ssd, driver=driver, methods=methods,
+                           personality=personality))
 
 
 def make_csd_testbed(config: Optional[SimConfig] = None,
@@ -127,5 +153,5 @@ def make_csd_testbed(config: Optional[SimConfig] = None,
     personality = CsdPersonality(ssd, execute_inline=execute_inline)
     driver = NvmeDriver(ssd)
     methods = make_methods(ssd, driver, include_mmio=include_mmio)
-    return Testbed(ssd=ssd, driver=driver, methods=methods,
-                   personality=personality)
+    return _finish(Testbed(ssd=ssd, driver=driver, methods=methods,
+                           personality=personality))

@@ -7,7 +7,6 @@ occupancy, controller registers, and the traffic ledger.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.core.inline_command import InlineEncodingError, inspect_command
 from repro.host.driver import NvmeDriver

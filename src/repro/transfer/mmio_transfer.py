@@ -16,13 +16,13 @@ the trade-off quantitatively.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.nvme.command import NvmeCommand
 from repro.nvme.constants import IoOpcode, StatusCode
 from repro.pcie.mmio import BYTE_WINDOW_SIZE
 from repro.pcie.traffic import CAT_DOORBELL, CAT_MMIO_DATA
-from repro.ssd.controller import CommandContext, CommandResult
+from repro.ssd.controller import CommandContext
 from repro.ssd.device import OpenSsd
 from repro.transfer.base import TransferMethod, TransferStats
 

@@ -1,0 +1,86 @@
+"""Correctness tooling: runtime protocol monitor + determinism lint.
+
+Two independent layers (see ``docs/verify.md``):
+
+* the **runtime monitor** (:mod:`repro.verify.monitor`) attaches to a
+  live testbed and checks every queue transition against the protocol
+  invariants in :mod:`repro.verify.invariants`, raising a structured
+  :class:`InvariantViolation` on the first break;
+* the **AST lint** (:mod:`repro.verify.lint`, ``python -m repro lint``)
+  statically enforces the project conventions — seeded randomness,
+  SimClock-only time, lock-held doorbells — that make simulation runs
+  reproducible in the first place.
+
+Set ``REPRO_VERIFY=1`` to have every testbed factory attach a monitor
+automatically (the whole test suite then runs checked).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from repro.verify.explore import (
+    ExplorationResult,
+    Schedule,
+    explore_schedules,
+)
+from repro.verify.invariants import (
+    ALL_RULES,
+    INV_CID_UNIQUE,
+    INV_CQ_OVERRUN,
+    INV_CQ_PHASE,
+    INV_INLINE_SEQ,
+    INV_RR_FAIRNESS,
+    INV_SHADOW,
+    INV_SQ_DOORBELL,
+    INV_SQ_WINDOW,
+    InvariantViolation,
+)
+from repro.verify.lint import LINT_RULES, LintFinding, lint_paths, run_lint
+from repro.verify.monitor import ProtocolMonitor
+
+#: Environment switch for suite-wide monitoring.
+ENV_FLAG = "REPRO_VERIFY"
+
+__all__ = [
+    "ALL_RULES",
+    "ENV_FLAG",
+    "ExplorationResult",
+    "INV_CID_UNIQUE",
+    "INV_CQ_OVERRUN",
+    "INV_CQ_PHASE",
+    "INV_INLINE_SEQ",
+    "INV_RR_FAIRNESS",
+    "INV_SHADOW",
+    "INV_SQ_DOORBELL",
+    "INV_SQ_WINDOW",
+    "InvariantViolation",
+    "LINT_RULES",
+    "LintFinding",
+    "ProtocolMonitor",
+    "Schedule",
+    "explore_schedules",
+    "lint_paths",
+    "maybe_attach",
+    "run_lint",
+    "verification_enabled",
+]
+
+
+def verification_enabled() -> bool:
+    """True when ``REPRO_VERIFY`` asks for suite-wide monitoring."""
+    return os.environ.get(ENV_FLAG, "").strip() not in ("", "0")
+
+
+def maybe_attach(tb: Any) -> Optional[ProtocolMonitor]:
+    """Attach a monitor to *tb* iff ``REPRO_VERIFY`` is set.
+
+    Called by every testbed factory; returns the monitor (also stored
+    as ``tb.monitor`` by the factory) or None when verification is off
+    — the off path is a single environment check at construction time,
+    leaving the data path untouched.
+    """
+    if not verification_enabled():
+        return None
+    return ProtocolMonitor.attach_testbed(tb)

@@ -1,0 +1,125 @@
+"""Protocol invariants: the rules the queue machinery must never break.
+
+ByteExpress's soundness argument (paper §3.3) rests on properties the
+simulator enforces only implicitly — the SQ lock keeps a command and its
+inline chunks contiguous, the CQ phase bit alternates exactly once per
+wrap, a CID names at most one outstanding command, doorbell publications
+never regress.  Durable-queue recovery work (Sela & Petrank) and the
+NVMe-virtualisation passthrough study (Chen et al., arXiv:2304.05148)
+both show that *queue-state mirroring* is where post-hoc recovery code
+silently goes wrong; this module gives each such property a name, a
+structured violation type, and a snapshot format so the runtime monitor
+(:mod:`repro.verify.monitor`) can report exactly which rule broke and
+what the queue looked like when it did.
+
+Rule codes (each maps to a paper mechanism; see ``docs/verify.md``):
+
+==================  =====================================================
+code                invariant
+==================  =====================================================
+INV_SQ_WINDOW       SQ head/tail legality: the in-flight window
+                    ``(head .. tail]`` only shrinks on head reports and
+                    grows by exactly one slot per push; the tail never
+                    wraps past the head (paper §3.3.2, queue protocol).
+INV_SQ_DOORBELL     SQ doorbell publication is monotone in ring order,
+                    equals the host tail, and never lands inside an
+                    unfinished inline sequence (§3 ordering argument).
+INV_CQ_PHASE        CQ phase bit alternation: entries produced in wrap
+                    *k* all carry phase ``1 ^ (k & 1)``; the consumer
+                    only accepts the phase it expects (NVMe §4.6).
+INV_CQ_OVERRUN      The device never posts more unconsumed completions
+                    than the CQ can hold (would overwrite live CQEs).
+INV_CID_UNIQUE      A CID names at most one in-flight command per queue
+                    (aliased CIDs make CQEs ambiguous).
+INV_INLINE_SEQ      ByteExpress inline sequences are well formed: the
+                    length field agrees with the chunk count and chunks
+                    occupy consecutive slots after their command
+                    (§3.3.1, challenge #1 + #2).
+INV_SHADOW          Shadow-doorbell consistency: published tails are
+                    monotone, and the device's eventidx never claims
+                    consumption past the published tail (NVMe 1.3 DBBUF).
+INV_RR_FAIRNESS     Round-robin service fairness: a queue with
+                    doorbell'd work is serviced within a bounded number
+                    of firmware sweeps (§4.2 service model).
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+INV_SQ_WINDOW = "INV_SQ_WINDOW"
+INV_SQ_DOORBELL = "INV_SQ_DOORBELL"
+INV_CQ_PHASE = "INV_CQ_PHASE"
+INV_CQ_OVERRUN = "INV_CQ_OVERRUN"
+INV_CID_UNIQUE = "INV_CID_UNIQUE"
+INV_INLINE_SEQ = "INV_INLINE_SEQ"
+INV_SHADOW = "INV_SHADOW"
+INV_RR_FAIRNESS = "INV_RR_FAIRNESS"
+
+#: Every rule the monitor can report, with a one-line description.
+ALL_RULES: Dict[str, str] = {
+    INV_SQ_WINDOW: "SQ head/tail window legality (no wrap past head)",
+    INV_SQ_DOORBELL: "SQ doorbell monotone, tail-accurate, sequence-safe",
+    INV_CQ_PHASE: "CQ phase-bit alternation per wrap",
+    INV_CQ_OVERRUN: "CQ never overwrites unconsumed completions",
+    INV_CID_UNIQUE: "CID uniqueness among in-flight commands",
+    INV_INLINE_SEQ: "inline chunk contiguity + length-field agreement",
+    INV_SHADOW: "shadow doorbell / eventidx consistency",
+    INV_RR_FAIRNESS: "bounded round-robin service fairness",
+}
+
+
+class InvariantViolation(Exception):
+    """A protocol invariant was broken; carries a queue-state snapshot.
+
+    ``rule`` is one of the ``INV_*`` codes above, ``snapshot`` a mapping
+    of the relevant queue state at the instant of the violation —
+    enough to reconstruct the illegal transition without a debugger.
+    """
+
+    def __init__(self, rule: str, message: str,
+                 snapshot: Optional[Mapping[str, Any]] = None) -> None:
+        if rule not in ALL_RULES:
+            raise ValueError(f"unknown invariant rule {rule!r}")
+        self.rule = rule
+        self.message = message
+        self.snapshot: Dict[str, Any] = dict(snapshot or {})
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        text = f"{self.rule}: {self.message}"
+        if self.snapshot:
+            state = ", ".join(f"{k}={v!r}"
+                              for k, v in sorted(self.snapshot.items()))
+            text = f"{text} [{state}]"
+        return text
+
+
+def ring_delta(frm: int, to: int, depth: int) -> int:
+    """Forward distance from *frm* to *to* on a ring of *depth* slots."""
+    return (to - frm) % depth
+
+
+def sq_snapshot(sq: Any) -> Dict[str, Any]:
+    """Host submission-queue state, as carried inside violations."""
+    return {
+        "qid": sq.qid,
+        "depth": sq.depth,
+        "head": sq.head,
+        "tail": sq.tail,
+        "shadow_tail": sq.shadow_tail,
+        "lock_held": sq.lock.held,
+    }
+
+
+def cq_snapshot(cq: Any) -> Dict[str, Any]:
+    """Host completion-queue state, as carried inside violations."""
+    return {
+        "qid": cq.qid,
+        "depth": cq.depth,
+        "head": cq.head,
+        "phase": cq.phase,
+        "device_tail": cq.device_tail,
+        "device_phase": cq.device_phase,
+    }

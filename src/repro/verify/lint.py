@@ -1,0 +1,305 @@
+"""Project-specific AST lint: rules a generic linter cannot know.
+
+The simulator's correctness claims lean on project conventions — all
+time comes from ``SimClock``, all randomness from seeded generators,
+doorbells ring under the SQ lock, queue internals mutate only inside
+:mod:`repro.nvme` — that no off-the-shelf tool checks.  This linter
+walks the AST and enforces them with per-rule codes:
+
+========  ==============================================================
+code      rule
+========  ==============================================================
+VER101    no wall-clock time (``time.time``/``monotonic``/
+          ``perf_counter``) in sim code; use ``SimClock``
+VER102    no stdlib ``random`` and no unseeded/legacy NumPy RNG; use
+          ``repro.sim.rng.make_rng``
+VER103    ``ring_doorbell()`` only under a lexical ``with ....lock:``
+VER104    no mutation of Submission/CompletionQueue ring fields
+          (head/tail/phase/...) from outside ``repro.nvme``
+VER105    no bare ``except:`` (swallows InvariantViolation and
+          KeyboardInterrupt alike)
+========  ==============================================================
+
+A finding is suppressed by a same-line ``# verify: ignore[CODE]``
+comment (comma-separate several codes; ``*`` suppresses all) — the
+suppression is part of the code's documentation of *why* the rule does
+not apply there.  Run as ``python -m repro lint <paths...>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+VER101 = "VER101"
+VER102 = "VER102"
+VER103 = "VER103"
+VER104 = "VER104"
+VER105 = "VER105"
+
+#: Every lint rule, with a one-line description (for ``lint --list``).
+LINT_RULES: Dict[str, str] = {
+    VER101: "wall-clock time in sim code (use SimClock)",
+    VER102: "stdlib random / unseeded NumPy RNG (use sim.rng.make_rng)",
+    VER103: "ring_doorbell() outside a lexical `with ....lock:` block",
+    VER104: "queue ring-field mutation outside repro.nvme",
+    VER105: "bare `except:` swallows everything, including violations",
+}
+
+_WALL_CLOCK_FNS = frozenset({
+    "time", "monotonic", "perf_counter",
+    "time_ns", "monotonic_ns", "perf_counter_ns",
+})
+#: NumPy RNG entry points that are explicitly seeded constructions.
+_SEEDED_NP_OK = frozenset({"default_rng", "SeedSequence", "Generator",
+                           "PCG64", "Philox", "SFC64", "MT19937"})
+#: Ring fields only repro.nvme may assign.
+_QUEUE_FIELDS = frozenset({"head", "tail", "phase", "shadow_tail",
+                           "device_tail", "device_phase"})
+#: Receiver names that conventionally hold queue objects.
+_QUEUE_RECEIVERS = frozenset({"sq", "cq"})
+
+_IGNORE_RE = re.compile(r"#\s*verify:\s*ignore\[([A-Za-z0-9*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Per-line sets of suppressed rule codes from ignore comments."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(text)
+        if match:
+            codes = {c.strip().upper() for c in match.group(1).split(",")}
+            out[lineno] = {c for c in codes if c}
+    return out
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-pass rule evaluation with a lexical ``with``-stack."""
+
+    def __init__(self, path: str, in_nvme: bool) -> None:
+        self.path = path
+        self.in_nvme = in_nvme
+        self.findings: List[LintFinding] = []
+        self._lock_depth = 0
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(LintFinding(
+            path=self.path, line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0), code=code, message=message))
+
+    # -- VER101 / VER102: imports ------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self._report(node, VER102,
+                             "import of stdlib `random`; seed via "
+                             "repro.sim.rng.make_rng instead")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self._report(node, VER102,
+                         "import from stdlib `random`; seed via "
+                         "repro.sim.rng.make_rng instead")
+        if node.module == "time":
+            names = {alias.name for alias in node.names}
+            clocky = sorted(names & _WALL_CLOCK_FNS)
+            if clocky:
+                self._report(node, VER101,
+                             f"import of wall-clock {', '.join(clocky)} "
+                             f"from `time`; sim code must use SimClock")
+        self.generic_visit(node)
+
+    # -- VER101 / VER102 / VER103: calls ------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted:
+            self._check_call(node, dotted)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        if len(parts) == 2 and parts[0] == "time" \
+                and parts[1] in _WALL_CLOCK_FNS:
+            self._report(node, VER101,
+                         f"call to wall-clock `{dotted}()`; sim code "
+                         f"must use SimClock")
+        if parts[0] == "random" and len(parts) > 1:
+            self._report(node, VER102,
+                         f"call to stdlib `{dotted}()`; use a generator "
+                         f"from repro.sim.rng.make_rng")
+        if len(parts) >= 3 and parts[0] in ("np", "numpy") \
+                and parts[1] == "random":
+            fn = parts[2]
+            if fn not in _SEEDED_NP_OK:
+                self._report(node, VER102,
+                             f"legacy global NumPy RNG `{dotted}()`; "
+                             f"use repro.sim.rng.make_rng")
+            elif fn == "default_rng" and not node.args and not node.keywords:
+                self._report(node, VER102,
+                             "`default_rng()` without a seed is "
+                             "nondeterministic; pass a SeedSequence "
+                             "from make_rng")
+        if parts[-1] == "ring_doorbell" and self._lock_depth == 0:
+            self._report(node, VER103,
+                         "ring_doorbell() outside a lexical "
+                         "`with ....lock:` block publishes a tail the "
+                         "lock no longer protects")
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(
+            isinstance(item.context_expr, ast.Attribute)
+            and item.context_expr.attr == "lock"
+            for item in node.items)
+        if locked:
+            self._lock_depth += 1
+            self.generic_visit(node)
+            self._lock_depth -= 1
+        else:
+            self.generic_visit(node)
+
+    # -- VER104: queue-internal mutation -------------------------------
+    def _check_target(self, target: ast.expr) -> None:
+        if self.in_nvme:
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element)
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        if target.attr not in _QUEUE_FIELDS:
+            return
+        receiver = target.value
+        is_queue = (
+            (isinstance(receiver, ast.Name)
+             and receiver.id in _QUEUE_RECEIVERS)
+            or (isinstance(receiver, ast.Attribute)
+                and receiver.attr in _QUEUE_RECEIVERS))
+        if is_queue:
+            self._report(target, VER104,
+                         f"mutation of queue internal `.{target.attr}` "
+                         f"outside repro.nvme breaks the ring protocol "
+                         f"encapsulation")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    # -- VER105: bare except -------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(node, VER105,
+                         "bare `except:` swallows InvariantViolation "
+                         "and KeyboardInterrupt; name the exceptions")
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    posix = Path(path).as_posix()
+    in_nvme = "/nvme/" in posix or posix.startswith("nvme/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path=path, line=exc.lineno or 0,
+                            col=exc.offset or 0, code="VER000",
+                            message=f"syntax error: {exc.msg}")]
+    linter = _Linter(path=path, in_nvme=in_nvme)
+    linter.visit(tree)
+    suppressed = _suppressions(source)
+    kept: List[LintFinding] = []
+    for finding in sorted(linter.findings,
+                          key=lambda f: (f.line, f.col, f.code)):
+        codes = suppressed.get(finding.line, set())
+        if finding.code in codes or "*" in codes:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def iter_py_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Python files under *paths*, skipping hidden and cache dirs.
+
+    A path that does not exist raises ``FileNotFoundError``: a typo'd
+    CI path must not pass silently as "no findings".
+    """
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        for candidate in sorted(root.rglob("*.py")):
+            if any(part.startswith(".") or part == "__pycache__"
+                   for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
+    """Lint every Python file under *paths*."""
+    findings: List[LintFinding] = []
+    for path in iter_py_files(paths):
+        findings.extend(lint_source(path.read_text(encoding="utf-8"),
+                                    str(path)))
+    return findings
+
+
+def run_lint(paths: Sequence[str], list_rules: bool = False) -> int:
+    """CLI entry: print findings, return a shell exit code."""
+    if list_rules:
+        for code, text in sorted(LINT_RULES.items()):
+            print(f"{code}  {text}")
+        return 0
+    try:
+        findings = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}")
+        return 2
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    return 0

@@ -1,0 +1,532 @@
+"""Runtime protocol monitor: a pluggable observer over the queue stack.
+
+The monitor attaches to live objects — host submission/completion
+queues, the controller's device-side CQ producers, the driver's CID
+allocator, the shadow-doorbell pages, the engine's in-flight table —
+by wrapping their methods *per instance*.  Nothing in the production
+code consults the monitor: when it is not attached, the hot path is
+byte-for-byte the unmonitored code (zero cost when off).  When it is
+attached, every queue transition is checked against the invariants in
+:mod:`repro.verify.invariants` and the first illegal transition raises
+:class:`InvariantViolation` with a queue-state snapshot.
+
+Checks run *after* the wrapped call, so methods that already enforce a
+property (``push_raw`` raising ``LockNotHeldError``, ``DeviceCqState.post``
+raising ``CqOverrunError``) keep their exception contract; the monitor
+catches the violations those guards would miss.
+
+Attach with ``ProtocolMonitor.attach_testbed(tb)``, or set
+``REPRO_VERIFY=1`` in the environment to have every testbed factory do
+it automatically (see :func:`repro.verify.maybe_attach`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.chunking import chunk_count
+from repro.core.inline_command import (
+    MAX_INLINE_BYTES,
+    InlineEncodingError,
+    inspect_command,
+)
+from repro.core.reassembly import tagged_chunk_count
+from repro.nvme.command import NvmeCommand
+from repro.verify.invariants import (
+    INV_CID_UNIQUE,
+    INV_CQ_OVERRUN,
+    INV_CQ_PHASE,
+    INV_INLINE_SEQ,
+    INV_RR_FAIRNESS,
+    INV_SHADOW,
+    INV_SQ_DOORBELL,
+    INV_SQ_WINDOW,
+    InvariantViolation,
+    cq_snapshot,
+    ring_delta,
+    sq_snapshot,
+)
+
+#: Sweeps a pending queue may go unserviced before fairness trips.
+DEFAULT_FAIRNESS_BOUND = 3
+
+
+@dataclass
+class _SqState:
+    """Monitor-side mirror of one submission queue."""
+
+    sq: Any
+    #: Inline payload chunks still expected after the last command.
+    pending_chunks: int = 0
+    #: Slot of the most recent push (for contiguity checking).
+    last_slot: int = -1
+    #: Last published doorbell value the monitor saw.
+    published: int = 0
+    #: Next inline submission on this queue uses tagged chunking.
+    tagged_hint: bool = False
+
+
+@dataclass
+class _CqState:
+    """Monitor-side mirror of one completion-queue ring."""
+
+    host_cq: Any
+    #: Device producer mirror (tail slot, phase).
+    dev_tail: int = 0
+    dev_phase: int = 1
+    #: Host consumer mirror (head slot, phase).
+    host_head: int = 0
+    host_phase: int = 1
+    #: Posted-but-unconsumed completions currently in the ring.
+    outstanding: int = 0
+
+
+@dataclass
+class _FairnessState:
+    """Consecutive unserviced sweeps per pending queue."""
+
+    starved: Dict[int, int] = field(default_factory=dict)
+
+
+class ProtocolMonitor:
+    """Checks every observed queue transition against the invariants.
+
+    ``raise_on_violation=False`` turns the monitor into a recorder:
+    violations accumulate in :attr:`violations` instead of raising —
+    useful for tooling that wants to report more than the first break.
+    ``checks`` counts how many times each invariant was evaluated, so
+    tests can assert the monitor actually observed traffic.
+    """
+
+    def __init__(self, raise_on_violation: bool = True,
+                 fairness_bound: int = DEFAULT_FAIRNESS_BOUND) -> None:
+        if fairness_bound < 1:
+            raise ValueError("fairness bound must be at least 1")
+        self.raise_on_violation = raise_on_violation
+        self.fairness_bound = fairness_bound
+        self.violations: List[InvariantViolation] = []
+        self.checks: Counter = Counter()
+        self._patches: List[Tuple[Any, str]] = []
+        self._sq: Dict[int, _SqState] = {}
+        self._cq: Dict[int, _CqState] = {}
+        self._shadow_published: Dict[int, int] = {}
+        self._shadow_eventidx: Dict[int, int] = {}
+        self._sq_by_qid: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _violate(self, rule: str, message: str,
+                 snapshot: Optional[Dict[str, Any]] = None) -> None:
+        violation = InvariantViolation(rule, message, snapshot)
+        self.violations.append(violation)
+        if self.raise_on_violation:
+            raise violation
+
+    def _patch(self, obj: Any, name: str, wrapper: Callable[..., Any]) -> None:
+        """Install *wrapper* as an instance attribute shadowing a method."""
+        self._patches.append((obj, name))
+        object.__setattr__(obj, name, wrapper)
+
+    def detach(self) -> None:
+        """Remove every installed wrapper, restoring the class methods."""
+        for obj, name in reversed(self._patches):
+            try:
+                object.__delattr__(obj, name)
+            except AttributeError:  # pragma: no cover - already gone
+                pass
+        self._patches.clear()
+
+    # ------------------------------------------------------------------
+    # attachment entry points
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach_testbed(cls, tb: Any, **kwargs: Any) -> "ProtocolMonitor":
+        """Attach a fresh monitor to a whole rig (driver + controller)."""
+        monitor = cls(**kwargs)
+        monitor.attach_driver(tb.driver)
+        monitor.attach_controller(tb.ssd.controller)
+        return monitor
+
+    def attach_driver(self, driver: Any) -> None:
+        """Observe every queue pair the driver owns, CID allocation,
+        tagged-submission hints, and the host shadow-doorbell page."""
+        resources = [driver._admin] + [driver._queues[qid]
+                                       for qid in sorted(driver._queues)]
+        for res in resources:
+            self.attach_sq(res.sq)
+            self.attach_cq(res.cq)
+            self._sq_by_qid[res.sq.qid] = res.sq
+        self._wrap_alloc_cid(driver)
+        self._wrap_tagged_hint(driver)
+        if driver.shadow is not None:
+            self.attach_shadow_host(driver.shadow)
+
+    def attach_controller(self, ctrl: Any) -> None:
+        """Observe device-side CQ producers, the firmware sweep's
+        fairness, and the device's eventidx publications."""
+        for qid, state in ctrl._cqs.items():
+            self._wrap_device_post(qid, state)
+        self._wrap_fairness(ctrl)
+        if ctrl._shadow is not None:
+            self.attach_shadow_device(ctrl._shadow)
+
+    def attach_engine(self, engine: Any) -> None:
+        """Observe the engine's in-flight table for key aliasing."""
+        self._wrap_table_add(engine.table)
+
+    # ------------------------------------------------------------------
+    # submission queue
+    # ------------------------------------------------------------------
+    def attach_sq(self, sq: Any) -> None:
+        state = _SqState(sq=sq, published=sq.shadow_tail)
+        self._sq[id(sq)] = state
+        self._wrap_push_raw(sq, state)
+        self._wrap_ring_doorbell(sq, state)
+        self._wrap_note_sq_head(sq, state)
+
+    def _expected_chunks(self, state: _SqState, payload_len: int) -> int:
+        if state.tagged_hint:
+            return tagged_chunk_count(payload_len)
+        return chunk_count(payload_len)
+
+    def _wrap_push_raw(self, sq: Any, state: _SqState) -> None:
+        orig = sq.push_raw
+
+        def push_raw(entry: bytes) -> int:
+            old_tail = sq.tail
+            slot = orig(entry)
+            self.checks[INV_SQ_WINDOW] += 1
+            if sq.tail != (old_tail + 1) % sq.depth:
+                self._violate(
+                    INV_SQ_WINDOW,
+                    f"SQ{sq.qid} push advanced tail {old_tail}->{sq.tail}, "
+                    f"expected one slot", sq_snapshot(sq))
+            self.checks[INV_INLINE_SEQ] += 1
+            if state.pending_chunks > 0:
+                if slot != (state.last_slot + 1) % sq.depth:
+                    self._violate(
+                        INV_INLINE_SEQ,
+                        f"SQ{sq.qid} inline chunk at slot {slot}, expected "
+                        f"{(state.last_slot + 1) % sq.depth} (contiguity)",
+                        sq_snapshot(sq))
+                state.pending_chunks -= 1
+                state.last_slot = slot
+                if state.pending_chunks == 0:
+                    state.tagged_hint = False
+                return slot
+            cmd = NvmeCommand.unpack(entry)
+            if cmd.inline_length:
+                try:
+                    info = inspect_command(cmd)
+                except InlineEncodingError:
+                    self._violate(
+                        INV_INLINE_SEQ,
+                        f"SQ{sq.qid} command carries malformed inline "
+                        f"length {cmd.inline_length} "
+                        f"(max {MAX_INLINE_BYTES})", sq_snapshot(sq))
+                    return slot
+                state.pending_chunks = self._expected_chunks(
+                    state, info.payload_len)
+            state.last_slot = slot
+            return slot
+
+        self._patch(sq, "push_raw", push_raw)
+
+    def _wrap_ring_doorbell(self, sq: Any, state: _SqState) -> None:
+        orig = sq.ring_doorbell
+
+        def ring_doorbell() -> int:
+            old = state.published
+            tail = orig()
+            self.checks[INV_SQ_DOORBELL] += 1
+            if state.pending_chunks > 0:
+                self._violate(
+                    INV_SQ_DOORBELL,
+                    f"SQ{sq.qid} doorbell rung with {state.pending_chunks} "
+                    f"inline chunk(s) still unwritten (torn sequence "
+                    f"published)", sq_snapshot(sq))
+            if tail != sq.tail:
+                self._violate(
+                    INV_SQ_DOORBELL,
+                    f"SQ{sq.qid} doorbell published {tail}, host tail is "
+                    f"{sq.tail}", sq_snapshot(sq))
+            if ring_delta(old, tail, sq.depth) > ring_delta(old, sq.tail,
+                                                            sq.depth):
+                self._violate(
+                    INV_SQ_DOORBELL,
+                    f"SQ{sq.qid} doorbell regressed {old}->{tail}",
+                    sq_snapshot(sq))
+            state.published = tail
+            return tail
+
+        self._patch(sq, "ring_doorbell", ring_doorbell)
+
+    def _wrap_note_sq_head(self, sq: Any, state: _SqState) -> None:
+        orig = sq.note_sq_head
+
+        def note_sq_head(head: int) -> None:
+            window_before = ring_delta(sq.head, sq.tail, sq.depth)
+            orig(head)
+            self.checks[INV_SQ_WINDOW] += 1
+            window_after = ring_delta(sq.head, sq.tail, sq.depth)
+            if window_after > window_before:
+                self._violate(
+                    INV_SQ_WINDOW,
+                    f"SQ{sq.qid} accepted head report {head} that grew the "
+                    f"in-flight window {window_before}->{window_after} "
+                    f"(stale/backwards report applied)", sq_snapshot(sq))
+
+        self._patch(sq, "note_sq_head", note_sq_head)
+
+    # ------------------------------------------------------------------
+    # completion queue (host consumer + host-side producer shim)
+    # ------------------------------------------------------------------
+    def attach_cq(self, cq: Any) -> None:
+        state = _CqState(host_cq=cq, dev_tail=cq.device_tail,
+                         dev_phase=cq.device_phase, host_head=cq.head,
+                         host_phase=cq.phase)
+        self._cq[cq.qid] = state
+        self._wrap_host_poll(cq, state)
+        self._wrap_host_device_post(cq, state)
+
+    def _cq_consumed(self, cq: Any, state: _CqState, phase: int) -> None:
+        self.checks[INV_CQ_PHASE] += 1
+        if phase != state.host_phase:
+            self._violate(
+                INV_CQ_PHASE,
+                f"CQ{cq.qid} consumed a CQE with phase {phase} at slot "
+                f"{state.host_head}, expected phase {state.host_phase}",
+                cq_snapshot(cq))
+        state.host_head = (state.host_head + 1) % cq.depth
+        if state.host_head == 0:
+            state.host_phase ^= 1
+        if state.outstanding > 0:
+            state.outstanding -= 1
+
+    def _wrap_host_poll(self, cq: Any, state: _CqState) -> None:
+        orig = cq.poll
+
+        def poll() -> Any:
+            cqe = orig()
+            if cqe is not None:
+                self._cq_consumed(cq, state, cqe.phase)
+                if cq.head != state.host_head:
+                    self._violate(
+                        INV_CQ_PHASE,
+                        f"CQ{cq.qid} head {cq.head} diverged from monitor "
+                        f"mirror {state.host_head}", cq_snapshot(cq))
+            return cqe
+
+        self._patch(cq, "poll", poll)
+
+    def _cq_produced(self, qid: int, state: _CqState, depth: int,
+                     phase: int, snapshot: Dict[str, Any]) -> None:
+        self.checks[INV_CQ_OVERRUN] += 1
+        if state.outstanding >= depth:
+            self._violate(
+                INV_CQ_OVERRUN,
+                f"CQ{qid} posted completion #{state.outstanding + 1} into a "
+                f"{depth}-deep ring with none consumed (overwrote a live "
+                f"CQE)", snapshot)
+        state.outstanding += 1
+        self.checks[INV_CQ_PHASE] += 1
+        if phase != state.dev_phase:
+            self._violate(
+                INV_CQ_PHASE,
+                f"CQ{qid} produced a CQE with phase {phase} at slot "
+                f"{state.dev_tail}, expected phase {state.dev_phase}",
+                snapshot)
+        state.dev_tail = (state.dev_tail + 1) % depth
+        if state.dev_tail == 0:
+            state.dev_phase ^= 1
+
+    def _wrap_host_device_post(self, cq: Any, state: _CqState) -> None:
+        orig = cq.device_post
+
+        def device_post(cqe: Any) -> int:
+            slot = orig(cqe)
+            self._cq_produced(cq.qid, state, cq.depth, cqe.phase,
+                              cq_snapshot(cq))
+            return slot
+
+        self._patch(cq, "device_post", device_post)
+
+    def _wrap_device_post(self, qid: int, dev_state: Any) -> None:
+        """Wrap the controller's DeviceCqState producer for CQ *qid*."""
+        state = self._cq.get(qid)
+        if state is None:
+            return  # controller-only queue the host never attached
+        orig = dev_state.post
+
+        def post(cqe: Any, memory: Any) -> None:
+            orig(cqe, memory)
+            self._cq_produced(qid, state, dev_state.depth, cqe.phase, {
+                "qid": qid,
+                "depth": dev_state.depth,
+                "tail": dev_state.tail,
+                "phase": dev_state.phase,
+                "host_head": dev_state.host_head,
+            })
+
+        self._patch(dev_state, "post", post)
+
+    # ------------------------------------------------------------------
+    # CID allocation
+    # ------------------------------------------------------------------
+    def _wrap_alloc_cid(self, driver: Any) -> None:
+        orig = driver._alloc_cid
+
+        def _alloc_cid(res: Any, track: bool = True) -> int:
+            live_before = set(res.live_cids)
+            zombie_before = set(getattr(res, "zombie_cids", ()))
+            cid = orig(res, track)
+            self.checks[INV_CID_UNIQUE] += 1
+            if cid in live_before:
+                self._violate(
+                    INV_CID_UNIQUE,
+                    f"SQ{res.sq.qid} allocated CID {cid} while it is still "
+                    f"in flight", sq_snapshot(res.sq))
+            if cid in zombie_before:
+                self._violate(
+                    INV_CID_UNIQUE,
+                    f"SQ{res.sq.qid} allocated CID {cid} inside its "
+                    f"abandoned-command quarantine window",
+                    sq_snapshot(res.sq))
+            return cid
+
+        self._patch(driver, "_alloc_cid", _alloc_cid)
+
+    def _wrap_tagged_hint(self, driver: Any) -> None:
+        orig = driver.submit_write_inline_tagged
+
+        def submit_write_inline_tagged(cmd: Any, data: bytes, qid: int,
+                                       payload_id: int,
+                                       ring: bool = True) -> int:
+            sq = driver.queue(qid).sq
+            state = self._sq.get(id(sq))
+            if state is not None:
+                state.tagged_hint = True
+            try:
+                return orig(cmd, data, qid, payload_id, ring)
+            finally:
+                if state is not None and state.pending_chunks == 0:
+                    state.tagged_hint = False
+
+        self._patch(driver, "submit_write_inline_tagged",
+                    submit_write_inline_tagged)
+
+    # ------------------------------------------------------------------
+    # engine in-flight table
+    # ------------------------------------------------------------------
+    def _wrap_table_add(self, table: Any) -> None:
+        orig = table.add
+
+        def add(entry: Any) -> None:
+            duplicate = (entry.key is not None
+                         and table.get(entry.key) is not None)
+            orig(entry)
+            self.checks[INV_CID_UNIQUE] += 1
+            if duplicate:  # pragma: no cover - table.add raises first
+                self._violate(
+                    INV_CID_UNIQUE,
+                    f"in-flight table aliased key {entry.key}",
+                    {"key": entry.key})
+
+        self._patch(table, "add", add)
+
+    # ------------------------------------------------------------------
+    # shadow doorbells
+    # ------------------------------------------------------------------
+    def attach_shadow_host(self, shadow: Any) -> None:
+        """Observe the host's tail publications into the shadow page."""
+        orig = shadow.write_sq_tail
+
+        def write_sq_tail(qid: int, tail: int) -> None:
+            orig(qid, tail)
+            sq = self._sq_by_qid.get(qid)
+            if sq is None:
+                return
+            self.checks[INV_SHADOW] += 1
+            prev = self._shadow_published.get(qid, 0)
+            if ring_delta(prev, tail, sq.depth) > ring_delta(prev, sq.tail,
+                                                             sq.depth):
+                self._violate(
+                    INV_SHADOW,
+                    f"shadow tail for SQ{qid} moved {prev}->{tail}, past "
+                    f"the host tail {sq.tail}", sq_snapshot(sq))
+            self._shadow_published[qid] = tail
+
+        self._patch(shadow, "write_sq_tail", write_sq_tail)
+
+    def attach_shadow_device(self, shadow: Any) -> None:
+        """Observe the device's eventidx publications."""
+        orig = shadow.write_sq_eventidx
+
+        def write_sq_eventidx(qid: int, value: int) -> None:
+            orig(qid, value)
+            sq = self._sq_by_qid.get(qid)
+            if sq is None:
+                return
+            self.checks[INV_SHADOW] += 1
+            prev = self._shadow_eventidx.get(qid, 0)
+            published = self._shadow_published.get(qid, sq.shadow_tail)
+            if ring_delta(prev, value, sq.depth) > ring_delta(
+                    prev, published, sq.depth):
+                self._violate(
+                    INV_SHADOW,
+                    f"device eventidx for SQ{qid} moved {prev}->{value}, "
+                    f"claiming consumption past the published tail "
+                    f"{published}", sq_snapshot(sq))
+            self._shadow_eventidx[qid] = value
+
+        self._patch(shadow, "write_sq_eventidx", write_sq_eventidx)
+
+    # ------------------------------------------------------------------
+    # round-robin fairness
+    # ------------------------------------------------------------------
+    def _wrap_fairness(self, ctrl: Any) -> None:
+        orig = ctrl.poll_once
+        state = _FairnessState()
+
+        def pending(qid: int) -> int:
+            sq = ctrl._sqs.get(qid)
+            if sq is None:
+                return 0
+            return ((ctrl._sq_tails.get(qid, sq.head) - sq.head) % sq.depth
+                    + ctrl._pending_chunks.get(qid, 0))
+
+        def poll_once() -> int:
+            before = {qid: pending(qid) for qid in list(ctrl._sqs)}
+            done = orig()
+            self.checks[INV_RR_FAIRNESS] += 1
+            for qid, had in before.items():
+                if had <= 0:
+                    state.starved.pop(qid, None)
+                    continue
+                if pending(qid) < had:
+                    state.starved.pop(qid, None)
+                    continue
+                count = state.starved.get(qid, 0) + 1
+                state.starved[qid] = count
+                if count >= self.fairness_bound:
+                    self._violate(
+                        INV_RR_FAIRNESS,
+                        f"SQ{qid} had {had} doorbell'd command(s) pending "
+                        f"and was skipped for {count} consecutive firmware "
+                        f"sweeps",
+                        {"qid": qid, "pending": had, "sweeps": count})
+            return done
+
+        self._patch(ctrl, "poll_once", poll_once)
+
+    # ------------------------------------------------------------------
+    # summary
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, int]:
+        """Check counts per rule plus the violation total (reporting)."""
+        out = {rule: int(count) for rule, count in sorted(self.checks.items())}
+        out["violations"] = len(self.violations)
+        return out

@@ -8,7 +8,7 @@ bytes.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import Iterator, Sequence
 
 from repro.sim.rng import make_rng, random_bytes
 

@@ -3,10 +3,9 @@
 import pytest
 
 from repro.csd.pushdown import parse_task_message
-from repro.csd.queries import CORPUS, VPIC, by_name
+from repro.csd.queries import CORPUS, VPIC
 from repro.csd.sql import SqlError, evaluate, parse_query
 from repro.csd.pushdown import CsdClient
-from repro.nvme.constants import VendorOpcode
 from repro.testbed import make_csd_testbed
 
 
@@ -94,7 +93,7 @@ def test_fetch_without_results_rejected(rig):
 def test_deferred_execution_mode():
     tb = make_csd_testbed(execute_inline=False)
     client = CsdClient(tb.driver, tb.method("byteexpress"))
-    rows = _load(client, VPIC)
+    _load(client, VPIC)
     for _ in range(5):
         client.pushdown(VPIC.segment)
     personality = tb.personality

@@ -6,7 +6,6 @@ equivalence on random rows.  This is the strongest guarantee a parser
 test can give without a reference implementation.
 """
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -13,7 +13,6 @@ from repro.faults.plan import (
 )
 from repro.host.driver import RetryPolicy
 from repro.pcie.traffic import EVT_RETRY, EVT_TIMEOUT
-from repro.sim.config import SimConfig
 from repro.ssd.controller import MODE_TAGGED
 from repro.testbed import make_engine_testbed
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.host.driver import BatchResult, DriverError
+from repro.host.driver import BatchResult
 from repro.nvme.command import NvmeCommand
 from repro.nvme.constants import IoOpcode, StatusCode
 from repro.sim.config import SimConfig

@@ -1,6 +1,5 @@
 """CLI smoke tests (every subcommand end-to-end)."""
 
-import pytest
 
 from repro.cli import main
 from repro.workloads import MixGraphWorkload, dump_trace

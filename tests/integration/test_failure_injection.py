@@ -34,7 +34,10 @@ def test_many_small_inline_ops_through_shallow_queue():
 
 
 def test_malformed_reserved_field_does_not_wedge_queue():
-    tb = make_block_testbed()
+    # Forges a host-side protocol violation on purpose: drop the
+    # REPRO_VERIFY monitor, which (correctly) flags it — the subject
+    # here is the *device's* robustness against it.
+    tb = make_block_testbed().unmonitor()
     bad = NvmeCommand(opcode=IoOpcode.WRITE)
     bad.cdw2 = 6400  # claims 100 chunks that were never inserted
     tb.driver.submit_raw(bad, qid=1)

@@ -1,7 +1,6 @@
 """Media timing effects visible at the API: DRAM-hot vs NAND-cold reads,
 round-robin fairness across queues."""
 
-import pytest
 
 from repro.kvssd import KVStore
 from repro.nvme.command import NvmeCommand

@@ -9,9 +9,8 @@ is broken.
 
 import pytest
 
-from repro.sim.config import SimConfig, TimingModel
+from repro.sim.config import TimingModel
 from repro.testbed import make_block_testbed
-from repro.workloads import fixed_size_payloads
 
 
 @pytest.fixture(scope="module")

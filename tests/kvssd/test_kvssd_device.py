@@ -3,7 +3,6 @@
 import pytest
 
 from repro.kvssd import KeyNotFoundError, KvError, KVStore
-from repro.testbed import make_kv_testbed
 from repro.workloads import FillRandomWorkload, MixGraphWorkload
 
 

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.kvssd import KVStore, KvError
+from repro.kvssd import KVStore
 from repro.kvssd.commands import KvEncodingError, decode_key_list
-from repro.sim.config import SimConfig
 from repro.testbed import make_kv_testbed
 
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.kvssd.lsm import TOMBSTONE, LsmIndex, SsTable
+from repro.kvssd.lsm import LsmIndex, SsTable
 from repro.kvssd.value_log import LogPointer
 from repro.sim.clock import SimClock
 from repro.sim.config import TimingModel

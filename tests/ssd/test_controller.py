@@ -6,9 +6,8 @@ import pytest
 from repro.nvme.command import NvmeCommand
 from repro.nvme.constants import IoOpcode, StatusCode
 from repro.sim.config import SimConfig
-from repro.ssd.controller import CommandContext, CommandResult, MODE_TAGGED
-from repro.ssd.device import BlockSsdPersonality, OpenSsd
-from repro.host.driver import NvmeDriver
+from repro.ssd.controller import CommandContext, MODE_TAGGED
+from repro.ssd.device import OpenSsd
 from repro.testbed import make_block_testbed
 
 
@@ -62,6 +61,7 @@ def test_byteexpress_disabled_firmware_rejects_inline(tb, payload64):
 
 
 def test_malformed_inline_length_rejected(tb):
+    tb.unmonitor()  # the forged inline length is the test's subject
     cmd = NvmeCommand(opcode=IoOpcode.WRITE)
     cmd.cdw2 = 1 << 30  # absurd inline length, no chunks inserted
     tb.driver.submit_raw(cmd, qid=1)
@@ -71,6 +71,7 @@ def test_malformed_inline_length_rejected(tb):
 
 def test_inline_chunks_beyond_doorbell_fail_command(tb):
     """Advertised chunk count past the doorbell is a protocol violation."""
+    tb.unmonitor()  # the forged torn sequence is the test's subject
     res = tb.driver.queue(1)
     cmd = NvmeCommand(opcode=IoOpcode.WRITE, cid=1)
     cmd.set_inline_length(64 * 5)  # claims 5 chunks

@@ -1,13 +1,10 @@
 """OpenSSD assembly + block personality behaviour."""
 
-import pytest
 
-from repro.nvme.command import NvmeCommand
 from repro.nvme.constants import IoOpcode, StatusCode
 from repro.nvme.passthrough import PassthruRequest
 from repro.sim.config import SimConfig
-from repro.ssd.device import BlockSsdPersonality, OpenSsd
-from repro.testbed import make_block_testbed
+from repro.ssd.device import OpenSsd
 
 
 def test_assembly_shares_clock_and_counter():

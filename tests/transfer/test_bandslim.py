@@ -81,7 +81,6 @@ class TestBandSlimTransfer:
     def test_out_of_order_fragment_fails_stream(self):
         """Serialisation violation is detected, not silently corrupted."""
         tb = make_block_testbed()
-        method = tb.method("bandslim")
         frag0 = pack_fragment(99, 1, 64, b"a" * 32, False, IoOpcode.WRITE)
         tb.driver.submit_raw(frag0, qid=1)
         cqe = tb.driver.wait(1)

@@ -1,0 +1,15 @@
+"""VER103 vectors: doorbell rung outside the SQ lock."""
+
+
+def publish(sq):
+    sq.ring_doorbell()  # line 5: VER103
+
+
+def publish_locked(res):
+    with res.sq.lock:
+        return res.sq.ring_doorbell()  # fine: lexically under the lock
+
+
+def publish_contract(res):
+    # suppressed: lock held by caller per documented contract
+    return res.sq.ring_doorbell()  # verify: ignore[VER103]

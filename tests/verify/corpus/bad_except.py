@@ -1,0 +1,22 @@
+"""VER105 vectors: bare except in recovery paths."""
+
+
+def swallow(driver):
+    try:
+        driver.kick(1)
+    except:  # line 7: VER105
+        pass
+
+
+def named_ok(driver):
+    try:
+        driver.kick(1)
+    except RuntimeError:
+        pass
+
+
+def suppressed(driver):
+    try:
+        driver.kick(1)
+    except:  # verify: ignore[VER105]
+        raise

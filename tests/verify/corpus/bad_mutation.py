@@ -1,0 +1,13 @@
+"""VER104 vectors: queue ring-field mutation outside repro.nvme."""
+
+
+def clobber(sq, res):
+    sq.tail = 0  # line 5: VER104
+    res.cq.head = 3  # line 6: VER104
+    res.cq.device_phase ^= 1  # line 7: VER104
+
+
+def fine(state):
+    # receiver is not a queue by naming convention: device-private state
+    state.tail = 0
+    state.phase = 1

@@ -1,0 +1,22 @@
+"""VER102 vectors: unseeded / stdlib randomness."""
+
+import random  # line 3: VER102
+
+import numpy as np
+
+
+def roll():
+    return random.randint(1, 6)  # line 9: VER102
+
+
+def legacy():
+    np.random.seed(7)  # line 13: VER102 (legacy global RNG)
+    return np.random.rand()  # line 14: VER102
+
+
+def unseeded():
+    return np.random.default_rng()  # line 18: VER102 (no seed)
+
+
+def seeded_ok():
+    return np.random.default_rng(1234)  # fine: explicitly seeded

@@ -1,0 +1,17 @@
+"""VER101 vectors: wall-clock time in sim code."""
+
+import time
+from time import monotonic  # line 4: VER101 (import of wall-clock fn)
+
+
+def stamp():
+    return time.time()  # line 8: VER101
+
+
+def tick():
+    return time.perf_counter_ns()  # line 12: VER101
+
+
+def allowed():
+    # suppressed: calibration helper that genuinely needs wall time
+    return time.monotonic()  # verify: ignore[VER101]

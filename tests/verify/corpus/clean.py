@@ -1,0 +1,14 @@
+"""A file with no findings: the linter's negative control."""
+
+from repro.sim.rng import make_rng
+
+
+def sizes(seed, n):
+    rng = make_rng(seed, "corpus.sizes")
+    return rng.integers(64, 4096, size=n).tolist()
+
+
+def publish(res):
+    with res.sq.lock:
+        res.sq.push_raw(b"\x00" * 64)
+        return res.sq.ring_doorbell()

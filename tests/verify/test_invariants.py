@@ -1,0 +1,71 @@
+"""Tests for the invariant vocabulary (``repro.verify.invariants``)."""
+
+import pytest
+
+from repro.host.memory import HostMemory
+from repro.nvme.queues import CompletionQueue, SubmissionQueue
+from repro.verify.invariants import (
+    ALL_RULES,
+    INV_CID_UNIQUE,
+    INV_CQ_PHASE,
+    INV_SQ_WINDOW,
+    InvariantViolation,
+    cq_snapshot,
+    ring_delta,
+    sq_snapshot,
+)
+
+
+def test_violation_message_carries_rule_and_snapshot():
+    exc = InvariantViolation(INV_SQ_WINDOW, "window grew",
+                             snapshot={"qid": 1, "head": 3})
+    text = str(exc)
+    assert text.startswith("INV_SQ_WINDOW: window grew")
+    assert "qid=1" in text and "head=3" in text
+    assert exc.rule == INV_SQ_WINDOW
+    assert exc.snapshot == {"qid": 1, "head": 3}
+
+
+def test_violation_without_snapshot():
+    exc = InvariantViolation(INV_CQ_PHASE, "phase flip missing")
+    assert str(exc) == "INV_CQ_PHASE: phase flip missing"
+
+
+def test_violation_rejects_unknown_rule():
+    with pytest.raises(ValueError):
+        InvariantViolation("INV_BOGUS", "nope")
+
+
+def test_every_rule_has_a_description():
+    assert INV_CID_UNIQUE in ALL_RULES
+    for rule, text in ALL_RULES.items():
+        assert rule.startswith("INV_")
+        assert text
+
+
+def test_ring_delta_wraps_modulo_depth():
+    assert ring_delta(0, 0, 8) == 0
+    assert ring_delta(2, 5, 8) == 3
+    assert ring_delta(6, 1, 8) == 3  # wrapped
+    assert ring_delta(5, 5, 8) == 0
+
+
+def test_sq_snapshot_fields():
+    sq = SubmissionQueue(qid=2, depth=8, memory=HostMemory())
+    with sq.lock:
+        sq.push_raw(b"\x00" * 64)
+    snap = sq_snapshot(sq)
+    assert snap["qid"] == 2
+    assert snap["depth"] == 8
+    assert snap["tail"] == 1
+    assert snap["head"] == 0
+    assert snap["lock_held"] is False
+
+
+def test_cq_snapshot_fields():
+    cq = CompletionQueue(qid=3, depth=4, memory=HostMemory())
+    snap = cq_snapshot(cq)
+    assert snap["qid"] == 3
+    assert snap["depth"] == 4
+    assert snap["head"] == 0
+    assert snap["phase"] == 1

@@ -1,0 +1,230 @@
+"""Unit tests for the project lint (``repro.verify.lint``).
+
+Every rule gets a positive (flagged) case and a suppressed case, plus
+end-to-end runs over the deliberate-violation corpus in
+``tests/verify/corpus`` and the real source tree via the CLI.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.verify.lint import (
+    LINT_RULES,
+    VER101,
+    VER102,
+    VER103,
+    VER104,
+    VER105,
+    lint_paths,
+    lint_source,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def codes(source, path="module.py"):
+    return [f.code for f in lint_source(source, path)]
+
+
+# ---------------------------------------------------------------- VER101
+
+
+def test_ver101_flags_wall_clock_calls():
+    src = "import time\nt = time.time()\n"
+    assert codes(src) == [VER101]
+
+
+def test_ver101_flags_all_clock_variants():
+    for fn in ("monotonic", "perf_counter", "time_ns",
+               "monotonic_ns", "perf_counter_ns"):
+        src = f"import time\nt = time.{fn}()\n"
+        assert codes(src) == [VER101], fn
+
+
+def test_ver101_flags_from_import():
+    assert codes("from time import monotonic\n") == [VER101]
+
+
+def test_ver101_allows_sleep_and_suppression():
+    assert codes("import time\ntime.sleep(0)\n") == []
+    src = "import time\nt = time.time()  # verify: ignore[VER101]\n"
+    assert codes(src) == []
+
+
+# ---------------------------------------------------------------- VER102
+
+
+def test_ver102_flags_stdlib_random():
+    assert codes("import random\n") == [VER102]
+    assert codes("from random import randint\n") == [VER102]
+    assert codes("import random\nx = random.random()\n",
+                 ) == [VER102, VER102]
+
+
+def test_ver102_flags_legacy_numpy_global_rng():
+    src = "import numpy as np\nx = np.random.rand(4)\n"
+    assert codes(src) == [VER102]
+
+
+def test_ver102_flags_unseeded_default_rng():
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert codes(src) == [VER102]
+
+
+def test_ver102_allows_seeded_constructors():
+    src = ("import numpy as np\n"
+           "a = np.random.default_rng(7)\n"
+           "b = np.random.SeedSequence(7)\n"
+           "c = np.random.Generator(np.random.PCG64(7))\n")
+    assert codes(src) == []
+
+
+def test_ver102_suppression():
+    src = "import random  # verify: ignore[VER102]\n"
+    assert codes(src) == []
+
+
+# ---------------------------------------------------------------- VER103
+
+
+def test_ver103_flags_unlocked_doorbell():
+    assert codes("sq.ring_doorbell()\n") == [VER103]
+
+
+def test_ver103_allows_doorbell_under_lock():
+    src = "with res.sq.lock:\n    res.sq.ring_doorbell()\n"
+    assert codes(src) == []
+
+
+def test_ver103_flags_doorbell_after_lock_block_exits():
+    src = ("with res.sq.lock:\n"
+           "    pass\n"
+           "res.sq.ring_doorbell()\n")
+    assert codes(src) == [VER103]
+
+
+def test_ver103_suppression():
+    src = "sq.ring_doorbell()  # verify: ignore[VER103]\n"
+    assert codes(src) == []
+
+
+# ---------------------------------------------------------------- VER104
+
+
+def test_ver104_flags_queue_field_mutation():
+    assert codes("sq.tail = 0\n") == [VER104]
+    assert codes("cq.head += 1\n") == [VER104]
+    assert codes("res.cq.device_phase ^= 1\n") == [VER104]
+
+
+def test_ver104_allows_reads_and_non_queue_receivers():
+    assert codes("x = sq.tail\n") == []
+    assert codes("state.tail = 0\n") == []
+
+
+def test_ver104_exempts_nvme_package_itself():
+    src = "self.tail = 0\nsq.head = 1\n"
+    assert codes(src, path="src/repro/nvme/queues.py") == []
+    assert codes(src, path="src/repro/host/driver.py") == [VER104]
+
+
+def test_ver104_suppression():
+    assert codes("sq.tail = 0  # verify: ignore[VER104]\n") == []
+
+
+# ---------------------------------------------------------------- VER105
+
+
+def test_ver105_flags_bare_except():
+    src = "try:\n    f()\nexcept:\n    pass\n"
+    assert codes(src) == [VER105]
+
+
+def test_ver105_allows_named_except():
+    src = "try:\n    f()\nexcept ValueError:\n    pass\n"
+    assert codes(src) == []
+
+
+def test_ver105_suppression():
+    src = "try:\n    f()\nexcept:  # verify: ignore[VER105]\n    raise\n"
+    assert codes(src) == []
+
+
+# ------------------------------------------------------- suppression misc
+
+
+def test_wildcard_suppression_covers_any_rule():
+    src = "sq.tail = 0  # verify: ignore[*]\n"
+    assert codes(src) == []
+
+
+def test_multi_code_suppression():
+    src = ("import time\n"
+           "sq.tail = time.time()"
+           "  # verify: ignore[VER101, VER104]\n")
+    assert codes(src) == []
+
+
+def test_suppression_for_wrong_rule_does_not_hide():
+    src = "sq.tail = 0  # verify: ignore[VER101]\n"
+    assert codes(src) == [VER104]
+
+
+def test_syntax_error_becomes_ver000_finding():
+    findings = lint_source("def broken(:\n", "x.py")
+    assert [f.code for f in findings] == ["VER000"]
+
+
+# ------------------------------------------------------------- corpus
+
+
+def test_corpus_flags_every_rule():
+    findings = lint_paths([str(CORPUS)])
+    by_code = {f.code for f in findings}
+    assert by_code == {VER101, VER102, VER103, VER104, VER105}
+
+
+def test_corpus_clean_file_has_no_findings():
+    findings = lint_paths([str(CORPUS / "clean.py")])
+    assert findings == []
+
+
+def test_corpus_findings_carry_locations():
+    findings = lint_paths([str(CORPUS / "bad_mutation.py")])
+    assert [(f.code, f.line) for f in findings] == [
+        (VER104, 5), (VER104, 6), (VER104, 7)]
+
+
+# ----------------------------------------------------------------- CLI
+
+
+def test_cli_lint_corpus_exits_nonzero(capsys):
+    rc = main(["lint", str(CORPUS)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "VER103" in out and "finding(s)" in out
+
+
+def test_cli_lint_src_is_clean():
+    repo = Path(__file__).resolve().parents[2]
+    assert main(["lint", str(repo / "src")]) == 0
+
+
+def test_cli_lint_missing_path_is_an_error(capsys):
+    rc = main(["lint", str(CORPUS / "no_such_dir")])
+    assert rc == 2
+    assert "does not exist" in capsys.readouterr().out
+
+
+def test_cli_lint_list_rules(capsys):
+    assert main(["lint", "--list"]) == 0
+    out = capsys.readouterr().out
+    for code in LINT_RULES:
+        assert code in out
+
+
+@pytest.mark.parametrize("code", sorted(LINT_RULES))
+def test_every_rule_has_a_description(code):
+    assert LINT_RULES[code]
