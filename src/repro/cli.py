@@ -19,11 +19,18 @@ import sys
 from typing import List
 
 from repro.csd.pushdown import CsdClient
+from repro.datapath import names as dp_names
+from repro.datapath import registry as datapath_registry
 from repro.csd.queries import CORPUS
 from repro.kvssd import KVStore
 from repro.metrics import format_table, format_traffic_breakdown
 from repro.metrics.ascii_plot import ascii_chart
-from repro.sim.config import LinkConfig, SimConfig
+from repro.sim.config import (
+    DOORBELL_MMIO,
+    DOORBELL_SHADOW,
+    LinkConfig,
+    SimConfig,
+)
 from repro.testbed import make_block_testbed, make_csd_testbed, make_kv_testbed
 from repro.workloads import (
     FillRandomWorkload,
@@ -32,7 +39,18 @@ from repro.workloads import (
     load_trace,
 )
 
-_ALL_METHODS = ("prp", "sgl", "bandslim", "byteexpress", "hybrid")
+def _suite_methods() -> tuple:
+    """Methods the sweep/kv/pushdown testbeds can build: every
+    registered spec with a factory, minus the opt-in BAR window and
+    tagged-reassembly variants (those need a special testbed)."""
+    return tuple(spec.name for spec in datapath_registry.specs()
+                 if spec.factory is not None
+                 and not spec.caps.bar_window
+                 and not spec.caps.tag_reassembly)
+
+
+def _figure5_default() -> str:
+    return ",".join(datapath_registry.method_names(figure5=True))
 
 
 def _config(args) -> SimConfig:
@@ -87,9 +105,10 @@ def _fault_plan(args):
 def cmd_sweep(args) -> int:
     sizes = [int(s) for s in args.sizes.split(",")]
     methods = [m for m in args.methods.split(",")]
+    suite = _suite_methods()
     for m in methods:
-        if m not in _ALL_METHODS:
-            print(f"unknown method {m!r}; pick from {_ALL_METHODS}",
+        if m not in suite:
+            print(f"unknown method {m!r}; pick from {suite}",
                   file=sys.stderr)
             return 2
     rows = []
@@ -139,7 +158,7 @@ def cmd_kv(args) -> int:
 
 def cmd_pushdown(args) -> int:
     tb = make_csd_testbed(execute_inline=False)
-    setup = CsdClient(tb.driver, tb.method("prp"))
+    setup = CsdClient(tb.driver, tb.method(dp_names.PRP))
     for query in CORPUS:
         setup.create_table(query.schema)
     rows = []
@@ -222,7 +241,7 @@ def cmd_faults(args) -> int:
                               data=bytes([i & 0xFF]) * args.size,
                               cdw10=(i * args.size) & 0xFFFFFFFF)
         try:
-            res = drv.passthru(req, method="byteexpress")
+            res = drv.passthru(req, method=dp_names.BYTEEXPRESS)
         except CommandTimeoutError:
             timeouts += 1
             continue
@@ -262,8 +281,10 @@ def cmd_engine(args) -> int:
     from repro.ssd.controller import MODE_QUEUE_LOCAL, MODE_TAGGED
     from repro.testbed import make_engine_testbed
 
-    if args.method not in ("byteexpress", "bandslim", "prp"):
-        print(f"unknown engine method {args.method!r}", file=sys.stderr)
+    engine_choices = datapath_registry.method_names(engine_capable=True)
+    if args.method not in engine_choices:
+        print(f"unknown engine method {args.method!r}; pick from "
+              f"{engine_choices}", file=sys.stderr)
         return 2
     try:
         cfg = SimConfig(link=LinkConfig(generation=args.gen),
@@ -299,7 +320,7 @@ def cmd_engine(args) -> int:
             rows.append([f"injected {kind}",
                          tb.traffic.event_count(fault_event(kind))])
     ctrl = tb.ssd.controller
-    if args.doorbell_mode == "shadow":
+    if args.doorbell_mode == DOORBELL_SHADOW:
         rows.append(["shadow syncs", ctrl.shadow_syncs])
         rows.append(["shadow MMIO wakes", tb.driver.shadow_wakes])
     if args.burst_limit > 1:
@@ -313,7 +334,7 @@ def cmd_engine(args) -> int:
              + (f", doorbells {args.doorbell_mode}"
                 f", burst {args.burst_limit}"
                 f", coalesce {args.cq_coalesce}"
-                if (args.doorbell_mode != "mmio" or args.burst_limit > 1
+                if (args.doorbell_mode != DOORBELL_MMIO or args.burst_limit > 1
                     or args.cq_coalesce > 1) else ""))
     print(format_table(["counter", "value"], rows, title=title))
     print()
@@ -351,7 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="size sweep across methods (Figure 5)")
     common(p)
     p.add_argument("--sizes", default="32,64,128,256,512,1024,4096")
-    p.add_argument("--methods", default="prp,bandslim,byteexpress")
+    p.add_argument("--methods", default=_figure5_default(),
+                   help="comma-separated methods (pick from "
+                        "%s)" % ",".join(_suite_methods()))
     p.add_argument("--ops", type=int, default=100)
     p.add_argument("--faults", type=float, default=0.0, metavar="RATE",
                    help="per-opportunity fault probability (0 disables)")
@@ -363,14 +386,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("kv", help="KV-SSD workload (Figure 6)")
     p.add_argument("--workload", choices=("mixgraph", "fillrandom"),
                    default="mixgraph")
-    p.add_argument("--methods", default="prp,bandslim,byteexpress")
+    p.add_argument("--methods", default=_figure5_default())
     p.add_argument("--ops", type=int, default=500)
     p.add_argument("--value-size", type=int, default=128)
     p.add_argument("--seed", type=_seed_int, default=0x5EED)
     p.set_defaults(func=cmd_kv)
 
     p = sub.add_parser("pushdown", help="CSD pushdown (Figure 7)")
-    p.add_argument("--methods", default="prp,bandslim,byteexpress")
+    p.add_argument("--methods", default=_figure5_default())
     p.add_argument("--ops", type=int, default=100)
     p.add_argument("--segment", action="store_true",
                    help="send table;predicate segments instead of full SQL")
@@ -378,7 +401,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("replay", help="replay a recorded KV trace")
     p.add_argument("trace", help="JSONL trace file (see repro.workloads.trace)")
-    p.add_argument("--method", default="byteexpress")
+    p.add_argument("--method", default=dp_names.BYTEEXPRESS,
+                   choices=_suite_methods())
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
@@ -404,8 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-queue queue-depth cap")
     p.add_argument("--streams", type=int, default=4,
                    help="concurrent client streams")
-    p.add_argument("--method", default="byteexpress",
-                   choices=("byteexpress", "bandslim", "prp"))
+    p.add_argument("--method", default=dp_names.BYTEEXPRESS,
+                   choices=datapath_registry.method_names(
+                       engine_capable=True))
     p.add_argument("--ops", type=int, default=2000,
                    help="total operations across all streams")
     p.add_argument("--dist", default="fixed:64",
@@ -417,8 +442,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mean exponential think time per stream (0 = closed)")
     p.add_argument("--tagged", action="store_true",
                    help="tagged chunk mode (cross-SQ reassembly, §3.3.2)")
-    p.add_argument("--doorbell-mode", choices=("mmio", "shadow"),
-                   default="mmio",
+    p.add_argument("--doorbell-mode",
+                   choices=(DOORBELL_MMIO, DOORBELL_SHADOW),
+                   default=DOORBELL_MMIO,
                    help="doorbell publication: posted MMIO writes (stock) "
                         "or a DMA-read host-memory shadow page")
     p.add_argument("--burst-limit", type=int, default=1,

@@ -14,11 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.datapath import names as dp_names
+
 #: Paper-suggested default switching point.
 DEFAULT_THRESHOLD = 256
 
-METHOD_BYTEEXPRESS = "byteexpress"
-METHOD_PRP = "prp"
+METHOD_BYTEEXPRESS = dp_names.BYTEEXPRESS
+METHOD_PRP = dp_names.PRP
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
+from repro.datapath import names as dp_names
 from repro.csd.filter import FilterExecutor, FilterResult
 from repro.csd.schema import TableSchema
 from repro.csd.sql import SqlError, parse_predicate, parse_query
@@ -197,7 +198,7 @@ class CsdClient:
         from repro.nvme.passthrough import PassthruRequest
 
         req = PassthruRequest(opcode=VendorOpcode.CSD_LOAD_ROWS, data=payload)
-        result = self.driver.passthru(req, method="prp", qid=self.qid)
+        result = self.driver.passthru(req, method=dp_names.PRP, qid=self.qid)
         if not result.ok:
             raise TableError(f"load_rows failed with status {result.status:#x}")
 

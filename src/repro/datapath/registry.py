@@ -1,0 +1,98 @@
+"""The datapath registry: the single source of truth for transfer methods.
+
+Every layer that needs to know "which transfer methods exist" asks this
+module instead of keeping its own literal tuple: the driver's generic
+``submit()`` resolves host codecs here, :func:`repro.transfer.make_methods`
+builds the benchmark suite from :func:`specs`, the CLI derives its
+``--method`` choices from :func:`method_names`, the engine filters on
+``engine_capable`` and the Figure-5 sweep on ``figure5``.  Registering a
+new :class:`~repro.datapath.spec.DatapathSpec` in one module therefore
+makes the method appear everywhere at once.
+
+The built-in specs (:mod:`repro.datapath.builtin`) are loaded lazily on
+first lookup, so importing this module costs nothing and cannot create
+import cycles with the driver/transfer layers the codecs reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.datapath.spec import DatapathSpec
+
+
+class UnknownMethodError(KeyError):
+    """Lookup of a transfer method nobody registered."""
+
+
+_SPECS: Dict[str, DatapathSpec] = {}
+_builtin_loaded = False
+
+
+def _ensure_builtin() -> None:
+    """Load the built-in registrations exactly once (lazy, re-entrant)."""
+    global _builtin_loaded
+    if _builtin_loaded:
+        return
+    _builtin_loaded = True  # set first: builtin.py calls register()
+    from repro.datapath import builtin
+
+    builtin.register_builtin_methods()
+
+
+def register(spec: DatapathSpec, replace: bool = False) -> DatapathSpec:
+    """Add one transfer method to the registry (in registration order).
+
+    Double registration is an error unless *replace* is given — methods
+    register exactly once, and a typo'd duplicate name must not silently
+    shadow a real datapath.
+    """
+    if spec.name in _SPECS and not replace:
+        raise ValueError(
+            f"transfer method {spec.name!r} is already registered")
+    _SPECS[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a registration (tests and experimental methods only)."""
+    _SPECS.pop(name, None)
+
+
+def resolve(name: str) -> DatapathSpec:
+    """The spec registered under *name*; raises :class:`UnknownMethodError`."""
+    _ensure_builtin()
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise UnknownMethodError(
+            f"unknown transfer method {name!r}; registered: "
+            f"{', '.join(sorted(_SPECS))}") from None
+
+
+def is_registered(name: str) -> bool:
+    _ensure_builtin()
+    return name in _SPECS
+
+
+def specs() -> Tuple[DatapathSpec, ...]:
+    """Every registered spec, in registration order."""
+    _ensure_builtin()
+    return tuple(_SPECS.values())
+
+
+def method_names(**caps: bool) -> Tuple[str, ...]:
+    """Registered method names, optionally filtered by capability flags.
+
+    Keyword arguments name :class:`~repro.datapath.spec.DatapathCaps`
+    fields and the required value, e.g. ``method_names(engine_capable=True)``
+    or ``method_names(figure5=True)``.  An unknown capability name raises
+    ``AttributeError`` — a misspelt filter must not return everything.
+    """
+    _ensure_builtin()
+    out = []
+    for spec in _SPECS.values():
+        if all(getattr(spec.caps, flag) == want
+               for flag, want in caps.items()):
+            out.append(spec.name)
+    return tuple(out)

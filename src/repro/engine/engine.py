@@ -30,8 +30,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.core.chunking import chunk_count
-from repro.core.reassembly import tagged_chunk_count
+from repro.datapath import names as dp_names
+from repro.datapath import registry as datapath_registry
 from repro.engine.reactor import CompletionReactor
 from repro.engine.scheduler import MultiQueueScheduler
 from repro.engine.table import CommandFuture, InFlightCommand, InFlightTable
@@ -46,8 +46,10 @@ from repro.pcie.traffic import EVT_INLINE_FALLBACK
 from repro.ssd.controller import MODE_TAGGED
 from repro.ssd.device import OpenSsd
 
-#: Write paths the engine can drive asynchronously.
-ENGINE_METHODS = ("byteexpress", "prp", "bandslim")
+def engine_methods() -> tuple:
+    """Write paths the engine can drive asynchronously — every registry
+    method whose caps declare ``engine_capable``."""
+    return datapath_registry.method_names(engine_capable=True)
 
 
 class EngineError(Exception):
@@ -124,7 +126,7 @@ class IoEngine:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def submit(self, payload: bytes, method: str = "byteexpress",
+    def submit(self, payload: bytes, method: str = dp_names.BYTEEXPRESS,
                opcode: int = IoOpcode.WRITE, cdw10: int = 0,
                cdw11: int = 0, nsid: int = 1,
                stream: Optional[int] = None) -> CommandFuture:
@@ -133,13 +135,17 @@ class IoEngine:
         Blocks (in simulated time) only under backpressure, reaping
         completions until the scheduler finds capacity.
         """
-        if method not in ENGINE_METHODS:
+        try:
+            spec = datapath_registry.resolve(method)
+        except datapath_registry.UnknownMethodError:
+            spec = None
+        if spec is None or not spec.caps.engine_capable:
             raise EngineError(
                 f"unknown engine method {method!r}; "
-                f"expected one of {ENGINE_METHODS}")
+                f"expected one of {engine_methods()}")
         if not payload:
             raise EngineError("engine submissions require a payload")
-        if (method == "bandslim"
+        if (spec.caps.fragmented
                 and not self.ssd.controller.supports(
                     VendorOpcode.BANDSLIM_FRAG)):
             raise EngineError(
@@ -157,15 +163,10 @@ class IoEngine:
         return future
 
     def _slots_needed(self, entry: InFlightCommand) -> int:
-        """SQ slots the submission occupies (worst case: inline path)."""
-        n = len(entry.payload)
-        if entry.method == "byteexpress":
-            chunks = tagged_chunk_count(n) if self.tagged else chunk_count(n)
-            return 1 + chunks
-        if entry.method == "bandslim":
-            cap = BANDSLIM_FRAGMENT_CAPACITY
-            return (n + cap - 1) // cap
-        return 1
+        """SQ slots the submission occupies (worst case: inline path) —
+        declared by the method's registry caps."""
+        spec = datapath_registry.resolve(entry.method)
+        return spec.caps.slots_needed(len(entry.payload), tagged=self.tagged)
 
     def _dispatch(self, entry: InFlightCommand) -> None:
         """Place *entry* on a queue, reaping under backpressure."""
@@ -198,10 +199,12 @@ class IoEngine:
     def _submit_entry(self, entry: InFlightCommand, qid: int) -> None:
         """Drive one (re)submission through the driver, no doorbell."""
         method = entry.method
-        if (method in ("byteexpress", "bandslim")
+        spec = datapath_registry.resolve(method)
+        if ((spec.caps.inline or spec.caps.fragmented)
                 and not self.driver.breaker.allow_inline()):
             # Breaker open: this attempt rides the stock path instead.
-            method = "prp"
+            method = dp_names.PRP
+            spec = datapath_registry.resolve(method)
             self.stats.inline_fallbacks += 1
             self.driver.inline_fallbacks += 1
             self.driver.link.counter.record_event(EVT_INLINE_FALLBACK)
@@ -213,21 +216,23 @@ class IoEngine:
 
         cmd = NvmeCommand(opcode=entry.opcode, nsid=entry.nsid,
                           cdw10=entry.cdw10, cdw11=entry.cdw11)
-        if method == "prp":
-            cid = self.driver.submit_write_prp(cmd, entry.payload, qid,
-                                               ring=False,
-                                               private_buffer=True)
-        elif method == "byteexpress":
+        if spec.caps.fragmented:
+            cid = self._submit_bandslim(entry, qid)
+        elif spec.caps.inline:
             if self.tagged:
                 pid = self._alloc_payload_id()
-                cid = self.driver.submit_write_inline_tagged(
-                    cmd, entry.payload, qid, pid, ring=False)
+                cid = self.driver.submit(
+                    dp_names.BYTEEXPRESS_TAGGED, cmd, entry.payload, qid,
+                    ring=False, payload_id=pid)
                 entry.payload_id = pid
             else:
-                cid = self.driver.submit_write_inline(cmd, entry.payload,
-                                                      qid, ring=False)
-        else:  # bandslim
-            cid = self._submit_bandslim(entry, qid)
+                cid = self.driver.submit(spec, cmd, entry.payload, qid,
+                                         ring=False)
+        else:
+            # Single-SQE data-pointer path (PRP): every in-flight write
+            # needs its own DMA buffer at QD>1.
+            cid = self.driver.submit(spec, cmd, entry.payload, qid,
+                                     ring=False, private_buffer=True)
         entry.key = (qid, cid)
         self.table.add(entry)
         self.scheduler.note_submit(qid)

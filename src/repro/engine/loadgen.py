@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.datapath import names as dp_names
 from repro.engine.engine import IoEngine
 from repro.engine.table import CommandFuture, TIMED_OUT
 from repro.metrics.stats import LatencySummary, summarize_latencies
@@ -184,7 +185,7 @@ class LoadGenerator:
     """Drives many client streams through one :class:`IoEngine`."""
 
     def __init__(self, engine: IoEngine, streams: List[StreamSpec],
-                 seed: int = 0x5EED, method: str = "byteexpress",
+                 seed: int = 0x5EED, method: str = dp_names.BYTEEXPRESS,
                  opcode: int = IoOpcode.WRITE) -> None:
         if not streams:
             raise LoadGenError("load generator needs at least one stream")

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.datapath import names as dp_names
 from repro.nvme.completion import NvmeCompletion
 
 #: Future lifecycle states.
@@ -133,7 +134,7 @@ class InFlightCommand:
     @property
     def is_inline(self) -> bool:
         """Did the *current* submission use an inline transfer path?"""
-        return self.method_used in ("byteexpress", "bandslim")
+        return self.method_used in (dp_names.BYTEEXPRESS, dp_names.BANDSLIM)
 
 
 class InFlightTable:

@@ -27,7 +27,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.driver_ext import submit_plain, submit_with_inline_payload
+from repro.core.driver_ext import submit_plain
+from repro.datapath import names as dp_names
+from repro.datapath import registry as datapath_registry
+from repro.datapath.spec import DatapathSpec
 from repro.faults.plan import DROP_DOORBELL
 from repro.host.breaker import CircuitBreaker
 from repro.host.shadow import ShadowDoorbells
@@ -54,8 +57,8 @@ from repro.nvme.registers import (
     REG_CSTS,
     aqa_value,
 )
-from repro.nvme.sgl import build_sgl
 from repro.pcie.mmio import cq_doorbell_offset, sq_doorbell_offset
+from repro.sim.config import DOORBELL_SHADOW
 from repro.pcie.traffic import CAT_DOORBELL
 from repro.ssd.device import OpenSsd
 
@@ -180,7 +183,7 @@ class NvmeDriver:
         self.identify = self._identify_controller()
         for qid in range(1, ssd.config.num_io_queues + 1):
             self._create_io_queue_pair(qid)
-        if ssd.config.doorbell_mode == "shadow":
+        if ssd.config.doorbell_mode == DOORBELL_SHADOW:
             self._setup_shadow_doorbells()
 
     # ------------------------------------------------------------------
@@ -439,10 +442,45 @@ class NvmeDriver:
     # ------------------------------------------------------------------
     # submission primitives
     # ------------------------------------------------------------------
+    def _resolve_spec(self, method) -> DatapathSpec:
+        """Resolve *method* (name or spec) through the datapath registry,
+        translating lookup failures into the driver's exception type."""
+        if isinstance(method, DatapathSpec):
+            return method
+        try:
+            return datapath_registry.resolve(method)
+        except datapath_registry.UnknownMethodError as exc:
+            raise DriverError(str(exc)) from None
+
+    def submit(self, method, cmd: NvmeCommand, data: bytes, qid: int,
+               ring: bool = True, private_buffer: bool = False,
+               payload_id: Optional[int] = None) -> int:
+        """Generic write submission: encode *data* with *method*'s host
+        codec (ISSUE 5 tentpole).
+
+        *method* is a registry name (``"prp"``, ``"sgl"``, ...) or a
+        :class:`~repro.datapath.spec.DatapathSpec`.  The codec owns the
+        whole encode — staging, data-pointer construction, SQE (and chunk)
+        insertion under the SQ lock, the optional doorbell — so every
+        method follows one submission shape and new methods need no
+        driver edits.  *private_buffer* and *payload_id* are forwarded to
+        codecs that use them (PRP at QD>1; tagged inline).
+        """
+        spec = self._resolve_spec(method)
+        codec = spec.host_codec
+        if codec is None:
+            raise DriverError(
+                f"transfer method {spec.name!r} has no host codec; use its "
+                f"orchestration layer in repro.transfer")
+        return codec.encode(self, cmd, data, qid, ring=ring,
+                            private_buffer=private_buffer,
+                            payload_id=payload_id)
+
     def submit_write_prp(self, cmd: NvmeCommand, data: bytes,
                          qid: int, ring: bool = True,
                          private_buffer: bool = False) -> int:
-        """Stock write path: stage data, build PRPs, insert SQE, doorbell.
+        """Stock write path (thin wrapper over the generic :meth:`submit`
+        with the PRP codec): stage data, build PRPs, insert SQE, doorbell.
 
         *private_buffer* allocates a dedicated DMA buffer for this command
         instead of reusing the queue's scratch area.  Mandatory at QD>1:
@@ -450,52 +488,13 @@ class NvmeDriver:
         overwrite each other before the device fetches them.  The buffer
         is freed automatically when the command's CID retires.
         """
-        if not data:
-            raise DriverError("PRP write requires a payload")
-        res = self.queue(qid)
-        data_pages: List[int] = []
-        if private_buffer:
-            data_pages = self.memory.alloc_pages(
-                max(1, (len(data) + PAGE_SIZE - 1) // PAGE_SIZE))
-            addr = data_pages[0]
-            self.memory.write(addr, data)
-        else:
-            addr = self._stage_data(res, data)
-        mapping = build_prps(self.memory, addr, len(data))
-        cmd.cid = self._alloc_cid(res)
-        res.pending_pages.setdefault(cmd.cid, []).extend(
-            list(mapping.list_pages) + data_pages)
-        cmd.prp1 = mapping.prp1
-        cmd.prp2 = mapping.prp2
-        cmd.cdw12 = len(data)
-        with res.sq.lock:
-            with self.clock.span("drv.sq_submit"):
-                submit_plain(res.sq, cmd, self.clock, self.timing)
-            if ring:
-                self._ring_sq_doorbell(res)
-        return cmd.cid
+        return self.submit(dp_names.PRP, cmd, data, qid, ring=ring,
+                           private_buffer=private_buffer)
 
     def submit_write_sgl(self, cmd: NvmeCommand, data: bytes,
                          qid: int, ring: bool = True) -> int:
         """SGL write path (§5 comparison): byte-granular data pointer."""
-        if not data:
-            raise DriverError("SGL write requires a payload")
-        res = self.queue(qid)
-        addr = self._stage_data(res, data)
-        mapping = build_sgl(self.memory, [(addr, len(data))])
-        cmd.cid = self._alloc_cid(res)
-        res.pending_pages.setdefault(cmd.cid, []).extend(mapping.segment_pages)
-        cmd.use_sgl()
-        desc = mapping.inline.pack()
-        cmd.prp1 = int.from_bytes(desc[:8], "little")
-        cmd.prp2 = int.from_bytes(desc[8:], "little")
-        cmd.cdw12 = len(data)
-        with res.sq.lock:
-            with self.clock.span("drv.sq_submit"):
-                submit_plain(res.sq, cmd, self.clock, self.timing)
-            if ring:
-                self._ring_sq_doorbell(res)
-        return cmd.cid
+        return self.submit(dp_names.SGL, cmd, data, qid, ring=ring)
 
     def submit_write_inline(self, cmd: NvmeCommand, data: bytes,
                             qid: int, ring: bool = True) -> int:
@@ -505,52 +504,15 @@ class NvmeDriver:
         ByteExpress support — on stock firmware the chunks would be
         misparsed as commands, so feature detection is mandatory.
         """
-        if not self.identify.byteexpress:
-            raise DriverError(
-                "controller firmware does not support ByteExpress "
-                "(Identify vendor capability byte is clear)")
-        res = self.queue(qid)
-        cmd.cid = self._alloc_cid(res)
-        cmd.cdw12 = len(data)
-        with res.sq.lock:
-            with self.clock.span("drv.sq_submit"):
-                submit_with_inline_payload(res.sq, cmd, data, self.clock,
-                                           self.timing)
-            if ring:
-                self._ring_sq_doorbell(res)
-        return cmd.cid
+        return self.submit(dp_names.BYTEEXPRESS, cmd, data, qid, ring=ring)
 
     def submit_write_inline_tagged(self, cmd: NvmeCommand, data: bytes,
                                    qid: int, payload_id: int,
                                    ring: bool = True) -> int:
         """ByteExpress tagged mode (§3.3.2 future work): self-describing
         chunks that the controller may fetch interleaved across queues."""
-        from repro.core.inline_command import make_inline_command
-        from repro.core.reassembly import split_tagged
-
-        if not data:
-            raise DriverError("inline submission requires a payload")
-        if not self.identify.byteexpress:
-            raise DriverError(
-                "controller firmware does not support ByteExpress")
-        res = self.queue(qid)
-        cmd.cid = self._alloc_cid(res)
-        cmd.cdw12 = len(data)
-        cmd.cdw3 = payload_id
-        make_inline_command(cmd, len(data))
-        chunks = split_tagged(data, payload_id)
-        with res.sq.lock:
-            with self.clock.span("drv.sq_submit"):
-                if res.sq.space() < 1 + len(chunks):
-                    raise DriverError(f"SQ{qid} cannot hold tagged submission")
-                res.sq.push_raw(cmd.pack())
-                self.clock.advance(self.timing.sqe_submit_ns)
-                for chunk in chunks:
-                    res.sq.push_raw(chunk)
-                    self.clock.advance(self.timing.chunk_submit_ns)
-            if ring:
-                self._ring_sq_doorbell(res)
-        return cmd.cid
+        return self.submit(dp_names.BYTEEXPRESS_TAGGED, cmd, data, qid,
+                           ring=ring, payload_id=payload_id)
 
     def submit_raw(self, cmd: NvmeCommand, qid: int,
                    ring: bool = True, expect_completion: bool = True) -> int:
@@ -624,7 +586,7 @@ class NvmeDriver:
     # batched submission (queue depth > 1)
     # ------------------------------------------------------------------
     def write_batch(self, payloads: List[bytes], opcode: int,
-                    method: str = "byteexpress",
+                    method: str = dp_names.BYTEEXPRESS,
                     qid: Optional[int] = None,
                     cdw10s: Optional[List[int]] = None) -> "BatchResult":
         """Submit many writes with ONE doorbell ring, then reap them all.
@@ -632,14 +594,15 @@ class NvmeDriver:
         Models asynchronous submission at queue depth ``len(payloads)``:
         the tail-pointer update is published once for the whole batch, so
         doorbell MMIO cost and traffic amortise — one of the per-command
-        overheads §4.2 charges BandSlim for.  Supports the ``prp`` and
-        ``byteexpress`` paths (the mechanisms whose submission is a single
-        command).
+        overheads §4.2 charges BandSlim for.  Supports registry methods
+        whose caps declare ``batchable`` (the mechanisms whose submission
+        is a single command sequence).
         """
         if not payloads:
             raise DriverError("empty batch")
-        if method not in ("prp", "byteexpress"):
-            raise DriverError(f"write_batch does not support {method!r}")
+        spec = self._resolve_spec(method)
+        if not spec.caps.batchable:
+            raise DriverError(f"write_batch does not support {spec.name!r}")
         qid = qid if qid is not None else self.io_qids[0]
         res = self.queue(qid)
         cdw10s = cdw10s if cdw10s is not None else [0] * len(payloads)
@@ -651,8 +614,8 @@ class NvmeDriver:
         temp_pages: List[int] = []
         for payload, cdw10 in zip(payloads, cdw10s):
             cmd = NvmeCommand(opcode=opcode, nsid=1, cdw10=cdw10)
-            if method == "byteexpress":
-                self.submit_write_inline(cmd, payload, qid, ring=False)
+            if spec.caps.inline:
+                self.submit(spec, cmd, payload, qid, ring=False)
                 continue
             # PRP: every in-flight op needs a private DMA buffer.
             pages = self.memory.alloc_pages(
@@ -756,12 +719,13 @@ class NvmeDriver:
     # ------------------------------------------------------------------
     # passthrough ioctl
     # ------------------------------------------------------------------
-    def passthru(self, req: PassthruRequest, method: str = "prp",
+    def passthru(self, req: PassthruRequest, method: str = dp_names.PRP,
                  qid: Optional[int] = None) -> PassthruResult:
         """Synchronous NVMe passthrough: the KV-SSD/CSD user-API entry.
 
-        *method* selects the host→device transfer path: ``prp`` (stock),
-        ``sgl``, or ``byteexpress``.  BandSlim and MMIO have their own
+        *method* names a registry datapath with a host codec (``prp``,
+        ``sgl``, ``byteexpress``); the write submission goes through the
+        generic :meth:`submit`.  BandSlim and MMIO have their own
         orchestration layers in :mod:`repro.transfer` because they do not
         map onto a single command submission.
 
@@ -781,9 +745,13 @@ class NvmeDriver:
         policy = self.retry_policy
         deadline_ns = start_ns + policy.deadline_ns
 
-        inline = bool(req.is_write) and method == "byteexpress"
+        # Resolve the datapath lazily: reads ignore *method* (they always
+        # return over PRP/SGL read submissions), so an unknown name only
+        # matters when a write will actually encode with it.
+        spec = self._resolve_spec(method) if req.is_write else None
+        inline = spec is not None and spec.caps.inline
         if inline and not self.breaker.allow_inline():
-            method = "prp"
+            spec = self._resolve_spec(dp_names.PRP)
             inline = False
             self.inline_fallbacks += 1
             self.link.counter.record_event(EVT_INLINE_FALLBACK)
@@ -806,14 +774,7 @@ class NvmeDriver:
                               cdw14=req.cdw14, cdw15=req.cdw15)
             read_buf = None
             if req.is_write:
-                if method == "prp":
-                    prev_cid = self.submit_write_prp(cmd, req.data, qid)
-                elif method == "sgl":
-                    prev_cid = self.submit_write_sgl(cmd, req.data, qid)
-                elif method == "byteexpress":
-                    prev_cid = self.submit_write_inline(cmd, req.data, qid)
-                else:
-                    raise DriverError(f"unknown transfer method {method!r}")
+                prev_cid = self.submit(spec, cmd, req.data, qid)
             elif req.read_len:
                 prev_cid, read_buf = self.submit_read_prp(cmd, req.read_len,
                                                           qid)
@@ -859,7 +820,7 @@ class NvmeDriver:
             if inline and not self.breaker.allow_inline():
                 # The breaker opened mid-command: finish on the stock
                 # path, which no inline fault can touch.
-                method = "prp"
+                spec = self._resolve_spec(dp_names.PRP)
                 inline = False
                 self.inline_fallbacks += 1
                 self.link.counter.record_event(EVT_INLINE_FALLBACK)

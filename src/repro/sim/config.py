@@ -24,6 +24,13 @@ CQE_SIZE = 16
 #: Host memory page size used for PRP transfers (bytes).
 PAGE_SIZE = 4096
 
+#: Doorbell publication modes (see :attr:`SimConfig.doorbell_mode`).
+#: ``DOORBELL_MMIO`` happens to share a spelling with the ``mmio``
+#: transfer method but names an orthogonal concept: how tail/head
+#: updates reach the device, not how payloads do.
+DOORBELL_MMIO = "mmio"  # verify: ignore[VER106]
+DOORBELL_SHADOW = "shadow"
+
 
 @dataclass(frozen=True)
 class LinkConfig:
@@ -192,7 +199,7 @@ class SimConfig:
     #: Buffer Config: tails/heads go to a host-memory shadow page the
     #: controller reads via DMA; a BAR write happens only when the
     #: device-published eventidx/park record says the device went idle).
-    doorbell_mode: str = "mmio"
+    doorbell_mode: str = DOORBELL_MMIO
     #: Maximum contiguous SQ entries the controller fetches in one DMA
     #: read when a doorbell advances the tail by more than one (1 =
     #: stock per-SQE fetch).  Burst fetch applies to queue-local mode.
@@ -207,7 +214,7 @@ class SimConfig:
     shadow_idle_ns: float = 100_000.0
 
     def __post_init__(self) -> None:
-        if self.doorbell_mode not in ("mmio", "shadow"):
+        if self.doorbell_mode not in (DOORBELL_MMIO, DOORBELL_SHADOW):
             raise ValueError(
                 f"doorbell_mode must be 'mmio' or 'shadow', "
                 f"got {self.doorbell_mode!r}")

@@ -1,0 +1,99 @@
+"""Shared firmware datatypes: what flows between the controller's units.
+
+Leaf module (no intra-``repro.ssd`` imports) so the decomposed firmware —
+:class:`~repro.ssd.fetch.FetchUnit`, :class:`~repro.ssd.admin.AdminEngine`,
+:class:`~repro.ssd.completion_unit.CompletionUnit`, the datapath decoders
+— and every handler-registering personality layer (block, KV, BandSlim,
+MMIO, CSD) can all name these types without importing the controller.
+``repro.ssd.controller`` re-exports them, so existing
+``from repro.ssd.controller import CommandContext`` imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.host.memory import HostMemory
+from repro.nvme.command import NvmeCommand
+from repro.nvme.completion import NvmeCompletion
+from repro.nvme.constants import CQE_SIZE, StatusCode
+from repro.nvme.queues import CqOverrunError
+
+#: Fetch-from-SQ modes (paper §3.3.2).
+MODE_QUEUE_LOCAL = "queue_local"
+MODE_TAGGED = "tagged"
+
+#: Admin queue id.
+ADMIN_QID = 0
+
+
+@dataclass
+class CommandContext:
+    """Everything an opcode handler sees for one command."""
+
+    cmd: NvmeCommand
+    qid: int
+    #: Host→device payload, however it was transferred (PRP, SGL, inline).
+    data: Optional[bytes] = None
+    #: Transport tag from the datapath decoder that moved the payload
+    #: (:data:`repro.datapath.names.TRANSPORT_PRP` / ``SGL`` / ``INLINE``
+    #: / ...); ``None`` when no data phase ran.
+    transport: Optional[str] = None
+
+
+@dataclass
+class CommandResult:
+    """Handler outcome."""
+
+    status: int = StatusCode.SUCCESS
+    result: int = 0
+    #: Device→host data (for read-style commands); DMA'd before completion.
+    read_data: Optional[bytes] = None
+    #: Firmware may suppress the CQE (BandSlim intermediate fragments are
+    #: acknowledged only through the final fragment's completion).
+    suppress_cqe: bool = False
+    #: Transient failure: the CQE's DNR bit is left clear so the host's
+    #: retry loop may resubmit.  Semantic rejections keep the default
+    #: (DNR set) — retrying a malformed command cannot succeed.
+    retryable: bool = False
+
+
+Handler = Callable[[CommandContext], CommandResult]
+
+
+@dataclass
+class DeviceCqState:
+    """The controller's private completion-queue producer state."""
+
+    qid: int
+    base_addr: int
+    depth: int
+    tail: int = 0
+    phase: int = 1
+    #: Host consume pointer, learned from CQ head doorbell writes.
+    host_head: int = 0
+
+    def slot_addr(self, index: int) -> int:
+        return self.base_addr + (index % self.depth) * CQE_SIZE
+
+    def is_full(self) -> bool:
+        return (self.tail + 1) % self.depth == self.host_head
+
+    def post(self, cqe: NvmeCompletion, memory: HostMemory) -> None:
+        if self.is_full():
+            raise CqOverrunError(f"CQ{self.qid} overrun")
+        cqe.phase = self.phase
+        memory.write(self.slot_addr(self.tail), cqe.pack())
+        self.tail = (self.tail + 1) % self.depth
+        if self.tail == 0:
+            self.phase ^= 1
+
+
+@dataclass
+class DeferredCommand:
+    """Tagged-mode command parked until its payload reassembles."""
+
+    cmd: NvmeCommand
+    qid: int
+    payload_id: int

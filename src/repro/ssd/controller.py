@@ -1,61 +1,51 @@
-"""NVMe controller firmware model (the OpenSSD main loop).
+"""NVMe controller: a thin orchestrator over decomposed firmware units.
 
-Mirrors the Cosmos+ firmware structure the paper modified: the controller
-decodes its own BAR registers (enable handshake, admin queue bases,
-doorbells), polls SQ doorbells round-robin, DMA-fetches 64-byte commands,
-interprets the data pointer (PRP or SGL), moves the data, invokes the
-opcode handler, and posts completions — all against *device-side* queue
-state only; host queue objects are never touched, exactly as on real
-hardware where host and device share nothing but memory and registers.
+Mirrors the Cosmos+ firmware structure the paper modified, but — since
+the ISSUE 5 refactor — as an orchestrator rather than a monolith.  The
+controller owns all device state (register file, queue maps, stats,
+shadow/reassembly/coalescing state) and the public protocol surface;
+the work is done by its units:
 
-ByteExpress hooks in where the paper's <20-line patch does — the
-command-fetch routine: a non-zero reserved field makes the controller
-fetch the following SQ entries *from the same queue* as payload chunks
-before resuming the round-robin (queue-local mode).  The controller also
-implements the paper's §3.3.2 future-work variant: *tagged* mode, where
-chunks carry self-describing headers and the controller interleaves
-fetches across queues, reassembling out-of-order.
+* :class:`~repro.ssd.fetch.FetchUnit` (``self.fetch``) — shadow-doorbell
+  poll/sync, single + burst SQE DMA fetch, the ByteExpress inline
+  detection hook, tagged-chunk reassembly feeding;
+* the **datapath decoders** (:mod:`repro.datapath.decoders`) — PRP/SGL
+  payload pull and read-data push, selected per command by PSDT;
+* :class:`~repro.ssd.admin.AdminEngine` (``self.admin``) — Identify,
+  queue create/delete, DBBUF shadow-doorbell configuration;
+* :class:`~repro.ssd.completion_unit.CompletionUnit`
+  (``self.completion``) — CQE posting, coalescing, completion faults.
+
+Everything runs against *device-side* queue state only; host queue
+objects are never touched, exactly as on real hardware where host and
+device share nothing but memory and registers.  ByteExpress hooks in
+where the paper's <20-line patch does — the command-fetch routine
+(queue-local mode), plus the §3.3.2 tagged mode (out-of-order chunk
+reassembly across queues).
 
 Timing: device-side phase costs come from the calibrated
 :class:`~repro.sim.config.TimingModel`; the PRP/SGL data path additionally
 pays wire serialisation, which is what produces the 4 KB staircase of
 Figure 1(b).
+
+The shared firmware datatypes (:class:`CommandContext`,
+:class:`CommandResult`, :class:`DeviceCqState`, ...) live in
+:mod:`repro.ssd.context` and are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
-from repro.core.controller_ext import (
-    ChunkCorruptionError,
-    DeviceSqState,
-    InlineFetchError,
-    SqeWindow,
-    fetch_inline_payload,
-)
-from repro.core.inline_command import InlineEncodingError, inspect_command
-from repro.core.reassembly import (
-    ReassemblyBuffer,
-    ReassemblyError,
-    parse_tagged,
-    tagged_chunk_count,
-)
+from repro.core.controller_ext import DeviceSqState
+from repro.core.reassembly import ReassemblyBuffer
+from repro.datapath.decoders import decoder_for_psdt
 from repro.host.memory import HostMemory
-from repro.host.shadow import SLOT_SIZE, ShadowDoorbells
+from repro.host.shadow import ShadowDoorbells
 from repro.nvme.command import NvmeCommand
-from repro.nvme.completion import NvmeCompletion
-from repro.nvme.constants import (
-    CQE_SIZE,
-    PAGE_SIZE,
-    SQE_SIZE,
-    AdminOpcode,
-    Psdt,
-    StatusCode,
-)
+from repro.nvme.constants import StatusCode
 from repro.nvme.identify import IdentifyController
-from repro.nvme.prp import walk_prps
 from repro.nvme.queues import CompletionQueue, CqOverrunError, SubmissionQueue
 from repro.nvme.registers import (
     CC_ENABLE,
@@ -72,101 +62,42 @@ from repro.nvme.registers import (
     cap_value,
     split_aqa,
 )
-from repro.nvme.sgl import SglDescriptor, SglType, walk_sgl
-from repro.pcie import tlp as tlpmod
 from repro.pcie.link import PCIeLink
 from repro.pcie.mmio import BarSpace, cq_doorbell_offset, sq_doorbell_offset
-from repro.pcie.traffic import (
-    CAT_CMD_FETCH,
-    CAT_CQE,
-    CAT_DATA,
-    CAT_INLINE_CHUNK,
-    CAT_MSIX,
-    CAT_PRP_LIST,
-    CAT_SHADOW_SYNC,
-)
 from repro.sim.clock import SimClock
 from repro.sim.config import SimConfig
+from repro.ssd.admin import AdminEngine
+from repro.ssd.completion_unit import CompletionUnit
+from repro.ssd.context import (
+    ADMIN_QID,
+    MODE_QUEUE_LOCAL,
+    MODE_TAGGED,
+    CommandContext,
+    CommandResult,
+    DeferredCommand,
+    DeviceCqState,
+    Handler,
+)
+from repro.ssd.fetch import FetchUnit
 
-
-#: Fetch-from-SQ modes (paper §3.3.2).
-MODE_QUEUE_LOCAL = "queue_local"
-MODE_TAGGED = "tagged"
-
-#: Admin queue id.
-ADMIN_QID = 0
+__all__ = [
+    "NvmeController",
+    "CommandContext",
+    "CommandResult",
+    "DeviceCqState",
+    "Handler",
+    "CqOverrunError",
+    "MODE_QUEUE_LOCAL",
+    "MODE_TAGGED",
+    "ADMIN_QID",
+    "SERVICE_LOG_CAPACITY",
+]
 
 #: Default bounded capacity of the service-order trace (ring buffer).
 SERVICE_LOG_CAPACITY = 4096
 
-
-@dataclass
-class CommandContext:
-    """Everything an opcode handler sees for one command."""
-
-    cmd: NvmeCommand
-    qid: int
-    #: Host→device payload, however it was transferred (PRP, SGL, inline).
-    data: Optional[bytes] = None
-    #: How the payload arrived: "prp" | "sgl" | "inline" | None.
-    transport: Optional[str] = None
-
-
-@dataclass
-class CommandResult:
-    """Handler outcome."""
-
-    status: int = StatusCode.SUCCESS
-    result: int = 0
-    #: Device→host data (for read-style commands); DMA'd before completion.
-    read_data: Optional[bytes] = None
-    #: Firmware may suppress the CQE (BandSlim intermediate fragments are
-    #: acknowledged only through the final fragment's completion).
-    suppress_cqe: bool = False
-    #: Transient failure: the CQE's DNR bit is left clear so the host's
-    #: retry loop may resubmit.  Semantic rejections keep the default
-    #: (DNR set) — retrying a malformed command cannot succeed.
-    retryable: bool = False
-
-
-Handler = Callable[[CommandContext], CommandResult]
-
-
-@dataclass
-class DeviceCqState:
-    """The controller's private completion-queue producer state."""
-
-    qid: int
-    base_addr: int
-    depth: int
-    tail: int = 0
-    phase: int = 1
-    #: Host consume pointer, learned from CQ head doorbell writes.
-    host_head: int = 0
-
-    def slot_addr(self, index: int) -> int:
-        return self.base_addr + (index % self.depth) * CQE_SIZE
-
-    def is_full(self) -> bool:
-        return (self.tail + 1) % self.depth == self.host_head
-
-    def post(self, cqe: NvmeCompletion, memory: HostMemory) -> None:
-        if self.is_full():
-            raise CqOverrunError(f"CQ{self.qid} overrun")
-        cqe.phase = self.phase
-        memory.write(self.slot_addr(self.tail), cqe.pack())
-        self.tail = (self.tail + 1) % self.depth
-        if self.tail == 0:
-            self.phase ^= 1
-
-
-@dataclass
-class _DeferredCommand:
-    """Tagged-mode command parked until its payload reassembles."""
-
-    cmd: NvmeCommand
-    qid: int
-    payload_id: int
+#: Backwards-compatible private alias (pre-decomposition name).
+_DeferredCommand = DeferredCommand
 
 
 class NvmeController:
@@ -209,7 +140,7 @@ class NvmeController:
         self._reassembly = ReassemblyBuffer(
             max_in_flight=config.reassembly_in_flight)
         self._pending_chunks: Dict[int, int] = {}
-        self._deferred: List[_DeferredCommand] = []
+        self._deferred: List[DeferredCommand] = []
         #: Optional fetch-order trace: every serviced qid is appended.
         #: Off by default; :meth:`enable_service_log` arms it as a
         #: *bounded* ring buffer so long traced engine runs cannot grow
@@ -232,6 +163,11 @@ class NvmeController:
         self.shadow_rejects = 0
         self.burst_fetches = 0
         self.cqe_flushes = 0
+        # firmware units (the controller is the orchestrator; all state
+        # above stays here, the units operate on it through their backref)
+        self.admin = AdminEngine(self)
+        self.fetch = FetchUnit(self)
+        self.completion = CompletionUnit(self)
         self._publish_capabilities()
 
     def enable_service_log(
@@ -382,88 +318,30 @@ class NvmeController:
     # shadow doorbells (DBBUF): device-side poll / sync / park
     # ------------------------------------------------------------------
     def _shadow_span_bytes(self) -> int:
-        """Bytes of the per-queue slot array the device reads/writes."""
-        io_qids = [q for q in self._sqs if q != ADMIN_QID]
-        return SLOT_SIZE * (max(io_qids) + 1) if io_qids else 0
+        """Delegate to the fetch unit (see ``FetchUnit.shadow_span_bytes``)."""
+        return self.fetch.shadow_span_bytes()
 
     def _peek_shadow(self) -> bool:
-        """The device's idle poll of the shadow page: does it publish a
-        tail we have not latched?  Functional comparison only — the
-        productive DMA read is charged once, in :meth:`_sync_shadow`.
-        Out-of-range (torn) values never look like work."""
-        for qid, state in self._sqs.items():
-            if qid == ADMIN_QID:
-                continue
-            tail = self._shadow.read_sq_tail(qid)
-            if 0 <= tail < state.depth and tail != self._sq_tails[qid]:
-                self._shadow_stale = True
-                return True
-        return False
+        """Delegate to the fetch unit (see ``FetchUnit.peek_shadow``)."""
+        return self.fetch.peek_shadow()
 
     def _sync_shadow(self) -> None:
-        """Latch every SQ tail and CQ head with ONE DMA read of the
-        shadow array — the burst-mode replacement for N doorbell TLPs.
-
-        Validation matches :meth:`note_sq_doorbell`: a torn or stale
-        out-of-range value is ignored (and counted), never trusted — the
-        fetch path can therefore never read past a sanely published
-        tail.
-        """
-        span = self._shadow_span_bytes()
-        if span == 0:
-            self._shadow_stale = False
-            return
-        with self.clock.span("ctrl.shadow_sync"):
-            self.link.record_only(
-                CAT_SHADOW_SYNC,
-                tlpmod.device_dma_read(span, self.link.config))
-            self.clock.advance(self.timing.shadow_sync_ns)
-        for qid, state in self._sqs.items():
-            if qid == ADMIN_QID:
-                continue
-            tail = self._shadow.read_sq_tail(qid)
-            if 0 <= tail < state.depth:
-                self._sq_tails[qid] = tail
-            else:
-                self.shadow_rejects += 1
-        for qid, cq in self._cqs.items():
-            if qid == ADMIN_QID:
-                continue
-            head = self._shadow.read_cq_head(qid)
-            if 0 <= head < cq.depth:
-                cq.host_head = head
-            else:
-                self.shadow_rejects += 1
-        self._shadow_stale = False
-        self.shadow_syncs += 1
-        self._busy_since_park = True
+        """Delegate to the fetch unit (see ``FetchUnit.sync_shadow``)."""
+        self.fetch.sync_shadow()
 
     def quiesce(self) -> None:
         """The device-idle transition, called by the host-side drive
         loops once the firmware loop runs dry.
 
         Flushes any coalesced completions, then (under shadow doorbells)
-        publishes the per-queue eventidx values and the park record —
-        the promise to keep polling the shadow page for another
-        ``shadow_idle_ns`` — with one small DMA write.  A no-op unless
-        the device did work since the last park: an idle host polling an
-        idle device must not generate traffic.
+        parks the device: the fetch unit publishes the per-queue eventidx
+        values and the park record — the promise to keep polling the
+        shadow page for another ``shadow_idle_ns`` — with one small DMA
+        write.  A no-op unless the device did work since the last park:
+        an idle host polling an idle device must not generate traffic.
         """
         self.flush_completions()
-        if self._shadow is None or not self._busy_since_park:
-            return
-        with self.clock.span("ctrl.shadow_sync"):
-            for qid in self._sqs:
-                if qid != ADMIN_QID:
-                    self._shadow.write_sq_eventidx(qid, self._sq_tails[qid])
-            self._shadow.write_poll_until(
-                self.clock.now + self.config.shadow_idle_ns)
-            self.link.record_only(
-                CAT_SHADOW_SYNC,
-                tlpmod.device_dma_write(self._shadow_span_bytes() + 8,
-                                        self.link.config))
-            self.clock.advance(self.timing.shadow_park_ns)
-        self._busy_since_park = False
+        self.fetch.park()
 
     def has_pending(self) -> bool:
         if self._shadow is not None and not self._shadow_stale:
@@ -550,316 +428,44 @@ class NvmeController:
     _poll_once = poll_once
 
     # ------------------------------------------------------------------
-    # command fetch (the get_nvme_cmd analogue)
+    # command fetch — delegates into the fetch unit (``self.fetch``)
     # ------------------------------------------------------------------
     def _fetch_sqe(self, state: DeviceSqState) -> bytes:
-        """64 B DMA fetch of the entry at the device head."""
-        raw = self.host_memory.read(state.slot_addr(state.head), SQE_SIZE)
-        state.advance()
-        return raw
+        """Delegate to the fetch unit (see ``FetchUnit.fetch_sqe``)."""
+        return self.fetch.fetch_sqe(state)
 
     def _resync_sq(self, qid: int) -> None:
-        """Recover a queue whose inline sequence can no longer be parsed.
-
-        Once the inline length is lost, the firmware cannot tell payload
-        chunks from commands; interpreting them as commands would spray
-        garbage completions.  Real firmware handles this class of queue
-        error by discarding the published window and letting the host's
-        retry logic resubmit whole commands — we do the same: jump the
-        device head to the doorbell'd tail.
-        """
-        state = self._sqs[qid]
-        if state.head != self._sq_tails[qid]:
-            state.head = self._sq_tails[qid]
-            self.queue_resyncs += 1
+        """Delegate to the fetch unit (see ``FetchUnit.resync_sq``)."""
+        self.fetch.resync_sq(qid)
 
     def _service_queue(self, qid: int) -> int:
-        """Service *qid*'s slot in the sweep: one command, or — when a
-        doorbell advanced the tail by several entries and burst mode is
-        on — every command whose SQE landed in one burst window.
-        Returns the number of commands serviced."""
-        window = self._burst_fetch(qid)
-        if window is None:
-            self._fetch_and_execute(qid)
-            return 1
-        state = self._sqs[qid]
-        serviced = 0
-        while (window.remaining > 0 and window.next_index == state.head
-               and self._pending_on(qid) > 0):
-            self._fetch_and_execute(qid, window=window)
-            serviced += 1
-        return serviced
+        """Delegate to the fetch unit (see ``FetchUnit.service_queue``)."""
+        return self.fetch.service_queue(qid)
 
-    def _burst_fetch(self, qid: int) -> Optional[SqeWindow]:
-        """Fetch min(pending, burst_limit) contiguous SQEs in ONE large
-        DMA read (one MRd + its CplD batch instead of one pair per SQE).
-
-        The window is clamped to the *published* tail — a torn or stale
-        shadow value was already rejected by the doorbell/sync
-        validation, so the burst can never read past what the host
-        actually doorbell'd — and never wraps the ring end, keeping the
-        transfer a single contiguous MRd.  Queue-local mode only: tagged
-        chunks interleave across queues per-entry by design.
-        """
-        if (self.config.burst_limit <= 1 or qid == ADMIN_QID
-                or self.mode != MODE_QUEUE_LOCAL):
-            return None
-        state = self._sqs[qid]
-        count = min(self._pending_on(qid), self.config.burst_limit,
-                    state.depth - state.head)
-        if count <= 1:
-            return None
-        with self.clock.span("ctrl.sq_fetch"):
-            self.clock.advance(self.timing.doorbell_poll_ns)
-            raw = self.host_memory.read(state.slot_addr(state.head),
-                                        count * SQE_SIZE)
-            self.link.record_only(
-                CAT_CMD_FETCH,
-                tlpmod.device_dma_read(count * SQE_SIZE, self.link.config))
-            self.clock.advance(self.timing.cmd_fetch_logic_ns)
-        self.burst_fetches += 1
-        return SqeWindow(
-            start=state.head, depth=state.depth,
-            entries=[raw[i * SQE_SIZE:(i + 1) * SQE_SIZE]
-                     for i in range(count)])
-
-    def _fetch_and_execute(self, qid: int,
-                           window: Optional[SqeWindow] = None) -> None:
-        from repro.faults.plan import CORRUPT_INLINE_LENGTH
-
-        state = self._sqs[qid]
-        with self.clock.span("ctrl.sq_fetch"):
-            raw = window.take(state.head) if window is not None else None
-            if raw is not None:
-                # Burst-prefetched: already on-die, decode cost only.
-                state.advance()
-                self.clock.advance(self.timing.burst_sqe_logic_ns)
-            else:
-                self.clock.advance(self.timing.doorbell_poll_ns)
-                raw = self._fetch_sqe(state)
-                self.link.record_only(
-                    CAT_CMD_FETCH,
-                    tlpmod.device_dma_read(SQE_SIZE, self.link.config))
-                self.clock.advance(self.timing.cmd_fetch_logic_ns)
-            cmd = NvmeCommand.unpack(raw)
-
-            if cmd.inline_length and self.faults.fire(CORRUPT_INLINE_LENGTH):
-                # The reserved field arrived bit-flipped: the decode below
-                # must detect it and fail the command, never mis-fetch.
-                cmd.cdw2 = self.faults.corrupt_length(cmd.cdw2)
-
-            # --- ByteExpress detection (paper §3.3.1) -------------------
-            try:
-                info = inspect_command(cmd)
-            except InlineEncodingError:
-                self.fetch_errors += 1
-                self._resync_sq(qid)
-                self._complete(qid, cmd, CommandResult(
-                    StatusCode.INVALID_FIELD, retryable=True))
-                return
-
-            if info.is_inline and not self.byteexpress_enabled:
-                # Defensive firmware: refuse rather than misparse chunks.
-                self.fetch_errors += 1
-                state.advance(min(info.chunks, self._pending_on(qid)))
-                self._complete(qid, cmd, CommandResult(StatusCode.INVALID_FIELD))
-                return
-
-            if info.is_inline and self.mode == MODE_TAGGED:
-                self._begin_tagged(qid, cmd, info.payload_len)
-                return
-
-            ctx = CommandContext(cmd=cmd, qid=qid)
-            if info.is_inline:
-                try:
-                    ctx.data = fetch_inline_payload(
-                        state, info, self._sq_tails[qid],
-                        self.host_memory, self.link, self.clock, self.timing,
-                        injector=self.faults, window=window)
-                    ctx.transport = "inline"
-                    self.inline_payloads += 1
-                except ChunkCorruptionError:
-                    self.fetch_errors += 1
-                    self._resync_sq(qid)
-                    self._complete(qid, cmd, CommandResult(
-                        StatusCode.DATA_TRANSFER_ERROR, retryable=True))
-                    return
-                except InlineFetchError:
-                    self.fetch_errors += 1
-                    self._resync_sq(qid)
-                    self._complete(qid, cmd, CommandResult(
-                        StatusCode.INVALID_FIELD, retryable=True))
-                    return
-
-        self._transfer_and_dispatch(qid, ctx)
-
-    # ------------------------------------------------------------------
-    # tagged (out-of-order) mode — paper §3.3.2 future work
-    # ------------------------------------------------------------------
-    def _begin_tagged(self, qid: int, cmd: NvmeCommand,
-                      payload_len: int) -> None:
-        payload_id = cmd.cdw3
-        chunks = tagged_chunk_count(payload_len)
-        try:
-            self._reassembly.expect(payload_id, payload_len)
-        except ReassemblyError:
-            self.fetch_errors += 1
-            self._complete(qid, cmd, CommandResult(StatusCode.INVALID_FIELD))
-            return
-        self._pending_chunks[qid] = self._pending_chunks.get(qid, 0) + chunks
-        self._deferred.append(_DeferredCommand(cmd, qid, payload_id))
+    def _fetch_and_execute(self, qid: int, window=None) -> None:
+        """Delegate to the fetch unit (see ``FetchUnit.fetch_and_execute``)."""
+        self.fetch.fetch_and_execute(qid, window=window)
 
     def _fetch_tagged_chunk(self, qid: int) -> None:
-        state = self._sqs[qid]
-        if self._pending_on(qid) == 0:
-            return
-        with self.clock.span("ctrl.sq_fetch"):
-            raw = self._fetch_sqe(state)
-            self.link.record_only(
-                CAT_INLINE_CHUNK,
-                tlpmod.device_dma_read(SQE_SIZE, self.link.config))
-            self.clock.advance(self.timing.chunk_fetch_ns)
-        self._pending_chunks[qid] -= 1
-        try:
-            payload = self._reassembly.accept(raw)
-        except ReassemblyError:
-            self.fetch_errors += 1
-            return
-        if payload is None:
-            return
-        payload_id, _, _, _ = parse_tagged(raw)
-        for i, deferred in enumerate(self._deferred):
-            if deferred.payload_id == payload_id:
-                self._deferred.pop(i)
-                ctx = CommandContext(cmd=deferred.cmd, qid=deferred.qid,
-                                     data=payload, transport="inline")
-                self.inline_payloads += 1
-                self._transfer_and_dispatch(deferred.qid, ctx)
-                return
-        self.fetch_errors += 1  # pragma: no cover - chunk without command
+        """Delegate to the fetch unit (see ``FetchUnit.fetch_tagged_chunk``)."""
+        self.fetch.fetch_tagged_chunk(qid)
 
     # ------------------------------------------------------------------
-    # data movement (PRP / SGL)
+    # data movement — delegated to the datapath decoders
     # ------------------------------------------------------------------
-    def _read_list_page(self, addr: int) -> bytes:
-        """DMA a PRP-list page, accounted as PRP-list traffic."""
-        data = self.host_memory.read(addr, PAGE_SIZE)
-        self.link.record_only(
-            CAT_PRP_LIST, tlpmod.device_dma_read(PAGE_SIZE, self.link.config))
-        self.clock.advance(self.timing.chunk_fetch_ns)
-        return data
-
-    def _pull_prp_data(self, cmd: NvmeCommand, nbytes: int) -> bytes:
-        """Host→device data transfer over PRP (LBA-granular on the wire)."""
-        with self.clock.span("ctrl.data_transfer"):
-            self.clock.advance(self.timing.prp_dma_setup_ns)
-            segments = walk_prps(cmd.prp1, cmd.prp2, nbytes,
-                                 self._read_list_page,
-                                 fetch_granularity=self.config.lba_bytes)
-            payload = bytearray()
-            wire_bytes = 0
-            fetched = 0
-            for seg in segments:
-                payload += self.host_memory.read(seg.addr, seg.nbytes)
-                batch = tlpmod.device_dma_read(seg.fetch_bytes,
-                                               self.link.config)
-                self.link.record_only(CAT_DATA, batch)
-                wire_bytes += batch.total_bytes
-                fetched += seg.fetch_bytes
-            self.clock.advance(self.link.serialisation_ns(wire_bytes)
-                               + self.timing.host_mem_read_ns
-                               + self.timing.link_propagation_ns * 2)
-            self.clock.advance(self.timing.dram_copy_per_kb_ns
-                               * fetched / 1024.0)
-        return bytes(payload)
-
-    def _pull_sgl_data(self, cmd: NvmeCommand, nbytes: int) -> bytes:
-        """Host→device transfer over SGL (byte-granular on the wire)."""
-        with self.clock.span("ctrl.data_transfer"):
-            inline = SglDescriptor.unpack(
-                cmd.prp1.to_bytes(8, "little") + cmd.prp2.to_bytes(8, "little"))
-
-            def read_segment(addr: int, length: int) -> bytes:
-                data = self.host_memory.read(addr, length)
-                self.link.record_only(
-                    CAT_PRP_LIST,
-                    tlpmod.device_dma_read(length, self.link.config))
-                self.clock.advance(self.timing.chunk_fetch_ns)
-                return data
-
-            blocks = walk_sgl(inline, read_segment)
-            self.clock.advance(self.timing.sgl_parse_ns * len(blocks))
-            payload = bytearray()
-            wire_bytes = 0
-            for desc in blocks:
-                if desc.sgl_type == SglType.BIT_BUCKET:
-                    continue
-                payload += self.host_memory.read(desc.addr, desc.length)
-                batch = tlpmod.device_dma_read(desc.length, self.link.config)
-                self.link.record_only(CAT_DATA, batch)
-                wire_bytes += batch.total_bytes
-            self.clock.advance(self.link.serialisation_ns(wire_bytes)
-                               + self.timing.host_mem_read_ns
-                               + self.timing.link_propagation_ns * 2)
-            self.clock.advance(self.timing.dram_copy_per_kb_ns
-                               * len(payload) / 1024.0)
-        if len(payload) != nbytes:
-            raise ValueError("SGL descriptors do not cover the transfer")
-        return bytes(payload)
-
     def _push_read_data(self, cmd: NvmeCommand, data: bytes) -> None:
         """Device→host data return for read-style commands.
 
-        With an SGL data pointer, bit-bucket descriptors discard their
-        share of the data instead of transferring it (paper §5: "enabling
-        completion of small-data read requests without requiring data
-        return") — the read-side counterpart of write-path granularity.
+        The PSDT field selects the datapath decoder; with an SGL data
+        pointer, bit-bucket descriptors discard their share of the data
+        instead of transferring it (paper §5: "enabling completion of
+        small-data read requests without requiring data return") — the
+        read-side counterpart of write-path granularity.
         """
         if not data:
             return
         with self.clock.span("ctrl.data_transfer"):
-            if cmd.psdt != Psdt.PRP:
-                self._push_read_sgl(cmd, data)
-                return
-            self.host_memory.write(cmd.prp1, data)
-            batch = tlpmod.device_dma_write(len(data), self.link.config)
-            self.link.record_only(CAT_DATA, batch)
-            self.clock.advance(self.timing.prp_dma_setup_ns
-                               + self.link.serialisation_ns(batch.total_bytes)
-                               + self.timing.link_propagation_ns)
-
-    def _push_read_sgl(self, cmd: NvmeCommand, data: bytes) -> None:
-        """SGL read return: deliver into data blocks, discard bit buckets."""
-        inline = SglDescriptor.unpack(
-            cmd.prp1.to_bytes(8, "little") + cmd.prp2.to_bytes(8, "little"))
-
-        def read_segment(addr: int, length: int) -> bytes:
-            raw = self.host_memory.read(addr, length)
-            self.link.record_only(
-                CAT_PRP_LIST,
-                tlpmod.device_dma_read(length, self.link.config))
-            self.clock.advance(self.timing.chunk_fetch_ns)
-            return raw
-
-        blocks = walk_sgl(inline, read_segment)
-        self.clock.advance(self.timing.sgl_parse_ns * len(blocks))
-        offset = 0
-        delivered_wire = 0
-        for desc in blocks:
-            if offset >= len(data):
-                break
-            take = min(desc.length, len(data) - offset)
-            if desc.sgl_type == SglType.BIT_BUCKET:
-                offset += take  # discarded: no TLPs, no host write
-                continue
-            self.host_memory.write(desc.addr, data[offset:offset + take])
-            batch = tlpmod.device_dma_write(take, self.link.config)
-            self.link.record_only(CAT_DATA, batch)
-            delivered_wire += batch.total_bytes
-            offset += take
-        self.clock.advance(self.timing.prp_dma_setup_ns
-                           + self.link.serialisation_ns(delivered_wire)
-                           + self.timing.link_propagation_ns)
+            decoder_for_psdt(cmd.psdt).push(self, cmd, data)
 
     # ------------------------------------------------------------------
     # dispatch + completion
@@ -875,13 +481,10 @@ class NvmeController:
         # commands; zero means no host→device data phase.
         xfer_len = cmd.cdw12 if self._data_phase.get(cmd.opcode, True) else 0
         if ctx.data is None and xfer_len:
+            decoder = decoder_for_psdt(cmd.psdt)
             try:
-                if cmd.psdt == Psdt.PRP:
-                    ctx.data = self._pull_prp_data(cmd, xfer_len)
-                    ctx.transport = "prp"
-                else:
-                    ctx.data = self._pull_sgl_data(cmd, xfer_len)
-                    ctx.transport = "sgl"
+                ctx.data = decoder.pull(self, cmd, xfer_len)
+                ctx.transport = decoder.transport
             except (ValueError, MemoryError):
                 self.fetch_errors += 1
                 self._complete(qid, cmd,
@@ -911,150 +514,26 @@ class NvmeController:
 
     def _complete(self, qid: int, cmd: NvmeCommand,
                   result: CommandResult) -> None:
-        from repro.faults.plan import DELAY_CQE, DROP_CQE
+        """Delegate to the completion unit (see ``CompletionUnit.complete``).
 
-        if result.suppress_cqe:
-            self.commands_processed += 1
-            return
-        with self.clock.span("ctrl.completion"):
-            state = self._sqs[qid]
-            cq = self._cqs[self._sq_cq[qid]]
-            dnr = result.status != StatusCode.SUCCESS and not result.retryable
-            cqe = NvmeCompletion(result=result.result, sq_head=state.head,
-                                 sq_id=qid, cid=cmd.cid,
-                                 status=result.status, dnr=dnr)
-            # CQE faults target the I/O path: a lost *admin* completion
-            # has no in-band recovery (real drivers escalate to a
-            # controller reset), so bring-up is exempt.
-            if qid != 0 and self.faults.fire(DELAY_CQE):
-                self.clock.advance(self.faults.delay_cqe_ns)
-            if qid != 0 and self.faults.fire(DROP_CQE):
-                # The CQE write (or its MSI-X) is lost: the command ran,
-                # but the host learns nothing and must time out + retry.
-                self.dropped_cqes += 1
-                self.clock.advance(self.timing.completion_post_ns)
-                self.commands_processed += 1
-                return
-            cq.post(cqe, self.host_memory)
-            if self.config.cq_coalesce > 1 and qid != ADMIN_QID:
-                # Coalesced posting: the CQE text is staged (functional
-                # visibility keeps the phase-bit protocol intact); the
-                # DMA write and MSI-X are batched — one of each per
-                # ``cq_coalesce`` completions, or at quiescence.
-                self._coalesced[cq.qid] = self._coalesced.get(cq.qid, 0) + 1
-                self.clock.advance(self.timing.cqe_coalesce_ns)
-                if self._coalesced[cq.qid] >= self.config.cq_coalesce:
-                    self._flush_cq(cq.qid)
-            else:
-                self.link.record_only(
-                    CAT_CQE,
-                    tlpmod.device_dma_write(CQE_SIZE, self.link.config))
-                self.link.record_only(CAT_MSIX,
-                                      tlpmod.msix_interrupt(self.link.config))
-                self.clock.advance(self.timing.completion_post_ns)
-        self.commands_processed += 1
+        Stays a controller method on purpose: tests and instrumentation
+        patch ``controller._complete``, and every unit routes completions
+        through this name so such patches see the whole completion flow.
+        """
+        self.completion.complete(qid, cmd, result)
 
     def _flush_cq(self, cq_qid: int) -> None:
-        """Post one buffered CQE batch: one DMA write, one MSI-X."""
-        count = self._coalesced.pop(cq_qid, 0)
-        if not count:
-            return
-        with self.clock.span("ctrl.completion"):
-            self.link.record_only(
-                CAT_CQE,
-                tlpmod.device_dma_write(count * CQE_SIZE, self.link.config))
-            self.link.record_only(CAT_MSIX,
-                                  tlpmod.msix_interrupt(self.link.config))
-            self.clock.advance(self.timing.completion_post_ns)
-        self.cqe_flushes += 1
+        """Delegate to the completion unit (see ``CompletionUnit.flush_cq``)."""
+        self.completion.flush_cq(cq_qid)
 
     def flush_completions(self) -> None:
         """Flush every CQ's buffered completion batch (idle transition,
         or any point the host needs the accounting settled)."""
-        for cq_qid in list(self._coalesced):
-            self._flush_cq(cq_qid)
+        self.completion.flush_all()
 
     # ------------------------------------------------------------------
-    # admin command set
+    # admin command set — delegated to the admin engine (``self.admin``)
     # ------------------------------------------------------------------
     def _dispatch_admin(self, qid: int, ctx: CommandContext) -> None:
-        cmd = ctx.cmd
-        dispatch = {
-            AdminOpcode.IDENTIFY: self._admin_identify,
-            AdminOpcode.CREATE_CQ: self._admin_create_cq,
-            AdminOpcode.CREATE_SQ: self._admin_create_sq,
-            AdminOpcode.DELETE_SQ: self._admin_delete_sq,
-            AdminOpcode.DELETE_CQ: self._admin_delete_cq,
-            AdminOpcode.DBBUF_CONFIG: self._admin_dbbuf_config,
-        }
-        handler = dispatch.get(cmd.opcode)
-        if handler is None:
-            self._complete(qid, cmd, CommandResult(StatusCode.INVALID_OPCODE))
-            return
-        result = handler(cmd)
-        if result.read_data is not None and result.status == StatusCode.SUCCESS:
-            self._push_read_data(cmd, result.read_data)
-        self.admin_commands_processed += 1
-        self._complete(qid, cmd, result)
-
-    def _admin_identify(self, cmd: NvmeCommand) -> CommandResult:
-        cns = cmd.cdw10 & 0xFF
-        if cns != 1:  # only Identify Controller is modelled
-            return CommandResult(StatusCode.INVALID_FIELD)
-        return CommandResult(read_data=self.identify_data.pack())
-
-    def _admin_create_cq(self, cmd: NvmeCommand) -> CommandResult:
-        qid = cmd.cdw10 & 0xFFFF
-        depth = ((cmd.cdw10 >> 16) & 0xFFFF) + 1
-        if (qid == ADMIN_QID or not cmd.prp1
-                or qid > self.identify_data.num_io_queues):
-            return CommandResult(StatusCode.INVALID_FIELD)
-        try:
-            self.create_cq(qid, cmd.prp1, depth)
-        except ValueError:
-            return CommandResult(StatusCode.INVALID_FIELD)
-        return CommandResult()
-
-    def _admin_create_sq(self, cmd: NvmeCommand) -> CommandResult:
-        qid = cmd.cdw10 & 0xFFFF
-        depth = ((cmd.cdw10 >> 16) & 0xFFFF) + 1
-        cq_qid = (cmd.cdw11 >> 16) & 0xFFFF
-        if qid == ADMIN_QID or not cmd.prp1:
-            return CommandResult(StatusCode.INVALID_FIELD)
-        try:
-            self.create_sq(qid, cmd.prp1, depth, cq_qid=cq_qid)
-        except ValueError:
-            return CommandResult(StatusCode.INVALID_FIELD)
-        return CommandResult()
-
-    def _admin_delete_sq(self, cmd: NvmeCommand) -> CommandResult:
-        try:
-            self.delete_sq(cmd.cdw10 & 0xFFFF)
-        except ValueError:
-            return CommandResult(StatusCode.INVALID_FIELD)
-        return CommandResult()
-
-    def _admin_delete_cq(self, cmd: NvmeCommand) -> CommandResult:
-        try:
-            self.delete_cq(cmd.cdw10 & 0xFFFF)
-        except ValueError:
-            return CommandResult(StatusCode.INVALID_FIELD)
-        return CommandResult()
-
-    def _admin_dbbuf_config(self, cmd: NvmeCommand) -> CommandResult:
-        """Doorbell Buffer Config: attach the shadow + eventidx pages.
-
-        From here on the controller latches I/O SQ tails and CQ heads
-        from the shadow page (one DMA read per wake-up) and publishes
-        eventidx/park records so the host knows when a BAR doorbell is
-        still required.  The admin queue itself always stays on MMIO
-        doorbells — DBBUF must remain reachable on a device whose
-        shadow state is broken.
-        """
-        if not cmd.prp1 or not cmd.prp2 or cmd.prp1 == cmd.prp2:
-            return CommandResult(StatusCode.INVALID_FIELD)
-        self._shadow = ShadowDoorbells.attach(self.host_memory,
-                                              cmd.prp1, cmd.prp2)
-        self._shadow_stale = False
-        self._busy_since_park = False
-        return CommandResult()
+        """Delegate to the admin engine (see ``AdminEngine.dispatch``)."""
+        self.admin.dispatch(qid, ctx)

@@ -2,11 +2,16 @@
 
 Use :func:`make_methods` to build the full comparison suite over a fresh
 device + driver pair — this is what the Figure 5/6/7 benchmarks sweep.
+The suite is built from the datapath registry
+(:mod:`repro.datapath.registry`): registering a new method there makes
+it appear here (and in the CLI, engine, and sweeps) automatically.
 """
 
-from typing import Dict, Optional
+from typing import Dict
 
+from repro.datapath import registry as datapath_registry
 from repro.host.driver import NvmeDriver
+from repro.ssd.context import MODE_TAGGED
 from repro.ssd.device import OpenSsd
 from repro.transfer.bandslim import (
     BandSlimDeviceLayer,
@@ -24,18 +29,23 @@ from repro.transfer.prp_transfer import PrpTransfer, SglTransfer
 
 def make_methods(ssd: OpenSsd, driver: NvmeDriver,
                  include_mmio: bool = True) -> Dict[str, TransferMethod]:
-    """Build the standard method suite bound to one device/driver pair."""
-    prp = PrpTransfer(driver)
-    byteexpress = ByteExpressTransfer(driver)
-    methods: Dict[str, TransferMethod] = {
-        "prp": prp,
-        "sgl": SglTransfer(driver),
-        "byteexpress": byteexpress,
-        "bandslim": BandSlimTransfer(driver, BandSlimDeviceLayer(ssd)),
-        "hybrid": HybridTransfer(byteexpress, prp),
-    }
-    if include_mmio:
-        methods["mmio"] = MmioTransfer(ssd, MmioByteInterface(ssd))
+    """Build the standard method suite bound to one device/driver pair.
+
+    Every registry spec with a factory contributes, gated by its caps:
+    ``bar_window`` methods only when *include_mmio* (the BAR byte window
+    is an opt-in testbed feature), ``tag_reassembly`` methods only when
+    the device controller actually runs in tagged mode (a queue-local
+    controller would misparse self-describing chunks).
+    """
+    methods: Dict[str, TransferMethod] = {}
+    for spec in datapath_registry.specs():
+        if spec.factory is None:
+            continue
+        if spec.caps.bar_window and not include_mmio:
+            continue
+        if spec.caps.tag_reassembly and ssd.controller.mode != MODE_TAGGED:
+            continue
+        methods[spec.name] = spec.factory(ssd, driver, methods)
     return methods
 
 

@@ -31,6 +31,7 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.datapath import names as dp_names
 from repro.host.driver import NvmeDriver
 from repro.nvme.command import NvmeCommand
 from repro.nvme.constants import (
@@ -152,14 +153,14 @@ class BandSlimDeviceLayer:
         inner = CommandContext(
             cmd=NvmeCommand(opcode=view.target_opcode, cid=ctx.cmd.cid,
                             cdw10=view.target_cdw10, cdw12=state.total_len),
-            qid=ctx.qid, data=bytes(state.buffer), transport="bandslim")
+            qid=ctx.qid, data=bytes(state.buffer), transport=dp_names.TRANSPORT_BANDSLIM)
         return self.ssd.controller.dispatch_local(inner)
 
 
 class BandSlimTransfer(TransferMethod):
     """Host half: fragment planning, per-fragment command issue."""
 
-    name = "bandslim"
+    name = dp_names.BANDSLIM
 
     def __init__(self, driver: NvmeDriver, device_layer: BandSlimDeviceLayer) -> None:
         self.driver = driver
@@ -180,7 +181,7 @@ class BandSlimTransfer(TransferMethod):
             self.driver.link.counter.record_event(EVT_INLINE_FALLBACK)
             req = PassthruRequest(opcode=opcode, nsid=nsid, data=payload,
                                   cdw10=cdw10, cdw11=cdw11)
-            res = self.driver.passthru(req, method="prp", qid=qid)
+            res = self.driver.passthru(req, method=dp_names.PRP, qid=qid)
             return TransferStats(method=self.name, payload_len=len(payload),
                                  latency_ns=res.latency_ns,
                                  pcie_bytes=res.pcie_bytes,

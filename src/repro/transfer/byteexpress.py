@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from repro.datapath import names as dp_names
 from repro.host.driver import NvmeDriver
 from repro.nvme.constants import IoOpcode
 from repro.nvme.passthrough import PassthruRequest
@@ -18,7 +19,7 @@ from repro.transfer.base import TransferMethod, TransferStats
 
 
 class ByteExpressTransfer(TransferMethod):
-    name = "byteexpress"
+    name = dp_names.BYTEEXPRESS
 
     def __init__(self, driver: NvmeDriver) -> None:
         self.driver = driver
@@ -28,7 +29,7 @@ class ByteExpressTransfer(TransferMethod):
               qid: Optional[int] = None) -> TransferStats:
         req = PassthruRequest(opcode=opcode, nsid=nsid, data=payload,
                               cdw10=cdw10, cdw11=cdw11)
-        result = self.driver.passthru(req, method="byteexpress", qid=qid)
+        result = self.driver.passthru(req, method=dp_names.BYTEEXPRESS, qid=qid)
         return TransferStats(method=self.name, payload_len=len(payload),
                              latency_ns=result.latency_ns,
                              pcie_bytes=result.pcie_bytes,
@@ -40,7 +41,7 @@ class TaggedByteExpressTransfer(TransferMethod):
     ``MODE_TAGGED``.  Chunk capacity drops to 56 B (8 B header), which the
     reassembly ablation quantifies against the queue-local design."""
 
-    name = "byteexpress-tagged"
+    name = dp_names.BYTEEXPRESS_TAGGED
 
     def __init__(self, driver: NvmeDriver) -> None:
         self.driver = driver

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.datapath import names as dp_names
 from repro.core.hybrid import METHOD_BYTEEXPRESS, HybridPolicy
 from repro.nvme.constants import IoOpcode
 from repro.transfer.base import TransferMethod, TransferStats
@@ -18,7 +19,7 @@ from repro.transfer.prp_transfer import PrpTransfer
 
 
 class HybridTransfer(TransferMethod):
-    name = "hybrid"
+    name = dp_names.HYBRID
 
     def __init__(self, byteexpress: ByteExpressTransfer, prp: PrpTransfer,
                  policy: Optional[HybridPolicy] = None) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.datapath import names as dp_names
 from repro.nvme.command import NvmeCommand
 from repro.nvme.constants import IoOpcode, StatusCode
 from repro.pcie.mmio import BYTE_WINDOW_SIZE
@@ -53,7 +54,7 @@ class MmioByteInterface:
         payload = self.ssd.bar.window_read(0, length)
         ctx = CommandContext(
             cmd=NvmeCommand(opcode=self.target_opcode, cdw12=length),
-            qid=0, data=payload, transport="mmio")
+            qid=0, data=payload, transport=dp_names.TRANSPORT_MMIO)
         result = self.ssd.controller.dispatch_local(ctx)
         self.payloads += 1
         # Status registers are write-once-per-op: 0 means in-progress, so
@@ -64,7 +65,7 @@ class MmioByteInterface:
 class MmioTransfer(TransferMethod):
     """Host half: cacheline stores + commit + status poll."""
 
-    name = "mmio"
+    name = dp_names.MMIO
 
     def __init__(self, ssd: OpenSsd, interface: MmioByteInterface) -> None:
         self.ssd = ssd

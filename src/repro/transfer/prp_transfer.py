@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.datapath import names as dp_names
 from repro.host.driver import NvmeDriver
 from repro.nvme.constants import IoOpcode
 from repro.nvme.passthrough import PassthruRequest
@@ -15,7 +16,7 @@ from repro.transfer.base import TransferMethod, TransferStats
 
 
 class PrpTransfer(TransferMethod):
-    name = "prp"
+    name = dp_names.PRP
 
     def __init__(self, driver: NvmeDriver) -> None:
         self.driver = driver
@@ -25,7 +26,7 @@ class PrpTransfer(TransferMethod):
               qid: Optional[int] = None) -> TransferStats:
         req = PassthruRequest(opcode=opcode, nsid=nsid, data=payload,
                               cdw10=cdw10, cdw11=cdw11)
-        result = self.driver.passthru(req, method="prp", qid=qid)
+        result = self.driver.passthru(req, method=dp_names.PRP, qid=qid)
         return TransferStats(method=self.name, payload_len=len(payload),
                              latency_ns=result.latency_ns,
                              pcie_bytes=result.pcie_bytes,
@@ -37,7 +38,7 @@ class SglTransfer(TransferMethod):
     command still carries a descriptor the controller must parse before it
     can program the engine."""
 
-    name = "sgl"
+    name = dp_names.SGL
 
     def __init__(self, driver: NvmeDriver) -> None:
         self.driver = driver
@@ -47,7 +48,7 @@ class SglTransfer(TransferMethod):
               qid: Optional[int] = None) -> TransferStats:
         req = PassthruRequest(opcode=opcode, nsid=nsid, data=payload,
                               cdw10=cdw10, cdw11=cdw11)
-        result = self.driver.passthru(req, method="sgl", qid=qid)
+        result = self.driver.passthru(req, method=dp_names.SGL, qid=qid)
         return TransferStats(method=self.name, payload_len=len(payload),
                              latency_ns=result.latency_ns,
                              pcie_bytes=result.pcie_bytes,

@@ -18,6 +18,8 @@ VER104    no mutation of Submission/CompletionQueue ring fields
           (head/tail/phase/...) from outside ``repro.nvme``
 VER105    no bare ``except:`` (swallows InvariantViolation and
           KeyboardInterrupt alike)
+VER106    no hard-coded transfer-method string literals outside
+          ``repro/datapath/`` (and tests); use ``repro.datapath.names``
 ========  ==============================================================
 
 A finding is suppressed by a same-line ``# verify: ignore[CODE]``
@@ -39,6 +41,7 @@ VER102 = "VER102"
 VER103 = "VER103"
 VER104 = "VER104"
 VER105 = "VER105"
+VER106 = "VER106"
 
 #: Every lint rule, with a one-line description (for ``lint --list``).
 LINT_RULES: Dict[str, str] = {
@@ -47,6 +50,7 @@ LINT_RULES: Dict[str, str] = {
     VER103: "ring_doorbell() outside a lexical `with ....lock:` block",
     VER104: "queue ring-field mutation outside repro.nvme",
     VER105: "bare `except:` swallows everything, including violations",
+    VER106: "hard-coded transfer-method literal (use repro.datapath.names)",
 }
 
 _WALL_CLOCK_FNS = frozenset({
@@ -61,6 +65,10 @@ _QUEUE_FIELDS = frozenset({"head", "tail", "phase", "shadow_tail",
                            "device_tail", "device_phase"})
 #: Receiver names that conventionally hold queue objects.
 _QUEUE_RECEIVERS = frozenset({"sq", "cq"})
+
+#: Transfer-method spellings VER106 polices.  Imported from the single
+#: source of truth so a method added to the registry is policed at once.
+from repro.datapath.names import METHOD_LITERALS
 
 _IGNORE_RE = re.compile(r"#\s*verify:\s*ignore\[([A-Za-z0-9*,\s]+)\]")
 
@@ -105,9 +113,11 @@ def _dotted(node: ast.AST) -> Optional[str]:
 class _Linter(ast.NodeVisitor):
     """Single-pass rule evaluation with a lexical ``with``-stack."""
 
-    def __init__(self, path: str, in_nvme: bool) -> None:
+    def __init__(self, path: str, in_nvme: bool,
+                 check_methods: bool = True) -> None:
         self.path = path
         self.in_nvme = in_nvme
+        self.check_methods = check_methods
         self.findings: List[LintFinding] = []
         self._lock_depth = 0
 
@@ -224,6 +234,18 @@ class _Linter(ast.NodeVisitor):
         self._check_target(node.target)
         self.generic_visit(node)
 
+    # -- VER106: hard-coded transfer-method literals -------------------
+    def visit_Constant(self, node: ast.Constant) -> None:
+        # Exact full-string matches only: docstrings and messages that
+        # merely *mention* a method name are prose, not dispatch keys.
+        if (self.check_methods and isinstance(node.value, str)
+                and node.value in METHOD_LITERALS):
+            self._report(node, VER106,
+                         f"hard-coded transfer-method literal "
+                         f"{node.value!r}; resolve it through "
+                         f"repro.datapath.names / the registry")
+        self.generic_visit(node)
+
     # -- VER105: bare except -------------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
         if node.type is None:
@@ -237,13 +259,20 @@ def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
     """Lint one module's source text; returns unsuppressed findings."""
     posix = Path(path).as_posix()
     in_nvme = "/nvme/" in posix or posix.startswith("nvme/")
+    # The datapath package *defines* the method names; tests and
+    # benchmarks exercise them as data.  Everything else must go
+    # through repro.datapath.names.
+    check_methods = not any(
+        f"/{part}/" in f"/{posix}" or posix.startswith(f"{part}/")
+        for part in ("datapath", "tests", "benchmarks"))
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [LintFinding(path=path, line=exc.lineno or 0,
                             col=exc.offset or 0, code="VER000",
                             message=f"syntax error: {exc.msg}")]
-    linter = _Linter(path=path, in_nvme=in_nvme)
+    linter = _Linter(path=path, in_nvme=in_nvme,
+                     check_methods=check_methods)
     linter.visit(tree)
     suppressed = _suppressions(source)
     kept: List[LintFinding] = []

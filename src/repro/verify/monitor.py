@@ -400,23 +400,32 @@ class ProtocolMonitor:
         self._patch(driver, "_alloc_cid", _alloc_cid)
 
     def _wrap_tagged_hint(self, driver: Any) -> None:
-        orig = driver.submit_write_inline_tagged
+        """Flag tagged submissions so inline-chunk accounting uses the
+        self-describing chunk size.  Wraps the generic ``submit`` entry:
+        every path (legacy wrappers, engine, passthru) funnels through
+        it, and the resolved spec's ``tag_reassembly`` cap tells us the
+        encoding without trusting call-site names."""
+        orig = driver.submit
 
-        def submit_write_inline_tagged(cmd: Any, data: bytes, qid: int,
-                                       payload_id: int,
-                                       ring: bool = True) -> int:
-            sq = driver.queue(qid).sq
-            state = self._sq.get(id(sq))
+        def submit(method: Any, cmd: Any, data: bytes, qid: int,
+                   ring: bool = True, private_buffer: bool = False,
+                   payload_id: Optional[int] = None) -> int:
+            spec = driver._resolve_spec(method)
+            state = None
+            if spec.caps.tag_reassembly:
+                sq = driver.queue(qid).sq
+                state = self._sq.get(id(sq))
             if state is not None:
                 state.tagged_hint = True
             try:
-                return orig(cmd, data, qid, payload_id, ring)
+                return orig(spec, cmd, data, qid, ring=ring,
+                            private_buffer=private_buffer,
+                            payload_id=payload_id)
             finally:
                 if state is not None and state.pending_chunks == 0:
                     state.tagged_hint = False
 
-        self._patch(driver, "submit_write_inline_tagged",
-                    submit_write_inline_tagged)
+        self._patch(driver, "submit", submit)
 
     # ------------------------------------------------------------------
     # engine in-flight table

@@ -17,6 +17,7 @@ from repro.verify.lint import (
     VER103,
     VER104,
     VER105,
+    VER106,
     lint_paths,
     lint_source,
 )
@@ -150,6 +151,42 @@ def test_ver105_allows_named_except():
 def test_ver105_suppression():
     src = "try:\n    f()\nexcept:  # verify: ignore[VER105]\n    raise\n"
     assert codes(src) == []
+
+
+# ---------------------------------------------------------------- VER106
+
+
+def test_ver106_flags_method_literal_in_src():
+    src = 'method = "byteexpress"\n'
+    assert codes(src, path="src/repro/engine/engine.py") == [VER106]
+
+
+def test_ver106_flags_every_registered_spelling():
+    from repro.datapath.names import METHOD_LITERALS
+
+    for literal in sorted(METHOD_LITERALS):
+        src = f'm = "{literal}"\n'
+        assert codes(src, path="src/repro/x.py") == [VER106], literal
+
+
+def test_ver106_ignores_prose_mentions():
+    # Docstrings and messages that merely mention a method are fine:
+    # only exact full-string matches are dispatch keys.
+    src = '"""compare byteexpress against prp staging"""\n'
+    assert codes(src, path="src/repro/x.py") == []
+
+
+def test_ver106_exempts_datapath_tests_and_benchmarks():
+    src = 'm = "prp"\n'
+    for path in ("src/repro/datapath/builtin.py",
+                 "tests/datapath/test_parity.py",
+                 "benchmarks/test_fig5_methods_sweep.py"):
+        assert codes(src, path=path) == [], path
+
+
+def test_ver106_suppression():
+    src = 'DOORBELL_MMIO = "mmio"  # verify: ignore[VER106]\n'
+    assert codes(src, path="src/repro/sim/config.py") == []
 
 
 # ------------------------------------------------------- suppression misc
