@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Perf-regression guard over the burst-path ablation (ISSUE 3, CI).
+"""Perf-regression guard over benchmark result cells (CI).
 
-Compares a freshly generated ``ablation_burst_path.json`` against the
-committed baseline, cell by cell (keyed on method × doorbell × burst):
+Compares a freshly generated results file against the committed
+baseline, cell by cell (keyed on method × doorbell × burst):
 
 * simulated-clock throughput may not fall below ``1 - TOLERANCE`` of
   the baseline — the cost model is deterministic, so a real drop means
@@ -10,7 +10,13 @@ committed baseline, cell by cell (keyed on method × doorbell × burst):
 * doorbell and cmd-fetch TLPs per op may not rise above
   ``1 + TOLERANCE`` of the baseline — these are the two categories the
   burst path exists to shrink, and a silent increase is exactly the
-  regression this PR's machinery must catch.
+  regression this machinery must catch;
+* when the baseline cell carries ``wall_clock_ops_per_sec`` (the
+  wall-clock perf smoke), the fresh cell must reach at least
+  ``1 - WALL_CLOCK_TOLERANCE`` of it — a >20 % wall-clock slowdown
+  fails the build.  A baseline metric that simply *disappears* from the
+  fresh results is also a failure: losing the measurement must never
+  pass silently.
 
 Counts near zero (shadow mode's doorbell column) get a small absolute
 allowance instead of a ratio, which would be meaningless at ~0.
@@ -19,7 +25,17 @@ Usage::
 
     python check_perf_regression.py BASELINE.json FRESH.json
 
-Exit status 0 = within tolerance, 1 = regression, 2 = bad input.
+Exit status:
+
+* 0 — all cells within tolerance
+* 1 — perf regression detected
+* 2 — usage error (wrong arguments)
+* 3 — missing or malformed input: a baseline/results file that does
+  not exist, is not valid JSON, or does not match the expected schema.
+  This is deliberately distinct from exit 1 so CI treats "the guard
+  could not run" as loudly as "the guard failed" — a deleted or
+  corrupted baseline must never look like a clean pass (or like an
+  ordinary regression someone might re-baseline away).
 """
 
 from __future__ import annotations
@@ -27,23 +43,92 @@ from __future__ import annotations
 import json
 import pathlib
 import sys
+from typing import Dict, List, Tuple
 
-#: Relative headroom on every guarded metric (deterministic model: the
-#: slack only absorbs op-count-dependent amortisation differences).
+#: Relative headroom on every simulated-clock metric (deterministic
+#: model: the slack only absorbs op-count-dependent amortisation
+#: differences).
 TOLERANCE = 0.20
+#: Relative headroom on the wall-clock smoke metric: a >20 % slowdown
+#: in measured ops/sec fails the build.
+WALL_CLOCK_TOLERANCE = 0.20
 #: Absolute TLP/op allowance when the baseline is (near) zero.
 ABS_TLP_FLOOR = 0.05
 
 #: TLP categories whose growth fails the build.
 GUARDED_TLP_CATS = ("doorbell", "cmd_fetch")
 
+#: Optional wall-clock metric attached by the perf smoke harness.
+WALL_CLOCK_METRIC = "wall_clock_ops_per_sec"
 
-def _load(path: str) -> dict:
-    cells = json.loads(pathlib.Path(path).read_text())["cells"]
-    return {(c["method"], c["doorbell"], c["burst"]): c for c in cells}
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+EXIT_BAD_INPUT = 3
+
+#: Every results cell must carry these keys with these types.
+_REQUIRED_CELL_KEYS: Tuple[Tuple[str, type], ...] = (
+    ("method", str),
+    ("doorbell", str),
+    ("burst", int),
+    ("kiops", (int, float)),  # type: ignore[assignment]
+    ("tlps_per_op", dict),
+)
+
+CellKey = Tuple[str, str, int]
 
 
-def compare(baseline: dict, fresh: dict) -> list:
+class InputError(Exception):
+    """A baseline/results file is missing or does not match the schema."""
+
+
+def _load(path: str) -> Dict[CellKey, dict]:
+    """Load and schema-check one results file; raises :class:`InputError`.
+
+    Validation is strict on purpose: the guard compares numbers, and a
+    half-shaped file (hand-edited baseline, truncated upload, renamed
+    key) would otherwise surface as a confusing KeyError — or worse,
+    compare nothing and exit 0.
+    """
+    p = pathlib.Path(path)
+    try:
+        text = p.read_text()
+    except FileNotFoundError:
+        raise InputError(f"{path}: file does not exist") from None
+    except OSError as exc:
+        raise InputError(f"{path}: unreadable ({exc})") from None
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise InputError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(doc, dict) or "cells" not in doc:
+        raise InputError(f"{path}: missing top-level 'cells' array")
+    cells = doc["cells"]
+    if not isinstance(cells, list) or not cells:
+        raise InputError(f"{path}: 'cells' must be a non-empty array")
+    out: Dict[CellKey, dict] = {}
+    for i, cell in enumerate(cells):
+        if not isinstance(cell, dict):
+            raise InputError(f"{path}: cells[{i}] is not an object")
+        for key, typ in _REQUIRED_CELL_KEYS:
+            if key not in cell:
+                raise InputError(f"{path}: cells[{i}] missing {key!r}")
+            if not isinstance(cell[key], typ) or isinstance(cell[key], bool):
+                raise InputError(
+                    f"{path}: cells[{i}][{key!r}] has type "
+                    f"{type(cell[key]).__name__}, expected "
+                    f"{getattr(typ, '__name__', typ)}")
+        wall = cell.get(WALL_CLOCK_METRIC)
+        if wall is not None and (isinstance(wall, bool)
+                                 or not isinstance(wall, (int, float))):
+            raise InputError(
+                f"{path}: cells[{i}][{WALL_CLOCK_METRIC!r}] must be a number")
+        out[(cell["method"], cell["doorbell"], cell["burst"])] = cell
+    return out
+
+
+def compare(baseline: Dict[CellKey, dict],
+            fresh: Dict[CellKey, dict]) -> List[str]:
     """All tolerance violations of *fresh* against *baseline*."""
     problems = []
     for key, base in sorted(baseline.items()):
@@ -64,25 +149,41 @@ def compare(baseline: dict, fresh: dict) -> list:
                 problems.append(
                     f"{key}: {cat} {got:.3f} TLP/op > {ceil:.3f} "
                     f"(baseline {ref:.3f})")
+        ref_wall = base.get(WALL_CLOCK_METRIC)
+        if ref_wall is not None:
+            got_wall = cell.get(WALL_CLOCK_METRIC)
+            if got_wall is None:
+                problems.append(
+                    f"{key}: {WALL_CLOCK_METRIC} present in baseline "
+                    f"but missing from fresh results")
+            else:
+                wall_floor = ref_wall * (1.0 - WALL_CLOCK_TOLERANCE)
+                if got_wall < wall_floor:
+                    problems.append(
+                        f"{key}: {WALL_CLOCK_METRIC} {got_wall:.1f} < "
+                        f"{wall_floor:.1f} (baseline {ref_wall:.1f})")
     return problems
 
 
 def main(argv) -> int:
     if len(argv) != 3:
         print(__doc__, file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
         baseline, fresh = _load(argv[1]), _load(argv[2])
-    except (OSError, KeyError, ValueError) as exc:
-        print(f"cannot load results: {exc}", file=sys.stderr)
-        return 2
+    except InputError as exc:
+        print(f"PERF GUARD CANNOT RUN: {exc}", file=sys.stderr)
+        print("(missing/malformed input is exit status "
+              f"{EXIT_BAD_INPUT}, distinct from a regression)",
+              file=sys.stderr)
+        return EXIT_BAD_INPUT
     problems = compare(baseline, fresh)
     for p in problems:
         print(f"PERF REGRESSION: {p}", file=sys.stderr)
     if not problems:
         print(f"perf guard: {len(baseline)} cells within "
               f"{TOLERANCE:.0%} of baseline")
-    return 1 if problems else 0
+    return EXIT_REGRESSION if problems else EXIT_OK
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from repro.core.chunking import CHUNK_SIZE, join_chunks
 from repro.core.inline_command import InlineInfo
+from repro.faults.plan import CORRUPT_CHUNK
 from repro.host.memory import HostMemory
 from repro.pcie import tlp as tlpmod
 from repro.pcie.link import PCIeLink
@@ -48,7 +49,7 @@ class DeviceSqState:
         self.head = (self.head + count) % self.depth
 
 
-@dataclass
+@dataclass(slots=True)
 class SqeWindow:
     """A run of contiguous SQ entries prefetched by one burst DMA read.
 
@@ -126,13 +127,94 @@ def fetch_inline_payload(
     on-die decode time; chunks past the window's end fall back to the
     per-entry DMA path.
     """
-    from repro.faults.plan import CORRUPT_CHUNK
 
     available = (shadow_tail - state.head) % state.depth
     if info.chunks > available:
         raise InlineFetchError(
             f"SQ{state.qid}: command advertises {info.chunks} inline chunks "
             f"but only {available} entries are visible past the doorbell")
+
+    if (injector is not None and injector.active) or link.faults.active:
+        return _fetch_chunks_faulted(state, info, host_memory, link, clock,
+                                     timing, injector, window)
+
+    # Fault-free fast path: per-chunk fault opportunities are
+    # unobservable with no plan armed, so accounting is batched — the
+    # functional reads and head advances still happen per chunk, while
+    # each *run* of same-kind chunks (burst-prefetched vs DMA-fetched)
+    # collapses into one bulk traffic record and one repeated advance
+    # (bit-identical to the per-chunk clock arithmetic).
+    if info.chunks == 1:
+        # Dominant small-payload case (<= 64 B): one chunk, no run
+        # bookkeeping needed.
+        raw = window.take(state.head) if window is not None else None
+        if raw is not None:
+            state.advance()
+            clock.advance(timing.burst_sqe_logic_ns)
+        else:
+            raw = host_memory.read(state.slot_addr(state.head), CHUNK_SIZE)
+            state.advance()
+            link.record_only(
+                CAT_INLINE_CHUNK,
+                tlpmod.device_dma_read(CHUNK_SIZE, link.config))
+            clock.advance(timing.chunk_fetch_ns)
+        # join_chunks((raw,), n) reduces to a truncating slice here.
+        pl = info.payload_len
+        return raw if pl == CHUNK_SIZE else raw[:pl]
+
+    chunks: List[bytes] = []
+    dma_batch = tlpmod.device_dma_read(CHUNK_SIZE, link.config)
+    run_is_burst = False
+    run_len = 0
+    for _ in range(info.chunks):
+        raw = window.take(state.head) if window is not None else None
+        if raw is not None:
+            state.advance()
+            is_burst = True
+        else:
+            raw = host_memory.read(state.slot_addr(state.head), CHUNK_SIZE)
+            state.advance()
+            is_burst = False
+        if run_len and is_burst != run_is_burst:
+            _flush_chunk_run(link, clock, timing, dma_batch,
+                             run_is_burst, run_len)
+            run_len = 0
+        run_is_burst = is_burst
+        run_len += 1
+        chunks.append(raw)
+    if run_len:
+        _flush_chunk_run(link, clock, timing, dma_batch,
+                         run_is_burst, run_len)
+    return join_chunks(chunks, info.payload_len)
+
+
+def _flush_chunk_run(link: PCIeLink, clock: SimClock, timing: TimingModel,
+                     dma_batch, run_is_burst: bool, run_len: int) -> None:
+    """Account one run of same-kind inline chunks in bulk."""
+    if run_is_burst:
+        clock.advance_repeat(timing.burst_sqe_logic_ns, run_len)
+    else:
+        # Traffic: a real 64 B DMA fetch per chunk; time: the
+        # calibrated all-in per-entry cost (wire share included —
+        # do not double charge).
+        link.record_only(CAT_INLINE_CHUNK, dma_batch, run_len)
+        clock.advance_repeat(timing.chunk_fetch_ns, run_len)
+
+
+def _fetch_chunks_faulted(
+    state: DeviceSqState,
+    info: InlineInfo,
+    host_memory: HostMemory,
+    link: PCIeLink,
+    clock: SimClock,
+    timing: TimingModel,
+    injector,
+    window: Optional[SqeWindow],
+) -> bytes:
+    """Per-chunk path, kept verbatim for armed fault plans: every chunk
+    is a distinct ``corrupt_chunk`` / ``corrupt_tlp`` opportunity, and
+    opportunity indices drive the seeded per-kind RNG streams."""
+    from repro.faults.plan import CORRUPT_CHUNK
 
     chunks: List[bytes] = []
     for i in range(info.chunks):
@@ -143,9 +225,6 @@ def fetch_inline_payload(
         else:
             raw = host_memory.read(state.slot_addr(state.head), CHUNK_SIZE)
             state.advance()
-            # Traffic: a real 64 B DMA fetch per chunk; time: the
-            # calibrated all-in per-entry cost (wire share included —
-            # do not double charge).
             link.record_only(CAT_INLINE_CHUNK,
                              tlpmod.device_dma_read(CHUNK_SIZE, link.config))
             clock.advance(timing.chunk_fetch_ns)

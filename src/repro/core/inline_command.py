@@ -46,7 +46,7 @@ def make_inline_command(cmd: NvmeCommand, payload_len: int) -> NvmeCommand:
     return cmd
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InlineInfo:
     """Device-side interpretation of a fetched command."""
 
@@ -55,12 +55,24 @@ class InlineInfo:
     chunks: int
 
 
+#: Shared result for the (overwhelmingly common) non-inline case, plus a
+#: small memo keyed by inline length — InlineInfo is frozen, so callers
+#: can never observe the sharing.
+_NOT_INLINE = InlineInfo(False, 0, 0)
+_INFO_CACHE: dict = {}
+
+
 def inspect_command(cmd: NvmeCommand) -> InlineInfo:
     """What the controller learns from the reserved field at fetch time."""
     n = cmd.inline_length
     if n == 0:
-        return InlineInfo(False, 0, 0)
-    if n > MAX_INLINE_BYTES:
-        raise InlineEncodingError(
-            f"malformed inline length {n} in reserved field")
-    return InlineInfo(True, n, chunk_count(n))
+        return _NOT_INLINE
+    info = _INFO_CACHE.get(n)
+    if info is None:
+        if n > MAX_INLINE_BYTES:
+            raise InlineEncodingError(
+                f"malformed inline length {n} in reserved field")
+        if len(_INFO_CACHE) >= 4096:
+            _INFO_CACHE.clear()
+        info = _INFO_CACHE[n] = InlineInfo(True, n, chunk_count(n))
+    return info

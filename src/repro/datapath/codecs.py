@@ -18,11 +18,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
-from repro.core.driver_ext import submit_plain, submit_with_inline_payload
+from repro.core.chunking import CHUNK_SIZE, chunk_count, split_payload
+from repro.core.driver_ext import submit_plain
+from repro.core.inline_command import make_inline_command
 from repro.datapath import names
 from repro.nvme.command import NvmeCommand
 from repro.nvme.constants import PAGE_SIZE
 from repro.nvme.prp import build_prps
+from repro.nvme.queues import QueueFullError
 from repro.nvme.sgl import build_sgl
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -142,10 +145,51 @@ class InlineWriteCodec(HostCodec):
         res = driver.queue(qid)
         cmd.cid = driver._alloc_cid(res)
         cmd.cdw12 = len(data)
-        with res.sq.lock:
-            with driver.clock.span("drv.sq_submit"):
-                submit_with_inline_payload(res.sq, cmd, data, driver.clock,
-                                           driver.timing)
+        clock = driver.clock
+        timing = driver.timing
+        sq = res.sq
+        with sq.lock:
+            _start = clock.now
+            try:
+                # Inlined body of driver_ext.submit_with_inline_payload
+                # (the reference implementation, still exercised by its
+                # own tests): the engine path discards the SubmitRecord,
+                # so the per-op slot list and record allocation are
+                # skipped here.  Semantics and clock arithmetic are
+                # identical — same checks, same push/advance order.
+                n = len(data)
+                if not n:
+                    raise ValueError(
+                        "inline submission requires a non-empty payload")
+                if n <= CHUNK_SIZE:
+                    # Dominant case: one command + one chunk.
+                    if (sq.head - sq.tail - 1) % sq.depth < 2:
+                        raise QueueFullError(
+                            f"SQ{sq.qid}: need 2 slots for inline "
+                            f"submit, have {sq.space()}")
+                    make_inline_command(cmd, n)
+                    sq.push_raw(cmd.pack())
+                    clock.advance(timing.sqe_submit_ns)
+                    sq.push_raw(data if n == CHUNK_SIZE
+                                else data + b"\x00" * (CHUNK_SIZE - n))
+                    clock.advance(timing.chunk_submit_ns)
+                else:
+                    needed = 1 + chunk_count(n)
+                    if (sq.head - sq.tail - 1) % sq.depth < needed:
+                        raise QueueFullError(
+                            f"SQ{sq.qid}: need {needed} slots for inline "
+                            f"submit, have {sq.space()}")
+                    make_inline_command(cmd, n)
+                    sq.push_raw(cmd.pack())
+                    clock.advance(timing.sqe_submit_ns)
+                    chunks = split_payload(data)
+                    push = sq.push_raw
+                    for chunk in chunks:
+                        push(chunk)
+                    clock.advance_repeat(timing.chunk_submit_ns,
+                                         len(chunks))
+            finally:
+                clock.span_end("drv.sq_submit", _start)
             if ring:
                 driver._ring_sq_doorbell(res)
         return cmd.cid

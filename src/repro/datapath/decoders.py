@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.controller_ext import fetch_inline_payload
 from repro.datapath import names
 from repro.nvme.command import NvmeCommand
 from repro.nvme.constants import PAGE_SIZE, Psdt
@@ -192,8 +193,6 @@ class InlineDecoder(DeviceDecoder):
               shadow_tail: int,
               window: Optional["SqeWindow"] = None) -> bytes:
         """Fetch and validate the chunk run following the inline SQE."""
-        from repro.core.controller_ext import fetch_inline_payload
-
         return fetch_inline_payload(
             state, info, shadow_tail,
             ctrl.host_memory, ctrl.link, ctrl.clock, ctrl.timing,

@@ -29,6 +29,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from repro.core.chunking import chunk_count
+from repro.core.reassembly import tagged_chunk_count
+from repro.nvme.constants import BANDSLIM_FRAGMENT_CAPACITY
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.datapath.codecs import HostCodec
     from repro.datapath.decoders import DeviceDecoder
@@ -64,15 +68,10 @@ class DatapathCaps:
     def slots_needed(self, payload_len: int, tagged: bool = False) -> int:
         """Worst-case SQ slots one submission of *payload_len* occupies."""
         if self.inline:
-            from repro.core.chunking import chunk_count
-            from repro.core.reassembly import tagged_chunk_count
-
             if tagged or self.tag_reassembly:
                 return 1 + tagged_chunk_count(payload_len)
             return 1 + chunk_count(payload_len)
         if self.fragmented:
-            from repro.nvme.constants import BANDSLIM_FRAGMENT_CAPACITY
-
             cap = BANDSLIM_FRAGMENT_CAPACITY
             return max(1, (payload_len + cap - 1) // cap)
         return 1

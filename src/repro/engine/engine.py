@@ -93,6 +93,17 @@ class IoEngine:
         self.qids: List[int] = list(queues) if queues else list(driver.io_qids)
         for qid in self.qids:
             driver.queue(qid)  # validates existence
+        #: Largest footprint any queue can ever take (SQ depths are
+        #: fixed at creation), so saturation checks are one comparison.
+        self._max_slots = max(driver.queue(qid).sq.depth - 1
+                              for qid in self.qids)
+        #: Registry lookups memoised per method name — registration is
+        #: complete before an engine exists, and specs are frozen.
+        self._spec_cache: dict = {}
+        #: Slot footprints memoised per (method, payload length) — pure
+        #: function of the method's caps and the engine's tagged mode.
+        self._slots_cache: dict = {}
+        self._fits_cache: dict = {}
         self.qd = qd
         self.fetch_lanes = (fetch_lanes if fetch_lanes is not None
                             else ssd.config.fetch_lanes)
@@ -135,10 +146,14 @@ class IoEngine:
         Blocks (in simulated time) only under backpressure, reaping
         completions until the scheduler finds capacity.
         """
-        try:
-            spec = datapath_registry.resolve(method)
-        except datapath_registry.UnknownMethodError:
-            spec = None
+        spec = self._spec_cache.get(method)
+        if spec is None:
+            try:
+                spec = datapath_registry.resolve(method)
+            except datapath_registry.UnknownMethodError:
+                spec = None
+            else:
+                self._spec_cache[method] = spec
         if spec is None or not spec.caps.engine_capable:
             raise EngineError(
                 f"unknown engine method {method!r}; "
@@ -152,12 +167,13 @@ class IoEngine:
                 "bandslim requires the BandSlimDeviceLayer to be "
                 "registered on the controller")
         future = CommandFuture(stream=stream, payload_len=len(payload))
-        future.submit_ns = self.clock.now
+        now = self.clock.now
+        future.submit_ns = now
         entry = InFlightCommand(
             future=future, method=method, opcode=opcode, payload=payload,
             cdw10=cdw10, cdw11=cdw11, nsid=nsid, stream=stream,
-            first_submit_ns=self.clock.now,
-            deadline_ns=self.clock.now + self.driver.retry_policy.deadline_ns)
+            first_submit_ns=now,
+            deadline_ns=now + self.driver.retry_policy.deadline_ns)
         self.stats.submitted += 1
         self._dispatch(entry)
         return future
@@ -165,19 +181,29 @@ class IoEngine:
     def _slots_needed(self, entry: InFlightCommand) -> int:
         """SQ slots the submission occupies (worst case: inline path) —
         declared by the method's registry caps."""
-        spec = datapath_registry.resolve(entry.method)
+        spec = (self._spec_cache.get(entry.method)
+                or datapath_registry.resolve(entry.method))
         return spec.caps.slots_needed(len(entry.payload), tagged=self.tagged)
 
     def _dispatch(self, entry: InFlightCommand) -> None:
         """Place *entry* on a queue, reaping under backpressure."""
-        need = self._slots_needed(entry)
-        if not any(self.driver.queue(qid).sq.depth - 1 >= need
-                   for qid in self.qids):
+        key = (entry.method, len(entry.payload))
+        need = self._slots_cache.get(key)
+        if need is None:
+            if len(self._slots_cache) >= 65536:
+                self._slots_cache.clear()
+            need = self._slots_cache[key] = self._slots_needed(entry)
+        if need > self._max_slots:
             raise EngineSaturatedError(
                 f"submission needs {need} SQ slots; no queue is that deep")
 
-        def fits(qid: int) -> bool:
-            return self.driver.queue(qid).sq.space() >= need
+        # One fits-closure per distinct slot count (closures are pure
+        # functions of ``need``), instead of one allocation per dispatch.
+        fits = self._fits_cache.get(need)
+        if fits is None:
+            def fits(qid: int, _need: int = need) -> bool:
+                return self.driver.queue(qid).sq.space() >= _need
+            self._fits_cache[need] = fits
 
         guard = 0
         while True:
@@ -199,7 +225,8 @@ class IoEngine:
     def _submit_entry(self, entry: InFlightCommand, qid: int) -> None:
         """Drive one (re)submission through the driver, no doorbell."""
         method = entry.method
-        spec = datapath_registry.resolve(method)
+        spec = (self._spec_cache.get(method)
+                or datapath_registry.resolve(method))
         if ((spec.caps.inline or spec.caps.fragmented)
                 and not self.driver.breaker.allow_inline()):
             # Breaker open: this attempt rides the stock path instead.
@@ -214,8 +241,11 @@ class IoEngine:
         # The async submission API call itself (io_uring-style ioctl).
         self.clock.advance(self.timing.passthrough_ns)
 
-        cmd = NvmeCommand(opcode=entry.opcode, nsid=entry.nsid,
-                          cdw10=entry.cdw10, cdw11=entry.cdw11)
+        # Positional NvmeCommand construction (field order: opcode,
+        # flags, cid, nsid, cdw2, cdw3, mptr, prp1, prp2, cdw10, cdw11)
+        # — this allocation runs once per (re)submission.
+        cmd = NvmeCommand(entry.opcode, 0, 0, entry.nsid, 0, 0, 0, 0, 0,
+                          entry.cdw10, entry.cdw11)
         if spec.caps.fragmented:
             cid = self._submit_bandslim(entry, qid)
         elif spec.caps.inline:
@@ -226,13 +256,16 @@ class IoEngine:
                     ring=False, payload_id=pid)
                 entry.payload_id = pid
             else:
-                cid = self.driver.submit(spec, cmd, entry.payload, qid,
-                                         ring=False)
+                # Engine-capable specs always carry a host codec; calling
+                # it directly skips the driver.submit resolve layer.
+                cid = spec.host_codec.encode(self.driver, cmd,
+                                             entry.payload, qid, ring=False)
         else:
             # Single-SQE data-pointer path (PRP): every in-flight write
             # needs its own DMA buffer at QD>1.
-            cid = self.driver.submit(spec, cmd, entry.payload, qid,
-                                     ring=False, private_buffer=True)
+            cid = spec.host_codec.encode(self.driver, cmd, entry.payload,
+                                         qid, ring=False,
+                                         private_buffer=True)
         entry.key = (qid, cid)
         self.table.add(entry)
         self.scheduler.note_submit(qid)

@@ -64,6 +64,36 @@ class StreamSpec:
             raise LoadGenError("think time must be non-negative")
 
 
+#: Grow-only index ramp shared by every payload fill; 4 KB covers the
+#: default ``max_size``, larger requests regrow it once.
+_PAYLOAD_RAMP = np.arange(4096, dtype=np.int64)
+
+
+#: Payload memo: the fill depends only on ``base % 256`` and the size, so
+#: at most 256 distinct payloads exist per size class.
+_PAYLOAD_CACHE: dict = {}
+
+
+def _payload_bytes(base: int, size: int) -> bytes:
+    """Deterministic payload fill, ``(base + i) & 0xFF`` per byte.
+
+    Vectorized but byte-identical to the scalar generator expression it
+    replaced — golden fingerprints depend on the exact payload bytes.
+    """
+    global _PAYLOAD_RAMP
+    key = (base & 0xFF, size)
+    data = _PAYLOAD_CACHE.get(key)
+    if data is None:
+        if size > _PAYLOAD_RAMP.size:
+            _PAYLOAD_RAMP = np.arange(size, dtype=np.int64)
+        if len(_PAYLOAD_CACHE) >= 8192:
+            _PAYLOAD_CACHE.clear()
+        data = _PAYLOAD_CACHE[key] = (
+            ((base + _PAYLOAD_RAMP[:size]) & 0xFF)
+            .astype(np.uint8).tobytes())
+    return data
+
+
 def _draw_sizes(spec: StreamSpec, seed: int) -> np.ndarray:
     """Pre-draw every payload size for one stream, seeded per stream."""
     rng = make_rng(seed, f"loadgen.sizes.{spec.stream_id}")
@@ -214,8 +244,8 @@ class LoadGenerator:
         size = int(state.sizes[state.issued])
         offset = self._next_offset
         self._next_offset += PAGE_SIZE
-        payload = bytes((state.issued * 131 + spec.stream_id * 31 + i) & 0xFF
-                        for i in range(size))
+        payload = _payload_bytes(
+            state.issued * 131 + spec.stream_id * 31, size)
         future = self.engine.submit(
             payload, method=spec.method or self.method, opcode=self.opcode,
             cdw10=offset & 0xFFFFFFFF, stream=spec.stream_id)
@@ -228,11 +258,15 @@ class LoadGenerator:
         state.issued += 1
 
     def _harvest(self, state: _StreamState) -> int:
-        done = [f for f in state.outstanding if f.done]
-        if not done:
-            return 0
-        state.outstanding = [f for f in state.outstanding if not f.done]
-        for f in done:
+        # Single pass: ``f.done`` is a property, and this scan runs once
+        # per poll round per stream over every outstanding future.
+        harvested = 0
+        still: List[CommandFuture] = []
+        for f in state.outstanding:
+            if not f.done:
+                still.append(f)
+                continue
+            harvested += 1
             if f.ok:
                 state.ok += 1
                 state.latencies.append(f.latency_ns)
@@ -240,9 +274,12 @@ class LoadGenerator:
                 state.timeouts += 1
             else:
                 state.errors += 1
+        if not harvested:
+            return 0
+        state.outstanding = still
         if state.finished:
             state.end_ns = self.engine.clock.now
-        return len(done)
+        return harvested
 
     def run(self) -> LoadReport:
         """Run every stream to completion; returns the report."""

@@ -78,10 +78,18 @@ class CompletionReactor:
         """
         e = self.engine
         ctrl = e.ssd.controller
+        conc = e.clock._concurrency
+        fetch_lanes = e.fetch_lanes
         while ctrl.has_pending():
-            lanes = min(max(1, ctrl.active_queue_count()), e.fetch_lanes)
-            with e.clock.concurrent(lanes):
+            lanes = min(max(1, ctrl.active_queue_count()), fetch_lanes)
+            # Inlined clock.concurrent(lanes): lanes >= 1 by the max()
+            # above, so the scope's validation cannot fire; the push/pop
+            # pair is all that remains of the context manager.
+            conc.append(float(lanes))
+            try:
                 ctrl.poll_once()
+            finally:
+                conc.pop()
         # The device ran dry: flush coalesced completions before the
         # reap phase and, under shadow doorbells, publish the park
         # record so the host knows when a BAR wake becomes necessary.
@@ -93,8 +101,10 @@ class CompletionReactor:
     def reap_all(self) -> int:
         resolved = 0
         e = self.engine
-        for qid in e._order("reap", e.qids):
-            for cqe in e.driver.reap(qid):
+        qids = e.qids if e.schedule is None else e._order("reap", e.qids)
+        reap = e.driver.reap
+        for qid in qids:
+            for cqe in reap(qid):
                 resolved += self._on_cqe(qid, cqe)
         return resolved
 
@@ -136,13 +146,12 @@ class CompletionReactor:
         """Handle entries that survived a quiescent drive with no CQE."""
         e = self.engine
         stuck: List["InFlightCommand"] = e.table.entries()
-        e.stats.timeouts += len(stuck)
-        e.driver.timeouts += len(stuck)
-        for _ in stuck:
-            e.driver.link.counter.record_event(EVT_TIMEOUT)
         # First line of defence: republish every affected tail.  This is
         # idempotent and exactly recovers a dropped doorbell write — the
         # SQEs are in host memory, the device just never saw the tail.
+        # Entries the re-ring recovers were stalled, not timed out, so
+        # they are charged as ``re_rings`` only; timeouts are charged
+        # below, to the entries still tabled after the retried drive.
         for qid in sorted({entry.key[0] for entry in stuck}):
             e.driver.kick(qid)
             e.stats.re_rings += 1
@@ -150,9 +159,15 @@ class CompletionReactor:
         resolved = self.reap_all()
 
         # Whatever is still tabled lost its completion for good (dropped
-        # CQE): the command may or may not have executed, so abandon the
-        # CID and resubmit from scratch — writes are idempotent here.
-        for entry in e.table.entries():
+        # CQE): the command may or may not have executed, so charge the
+        # timeout, abandon the CID and resubmit from scratch — writes
+        # are idempotent here.
+        lost = e.table.entries()
+        e.stats.timeouts += len(lost)
+        e.driver.timeouts += len(lost)
+        if lost:
+            e.driver.link.counter.record_event(EVT_TIMEOUT, len(lost))
+        for entry in lost:
             e.table.pop(entry.key)
             e.scheduler.note_complete(entry.key[0])
             e.driver.retire(*entry.key)

@@ -94,13 +94,22 @@ class MultiQueueScheduler:
         # round_robin: first eligible queue after the rotation cursor;
         # the cursor advances past the chosen queue so consecutive picks
         # spread across the set even when all queues are eligible.
-        n = len(self.qids)
+        # (Eligibility is inlined from ``_eligible`` — this loop runs
+        # once per submission.)
+        qids = self.qids
+        inflight = self.inflight
+        cap = self.qd_cap
+        n = len(qids)
+        start = self._rr_next
         for i in range(n):
-            idx = (self._rr_next + i) % n
-            qid = self.qids[idx]
-            if self._eligible(qid, fits):
-                self._rr_next = (idx + 1) % n
-                return qid
+            idx = (start + i) % n
+            qid = qids[idx]
+            if inflight[qid] >= cap:
+                continue
+            if fits is not None and not fits(qid):
+                continue
+            self._rr_next = (idx + 1) % n
+            return qid
         self.rejections += 1
         return None
 

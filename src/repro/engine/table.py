@@ -87,7 +87,7 @@ class CommandFuture:
                 f"attempts={self.attempts})")
 
 
-@dataclass
+@dataclass(slots=True)
 class InFlightCommand:
     """One outstanding command plus everything needed to re-issue it."""
 

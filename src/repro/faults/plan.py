@@ -119,6 +119,9 @@ class FaultInjector:
     def __init__(self, plan: Optional[FaultPlan] = None,
                  counter=None) -> None:
         self.plan = plan if plan is not None and plan.active else None
+        #: Plain attribute, not a property: the fast paths consult this
+        #: on every opportunity and the plan is fixed at construction.
+        self.active = self.plan is not None
         self.counter = counter
         self.opportunities: Counter = Counter()
         self.injected: Counter = Counter()
@@ -127,10 +130,6 @@ class FaultInjector:
         if self.plan is not None:
             self._schedule = {k: frozenset(v)
                               for k, v in self.plan.schedule.items()}
-
-    @property
-    def active(self) -> bool:
-        return self.plan is not None
 
     @property
     def delay_cqe_ns(self) -> float:

@@ -60,6 +60,16 @@ class HostMemory:
 
     def write(self, addr: int, data: bytes) -> None:
         """Write *data* starting at *addr*, possibly spanning pages."""
+        in_page = addr & (PAGE_SIZE - 1)
+        if data and in_page + len(data) <= PAGE_SIZE:
+            # Single-frame access: the overwhelmingly common case (SQE
+            # slots, CQE slots, inline chunks all fit one page).
+            frame = self._frames.get(addr - in_page)
+            if frame is None:
+                raise MemoryError(
+                    f"access to unmapped host address {addr:#x}")
+            frame[in_page:in_page + len(data)] = data
+            return
         off = 0
         while off < len(data):
             base = (addr + off) & ~(PAGE_SIZE - 1)
@@ -71,6 +81,13 @@ class HostMemory:
 
     def read(self, addr: int, nbytes: int) -> bytes:
         """Read *nbytes* starting at *addr*, possibly spanning pages."""
+        in_page = addr & (PAGE_SIZE - 1)
+        if 0 < nbytes <= PAGE_SIZE - in_page:
+            frame = self._frames.get(addr - in_page)
+            if frame is None:
+                raise MemoryError(
+                    f"access to unmapped host address {addr:#x}")
+            return bytes(frame[in_page:in_page + nbytes])
         out = bytearray()
         off = 0
         while off < nbytes:

@@ -43,8 +43,13 @@ class LatencySummary:
         return cls(count=0, mean=0.0, p1=0.0, p50=0.0, p99=0.0,
                    minimum=0.0, maximum=0.0, p999=0.0)
 
-    #: Percentile ranks every summary reports, as interpolation fractions.
-    _QUANTILES = (0.01, 0.50, 0.99, 0.999)
+    #: Percentile ranks every summary reports.  Kept as ranks and divided
+    #: by 100 at use: ``np.percentile(arr, 99.9)`` divides internally, and
+    #: 99.9/100 is one ulp above the literal 0.999 — writing the fraction
+    #: directly shifts the virtual index enough to change the p99.9 lerp
+    #: on roughly half of all sample sets (worst at small n, where one
+    #: index ulp crosses a sample boundary).
+    _PCT_RANKS = (1.0, 50.0, 99.0, 99.9)
 
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
@@ -61,7 +66,7 @@ class LatencySummary:
         if arr.size == 0:
             raise NoSamplesError("cannot summarize an empty sample set")
         arr = np.sort(arr)
-        index = np.asarray(cls._QUANTILES) * (arr.size - 1)
+        index = (np.asarray(cls._PCT_RANKS) / 100.0) * (arr.size - 1)
         lo = arr[np.floor(index).astype(np.intp)]
         hi = arr[np.ceil(index).astype(np.intp)]
         frac = index - np.floor(index)

@@ -31,7 +31,7 @@ _SQE_STRUCT = struct.Struct("<BBH I I I Q Q Q 6I")
 assert _SQE_STRUCT.size == SQE_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class NvmeCommand:
     """One submission-queue entry, mutable until packed."""
 
@@ -56,13 +56,18 @@ class NvmeCommand:
     # ------------------------------------------------------------------
     def pack(self) -> bytes:
         """Serialise to the 64-byte wire format."""
-        self._validate()
-        return _SQE_STRUCT.pack(
-            self.opcode, self.flags, self.cid, self.nsid,
-            self.cdw2, self.cdw3, self.mptr, self.prp1, self.prp2,
-            self.cdw10, self.cdw11, self.cdw12,
-            self.cdw13, self.cdw14, self.cdw15,
-        )
+        try:
+            return _SQE_STRUCT.pack(
+                self.opcode, self.flags, self.cid, self.nsid,
+                self.cdw2, self.cdw3, self.mptr, self.prp1, self.prp2,
+                self.cdw10, self.cdw11, self.cdw12,
+                self.cdw13, self.cdw14, self.cdw15,
+            )
+        except struct.error:
+            # The struct formats enforce exactly the field widths; run the
+            # field-by-field check only on failure for its precise message.
+            self._validate()
+            raise
 
     @classmethod
     def unpack(cls, raw: bytes) -> "NvmeCommand":

@@ -31,7 +31,7 @@ assert _CQE_STRUCT.size == CQE_SIZE
 _DNR_BIT = 1 << 15
 
 
-@dataclass
+@dataclass(slots=True)
 class NvmeCompletion:
     """One completion-queue entry."""
 
@@ -59,9 +59,10 @@ class NvmeCompletion:
         if len(raw) != CQE_SIZE:
             raise ValueError(f"CQE must be {CQE_SIZE} bytes, got {len(raw)}")
         result, _rsvd, sq_head, sq_id, cid, dw3_hi = _CQE_STRUCT.unpack(raw)
-        return cls(result=result, sq_head=sq_head, sq_id=sq_id, cid=cid,
-                   phase=dw3_hi & 1, status=(dw3_hi >> 1) & 0x3FFF,
-                   dnr=bool(dw3_hi & _DNR_BIT))
+        # Positional construction: this sits on the host's CQ poll path.
+        return cls(result, sq_head, sq_id, cid,
+                   dw3_hi & 1, (dw3_hi >> 1) & 0x3FFF,
+                   bool(dw3_hi & _DNR_BIT))
 
     @property
     def ok(self) -> bool:

@@ -105,11 +105,12 @@ class SubmissionQueue:
             raise LockNotHeldError(f"SQ{self.qid} written without its lock")
         if len(entry) != SQE_SIZE:
             raise ValueError(f"SQ entries are {SQE_SIZE} bytes")
-        if self.is_full():
-            raise QueueFullError(f"SQ{self.qid} full (depth {self.depth})")
         slot = self.tail
-        self.memory.write(self.slot_addr(slot), entry)
-        self.tail = (self.tail + 1) % self.depth
+        depth = self.depth
+        if (self.head - slot - 1) % depth == 0:
+            raise QueueFullError(f"SQ{self.qid} full (depth {depth})")
+        self.memory.write(self.base_addr + (slot % depth) * SQE_SIZE, entry)
+        self.tail = (slot + 1) % depth
         return slot
 
     def ring_doorbell(self) -> int:
@@ -202,10 +203,11 @@ class CompletionQueue:
         only host-side signal that a new entry has landed.
         """
         raw = self.memory.read(self.slot_addr(self.head), CQE_SIZE)
-        cqe = NvmeCompletion.unpack(raw)
-        if cqe.phase != self.phase:
+        # Phase bit lives in bit 0 of DW3's high half-word (byte 14):
+        # check it on the raw bytes so an empty slot costs no CQE object.
+        if (raw[14] & 1) != self.phase:
             return None
-        return cqe
+        return NvmeCompletion.unpack(raw)
 
     def poll(self) -> Optional[NvmeCompletion]:
         """Consume the next completion if its phase bit matches; else None."""

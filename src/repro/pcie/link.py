@@ -14,6 +14,7 @@ serialisation + propagation.
 
 from __future__ import annotations
 
+from repro.faults.plan import CORRUPT_TLP, NULL_INJECTOR
 from repro.pcie import tlp as tlpmod
 from repro.pcie.tlp import TlpBatch
 from repro.pcie.traffic import EVT_TLP_REPLAY, TrafficCounter
@@ -37,14 +38,11 @@ class PCIeLink:
         self.timing = timing
         self.counter = counter if counter is not None else TrafficCounter()
         if injector is None:
-            from repro.faults.plan import NULL_INJECTOR
             injector = NULL_INJECTOR
         self.faults = injector
 
     def _replay_penalty_ns(self, category: str, batch: TlpBatch) -> float:
         """Charge a link-layer replay if a corrupt-TLP fault fires."""
-        from repro.faults.plan import CORRUPT_TLP
-
         if not self.faults.fire(CORRUPT_TLP):
             return 0.0
         self.counter.record(category, batch)  # the replayed copy
@@ -106,17 +104,27 @@ class PCIeLink:
         self.counter.record(category, batch)
         return self._one_way(batch.upstream_bytes)
 
-    def record_only(self, category: str, batch: TlpBatch) -> None:
-        """Account a pre-built batch without computing a latency.
+    def record_only(self, category: str, batch: TlpBatch,
+                    count: int = 1) -> None:
+        """Account *count* copies of a pre-built batch without a latency.
 
-        Still a corrupt-TLP opportunity: the replayed copy is recorded as
-        duplicate traffic (the caller owns the clock, so the latency
-        penalty is only charged on the timed ``device_read``/``device_write``
-        paths).
+        Each copy is still a corrupt-TLP opportunity: the replayed copy is
+        recorded as duplicate traffic (the caller owns the clock, so the
+        latency penalty is only charged on the timed
+        ``device_read``/``device_write`` paths).  With no fault plan armed
+        the opportunities are unobservable, so the whole run collapses to
+        one bulk totals update.
         """
-        from repro.faults.plan import CORRUPT_TLP
-
-        self.counter.record(category, batch)
-        if self.faults.fire(CORRUPT_TLP):
+        if not self.faults.active:
+            # Same arithmetic as ``counter.record_batch``, inlined: this
+            # pair sits on every hot-loop TLP record.
+            tot = self.counter._by_cat[category]
+            tot.downstream_bytes += batch.downstream_bytes * count
+            tot.upstream_bytes += batch.upstream_bytes * count
+            tot.tlp_count += batch.tlp_count * count
+            return
+        for _ in range(count):
             self.counter.record(category, batch)
-            self.counter.record_event(EVT_TLP_REPLAY)
+            if self.faults.fire(CORRUPT_TLP):
+                self.counter.record(category, batch)
+                self.counter.record_event(EVT_TLP_REPLAY)

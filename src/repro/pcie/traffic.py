@@ -68,10 +68,35 @@ class TrafficCounter:
         tot.upstream_bytes += batch.upstream_bytes
         tot.tlp_count += batch.tlp_count
 
+    def record_batch(self, category: str, batch: TlpBatch,
+                     count: int = 1) -> None:
+        """Account *count* identical batches with one totals update.
+
+        Byte counts are integers, so multiplying is exactly equivalent to
+        *count* scalar :meth:`record` calls — the batched hot loop uses
+        this to collapse per-chunk/per-CQE accounting into one update.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return
+        tot = self._by_cat[category]
+        tot.downstream_bytes += batch.downstream_bytes * count
+        tot.upstream_bytes += batch.upstream_bytes * count
+        tot.tlp_count += batch.tlp_count * count
+
     # -- protocol events (retries, fallbacks, fault injections) -------------
     def record_event(self, name: str, count: int = 1) -> None:
-        """Count a byteless protocol event (retry, fallback, fault)."""
-        self._events[name] += count
+        """Count a byteless protocol event (retry, fallback, fault).
+
+        A zero *count* is a no-op that does not materialise the event
+        key — bulk accounting of an empty batch must leave the same
+        telemetry as zero scalar calls.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count:
+            self._events[name] += count
 
     def event_count(self, name: str) -> int:
         return self._events.get(name, 0)

@@ -16,12 +16,11 @@ paper, which reports per-phase overheads.
 from __future__ import annotations
 
 import math
-from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, List, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """A named interval of simulated time."""
 
@@ -32,6 +31,47 @@ class Span:
     @property
     def duration_ns(self) -> float:
         return self.end_ns - self.start_ns
+
+
+class _SpanScope:
+    """Class-based context manager for :meth:`SimClock.span`.
+
+    The generator-based ``@contextmanager`` costs several function calls
+    and a generator frame per entry; spans sit on every hot-loop protocol
+    action, so this is one of the highest-traffic allocations in the
+    simulator.
+    """
+
+    __slots__ = ("_clock", "_name", "_start")
+
+    def __init__(self, clock: "SimClock", name: str) -> None:
+        self._clock = clock
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._start = self._clock.now
+
+    def __exit__(self, *exc) -> None:
+        clock = self._clock
+        clock._spans.append((self._name, self._start, clock.now))
+
+
+class _ConcurrencyScope:
+    """Class-based context manager for :meth:`SimClock.concurrent`."""
+
+    __slots__ = ("_clock", "_lanes")
+
+    def __init__(self, clock: "SimClock", lanes: float) -> None:
+        if lanes < 1:
+            raise ValueError(f"concurrency must be >= 1, got {lanes}")
+        self._clock = clock
+        self._lanes = float(lanes)
+
+    def __enter__(self) -> None:
+        self._clock._concurrency.append(self._lanes)
+
+    def __exit__(self, *exc) -> None:
+        self._clock._concurrency.pop()
 
 
 class SimClock:
@@ -48,15 +88,23 @@ class SimClock:
     Figure-6 benchmarks enable it to reproduce the paper's 1st–99th
     percentile error bars, which on real hardware come from exactly this
     kind of per-phase variance.
+
+    ``now`` is a plain attribute (read ~10 times per simulated I/O; a
+    property descriptor call was measurable).  Treat it as read-only:
+    only ``advance``/``advance_repeat``/``advance_to`` may move the
+    clock, and only forward.
     """
 
     def __init__(self, start_ns: float = 0.0, jitter: float = 0.0,
                  seed: int = 0x7157) -> None:
         if jitter < 0:
             raise ValueError("jitter must be non-negative")
-        self._now = float(start_ns)
-        self._spans: List[Span] = []
-        self._open: List[Tuple[str, float]] = []
+        #: Current simulated time in nanoseconds (read-only by convention).
+        self.now = float(start_ns)
+        #: Completed spans as (name, start_ns, end_ns) tuples — tuples,
+        #: not :class:`Span` objects, because span close-out sits on the
+        #: hot loop; :meth:`spans` materialises Span objects on demand.
+        self._spans: List[Tuple[str, float, float]] = []
         self._concurrency: List[float] = []
         self.jitter = jitter
         self._rng_state = seed & 0xFFFFFFFFFFFFFFFF or 1
@@ -70,11 +118,6 @@ class SimClock:
         self._rng_state = x & 0xFFFFFFFFFFFFFFFF or 1
         return ((x * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF) / 2**64
 
-    @property
-    def now(self) -> float:
-        """Current simulated time in nanoseconds."""
-        return self._now
-
     def advance(self, duration_ns: float) -> None:
         """Move the clock forward; negative durations are rejected."""
         if duration_ns < 0:
@@ -87,10 +130,33 @@ class SimClock:
             duration_ns *= math.exp(self.jitter * gaussian)
         if self._concurrency:
             duration_ns /= self._concurrency[-1]
-        self._now += duration_ns
+        self.now += duration_ns
 
-    @contextmanager
-    def concurrent(self, lanes: float) -> Iterator[None]:
+    def advance_repeat(self, duration_ns: float, count: int) -> None:
+        """Advance by *duration_ns*, *count* times.
+
+        Bit-identical to a loop of :meth:`advance` calls: the same
+        per-step floating-point additions happen in the same order (a
+        single ``advance(count * duration_ns)`` would change low-order
+        bits), and with jitter enabled each step still draws its own
+        perturbation so seeded RNG streams stay aligned.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if self.jitter:
+            for _ in range(count):
+                self.advance(duration_ns)
+            return
+        if duration_ns < 0:
+            raise ValueError(f"cannot advance clock by {duration_ns} ns")
+        step = (duration_ns / self._concurrency[-1] if self._concurrency
+                else duration_ns)
+        now = self.now
+        for _ in range(count):
+            now += step
+        self.now = now
+
+    def concurrent(self, lanes: float) -> "_ConcurrencyScope":
         """Scale advances inside the block by ``1/lanes``.
 
         Models *lanes* identical units progressing in parallel under
@@ -104,44 +170,39 @@ class SimClock:
         Nested regions are allowed; the innermost factor wins (the engine
         never nests them in practice).
         """
-        if lanes < 1:
-            raise ValueError(f"concurrency must be >= 1, got {lanes}")
-        self._concurrency.append(float(lanes))
-        try:
-            yield
-        finally:
-            self._concurrency.pop()
+        return _ConcurrencyScope(self, lanes)
 
     def advance_to(self, t_ns: float) -> None:
         """Jump forward to an absolute time; no-op if already past it."""
-        if t_ns > self._now:
-            self._now = t_ns
+        if t_ns > self.now:
+            self.now = t_ns
 
-    @contextmanager
-    def span(self, name: str) -> Iterator[None]:
+    def span(self, name: str) -> "_SpanScope":
         """Record the simulated time spent inside the block under *name*."""
-        self._open.append((name, self._now))
-        try:
-            yield
-        finally:
-            opened_name, start = self._open.pop()
-            self._spans.append(Span(opened_name, start, self._now))
+        return _SpanScope(self, name)
+
+    def span_end(self, name: str, start_ns: float) -> None:
+        """Append a completed span directly: the fast-path twin of
+        :meth:`span` for hot loops, paired with reading :attr:`now` at
+        the start of the region (use ``try/finally`` to match the
+        context manager's record-on-exception behaviour)."""
+        self._spans.append((name, start_ns, self.now))
 
     def spans(self, name: str = None) -> List[Span]:
         """All recorded spans, optionally filtered by name."""
         if name is None:
-            return list(self._spans)
-        return [s for s in self._spans if s.name == name]
+            return [Span(n, s, e) for n, s, e in self._spans]
+        return [Span(n, s, e) for n, s, e in self._spans if n == name]
 
     def span_totals(self) -> Dict[str, float]:
         """Total duration per span name."""
         totals: Dict[str, float] = {}
-        for s in self._spans:
-            totals[s.name] = totals.get(s.name, 0.0) + s.duration_ns
+        for name, start, end in self._spans:
+            totals[name] = totals.get(name, 0.0) + (end - start)
         return totals
 
     def reset_spans(self) -> None:
         self._spans.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"SimClock(now={self._now:.1f}ns, spans={len(self._spans)})"
+        return f"SimClock(now={self.now:.1f}ns, spans={len(self._spans)})"

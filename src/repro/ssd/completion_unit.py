@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.faults.plan import DELAY_CQE, DROP_CQE
 from repro.nvme.command import NvmeCommand
 from repro.nvme.completion import NvmeCompletion
 from repro.nvme.constants import CQE_SIZE, StatusCode
@@ -29,34 +30,42 @@ class CompletionUnit:
 
     def __init__(self, ctrl: "NvmeController") -> None:
         self.ctrl = ctrl
+        # Fixed-shape batches for the per-CQE posting path, built once.
+        self._cqe_batch = tlpmod.device_dma_write(CQE_SIZE, ctrl.link.config)
+        self._msix_batch = tlpmod.msix_interrupt(ctrl.link.config)
 
     def complete(self, qid: int, cmd: NvmeCommand,
                  result: CommandResult) -> None:
-        from repro.faults.plan import DELAY_CQE, DROP_CQE
-
         ctrl = self.ctrl
         if result.suppress_cqe:
             ctrl.commands_processed += 1
             return
-        with ctrl.clock.span("ctrl.completion"):
+        clock = ctrl.clock
+        link = ctrl.link
+        timing = ctrl.timing
+        _span_start = clock.now
+        try:
             state = ctrl._sqs[qid]
             cq = ctrl._cqs[ctrl._sq_cq[qid]]
             dnr = result.status != StatusCode.SUCCESS and not result.retryable
-            cqe = NvmeCompletion(result=result.result, sq_head=state.head,
-                                 sq_id=qid, cid=cmd.cid,
-                                 status=result.status, dnr=dnr)
+            cqe = NvmeCompletion(result.result, state.head, qid, cmd.cid,
+                                 0, result.status, dnr)
             # CQE faults target the I/O path: a lost *admin* completion
             # has no in-band recovery (real drivers escalate to a
-            # controller reset), so bring-up is exempt.
-            if qid != 0 and ctrl.faults.fire(DELAY_CQE):
-                ctrl.clock.advance(ctrl.faults.delay_cqe_ns)
-            if qid != 0 and ctrl.faults.fire(DROP_CQE):
-                # The CQE write (or its MSI-X) is lost: the command ran,
-                # but the host learns nothing and must time out + retry.
-                ctrl.dropped_cqes += 1
-                ctrl.clock.advance(ctrl.timing.completion_post_ns)
-                ctrl.commands_processed += 1
-                return
+            # controller reset), so bring-up is exempt.  (``fire`` is a
+            # no-op without a plan, so the ``active`` gate is pure
+            # fast-path: opportunity streams only exist when armed.)
+            if qid != 0 and ctrl.faults.active:
+                if ctrl.faults.fire(DELAY_CQE):
+                    clock.advance(ctrl.faults.delay_cqe_ns)
+                if ctrl.faults.fire(DROP_CQE):
+                    # The CQE write (or its MSI-X) is lost: the command
+                    # ran, but the host learns nothing and must time out
+                    # + retry.
+                    ctrl.dropped_cqes += 1
+                    clock.advance(timing.completion_post_ns)
+                    ctrl.commands_processed += 1
+                    return
             cq.post(cqe, ctrl.host_memory)
             if ctrl.config.cq_coalesce > 1 and qid != ADMIN_QID:
                 # Coalesced posting: the CQE text is staged (functional
@@ -64,16 +73,15 @@ class CompletionUnit:
                 # DMA write and MSI-X are batched — one of each per
                 # ``cq_coalesce`` completions, or at quiescence.
                 ctrl._coalesced[cq.qid] = ctrl._coalesced.get(cq.qid, 0) + 1
-                ctrl.clock.advance(ctrl.timing.cqe_coalesce_ns)
+                clock.advance(timing.cqe_coalesce_ns)
                 if ctrl._coalesced[cq.qid] >= ctrl.config.cq_coalesce:
                     self.flush_cq(cq.qid)
             else:
-                ctrl.link.record_only(
-                    CAT_CQE,
-                    tlpmod.device_dma_write(CQE_SIZE, ctrl.link.config))
-                ctrl.link.record_only(CAT_MSIX,
-                                      tlpmod.msix_interrupt(ctrl.link.config))
-                ctrl.clock.advance(ctrl.timing.completion_post_ns)
+                link.record_only(CAT_CQE, self._cqe_batch)
+                link.record_only(CAT_MSIX, self._msix_batch)
+                clock.advance(timing.completion_post_ns)
+        finally:
+            clock.span_end("ctrl.completion", _span_start)
         ctrl.commands_processed += 1
 
     def flush_cq(self, cq_qid: int) -> None:
@@ -86,8 +94,7 @@ class CompletionUnit:
             ctrl.link.record_only(
                 CAT_CQE,
                 tlpmod.device_dma_write(count * CQE_SIZE, ctrl.link.config))
-            ctrl.link.record_only(CAT_MSIX,
-                                  tlpmod.msix_interrupt(ctrl.link.config))
+            ctrl.link.record_only(CAT_MSIX, self._msix_batch)
             ctrl.clock.advance(ctrl.timing.completion_post_ns)
         ctrl.cqe_flushes += 1
 

@@ -28,7 +28,7 @@ MODE_TAGGED = "tagged"
 ADMIN_QID = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class CommandContext:
     """Everything an opcode handler sees for one command."""
 
@@ -42,7 +42,7 @@ class CommandContext:
     transport: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CommandResult:
     """Handler outcome."""
 
@@ -81,12 +81,15 @@ class DeviceCqState:
         return (self.tail + 1) % self.depth == self.host_head
 
     def post(self, cqe: NvmeCompletion, memory: HostMemory) -> None:
-        if self.is_full():
+        # is_full()/slot_addr() inlined: one CQE lands here per command.
+        tail = self.tail
+        depth = self.depth
+        if (tail + 1) % depth == self.host_head:
             raise CqOverrunError(f"CQ{self.qid} overrun")
         cqe.phase = self.phase
-        memory.write(self.slot_addr(self.tail), cqe.pack())
-        self.tail = (self.tail + 1) % self.depth
-        if self.tail == 0:
+        memory.write(self.base_addr + (tail % depth) * CQE_SIZE, cqe.pack())
+        self.tail = tail = (tail + 1) % depth
+        if tail == 0:
             self.phase ^= 1
 
 

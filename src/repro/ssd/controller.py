@@ -348,9 +348,13 @@ class NvmeController:
             self._peek_shadow()
         if self._shadow_stale:
             return True
-        return any(self._pending_on(qid) > 0
-                   or self._pending_chunks.get(qid, 0) > 0
-                   for qid in self._sqs)
+        tails = self._sq_tails
+        chunks = self._pending_chunks
+        for qid, state in self._sqs.items():
+            if ((tails[qid] - state.head) % state.depth
+                    or chunks.get(qid, 0)):
+                return True
+        return False
 
     def active_queue_count(self) -> int:
         """Queues with doorbell'd work the next sweep would service.
@@ -360,9 +364,14 @@ class NvmeController:
         """
         if self._shadow is not None and self._shadow_stale:
             self._sync_shadow()
-        return sum(1 for qid in self._sqs
-                   if self._pending_on(qid) > 0
-                   or self._pending_chunks.get(qid, 0) > 0)
+        tails = self._sq_tails
+        chunks = self._pending_chunks
+        count = 0
+        for qid, state in self._sqs.items():
+            if ((tails[qid] - state.head) % state.depth
+                    or chunks.get(qid, 0)):
+                count += 1
+        return count
 
     def supports(self, opcode: int) -> bool:
         """Is firmware registered for *opcode*?  (Feature probing for
@@ -406,20 +415,27 @@ class NvmeController:
         if not order:
             return 0
         start = self._rr_next
-        for i in range(len(order)):
-            idx = (start + i) % len(order)
+        nqueues = len(order)
+        tagged = self.mode == MODE_TAGGED
+        tails = self._sq_tails
+        sqs = self._sqs
+        log = self.service_log
+        fetch = self.fetch
+        for i in range(nqueues):
+            idx = (start + i) % nqueues
             qid = order[idx]
-            if self.mode == MODE_TAGGED and self._pending_chunks.get(qid, 0):
-                self._fetch_tagged_chunk(qid)
+            if tagged and self._pending_chunks.get(qid, 0):
+                fetch.fetch_tagged_chunk(qid)
                 serviced = 1
-            elif self._pending_on(qid) > 0:
-                serviced = self._service_queue(qid)
             else:
-                continue
+                state = sqs[qid]
+                if (tails[qid] - state.head) % state.depth == 0:
+                    continue
+                serviced = fetch.service_queue(qid)
             done += serviced
-            self._rr_next = (idx + 1) % len(order)
-            if self.service_log is not None:
-                self.service_log.extend([qid] * serviced)
+            self._rr_next = (idx + 1) % nqueues
+            if log is not None:
+                log.extend([qid] * serviced)
         if done:
             self._busy_since_park = True
         return done

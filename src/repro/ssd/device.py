@@ -109,6 +109,17 @@ class BlockSsdPersonality:
         return CommandResult()
 
     def _write_functional(self, offset: int, data: bytes) -> None:
+        in_page = offset % PAGE_SIZE
+        if data and in_page + len(data) <= PAGE_SIZE:
+            # Fast path: the write lands in a single page.  (``get`` +
+            # explicit insert, not ``setdefault`` — the latter would
+            # allocate a fresh 4 KB default on every call.)
+            lpn = offset // PAGE_SIZE
+            page = self._pages.get(lpn)
+            if page is None:
+                page = self._pages[lpn] = bytearray(PAGE_SIZE)
+            page[in_page:in_page + len(data)] = data
+            return
         for lpn, start, piece in self._split_pages(offset, data):
             page = self._pages.setdefault(lpn, bytearray(PAGE_SIZE))
             page[start:start + len(piece)] = piece

@@ -19,8 +19,10 @@ from repro.core.controller_ext import (
     DeviceSqState,
     InlineFetchError,
     SqeWindow,
+    fetch_inline_payload,
 )
 from repro.core.inline_command import InlineEncodingError, inspect_command
+from repro.faults.plan import CORRUPT_INLINE_LENGTH
 from repro.core.reassembly import ReassemblyError, parse_tagged, tagged_chunk_count
 from repro.datapath.decoders import INLINE_DECODER
 from repro.host.shadow import SLOT_SIZE
@@ -46,6 +48,10 @@ class FetchUnit:
 
     def __init__(self, ctrl: "NvmeController") -> None:
         self.ctrl = ctrl
+        # The single-SQE fetch shape never changes; build its TLP batch
+        # once instead of per command.
+        self._sqe_fetch_batch = tlpmod.device_dma_read(SQE_SIZE,
+                                                       ctrl.link.config)
 
     # ------------------------------------------------------------------
     # shadow doorbells (DBBUF): device-side poll / sync
@@ -162,7 +168,13 @@ class FetchUnit:
         on — every command whose SQE landed in one burst window.
         Returns the number of commands serviced."""
         ctrl = self.ctrl
-        window = self.burst_fetch(qid)
+        # Cheap guard first: ``burst_fetch`` re-checks, but skipping its
+        # whole frame matters when burst mode is off (the common case).
+        if (ctrl.config.burst_limit <= 1 or qid == ADMIN_QID
+                or ctrl.mode != MODE_QUEUE_LOCAL):
+            window = None
+        else:
+            window = self.burst_fetch(qid)
         if window is None:
             self.fetch_and_execute(qid)
             return 1
@@ -210,26 +222,29 @@ class FetchUnit:
 
     def fetch_and_execute(self, qid: int,
                           window: Optional[SqeWindow] = None) -> None:
-        from repro.faults.plan import CORRUPT_INLINE_LENGTH
-
         ctrl = self.ctrl
         state = ctrl._sqs[qid]
-        with ctrl.clock.span("ctrl.sq_fetch"):
+        clock = ctrl.clock
+        timing = ctrl.timing
+        _span_start = clock.now
+        try:
             raw = window.take(state.head) if window is not None else None
             if raw is not None:
                 # Burst-prefetched: already on-die, decode cost only.
                 state.advance()
-                ctrl.clock.advance(ctrl.timing.burst_sqe_logic_ns)
+                clock.advance(timing.burst_sqe_logic_ns)
             else:
-                ctrl.clock.advance(ctrl.timing.doorbell_poll_ns)
-                raw = self.fetch_sqe(state)
-                ctrl.link.record_only(
-                    CAT_CMD_FETCH,
-                    tlpmod.device_dma_read(SQE_SIZE, ctrl.link.config))
-                ctrl.clock.advance(ctrl.timing.cmd_fetch_logic_ns)
+                clock.advance(timing.doorbell_poll_ns)
+                # fetch_sqe inlined: 64 B DMA read at the device head.
+                raw = ctrl.host_memory.read(state.slot_addr(state.head),
+                                            SQE_SIZE)
+                state.advance()
+                ctrl.link.record_only(CAT_CMD_FETCH, self._sqe_fetch_batch)
+                clock.advance(timing.cmd_fetch_logic_ns)
             cmd = NvmeCommand.unpack(raw)
 
-            if cmd.inline_length and ctrl.faults.fire(CORRUPT_INLINE_LENGTH):
+            if (cmd.inline_length and ctrl.faults.active
+                    and ctrl.faults.fire(CORRUPT_INLINE_LENGTH)):
                 # The reserved field arrived bit-flipped: the decode below
                 # must detect it and fail the command, never mis-fetch.
                 cmd.cdw2 = ctrl.faults.corrupt_length(cmd.cdw2)
@@ -255,11 +270,15 @@ class FetchUnit:
                 self.begin_tagged(qid, cmd, info.payload_len)
                 return
 
-            ctx = CommandContext(cmd=cmd, qid=qid)
+            ctx = CommandContext(cmd, qid)
             if info.is_inline:
                 try:
-                    ctx.data = INLINE_DECODER.fetch(
-                        ctrl, state, info, ctrl._sq_tails[qid], window=window)
+                    # Direct call into the decoder's implementation
+                    # (``INLINE_DECODER.fetch`` is a thin wrapper).
+                    ctx.data = fetch_inline_payload(
+                        state, info, ctrl._sq_tails[qid],
+                        ctrl.host_memory, ctrl.link, clock, timing,
+                        injector=ctrl.faults, window=window)
                     ctx.transport = INLINE_DECODER.transport
                     ctrl.inline_payloads += 1
                 except ChunkCorruptionError:
@@ -274,6 +293,8 @@ class FetchUnit:
                     ctrl._complete(qid, cmd, CommandResult(
                         StatusCode.INVALID_FIELD, retryable=True))
                     return
+        finally:
+            clock.span_end("ctrl.sq_fetch", _span_start)
 
         ctrl._transfer_and_dispatch(qid, ctx)
 
@@ -301,9 +322,7 @@ class FetchUnit:
             return
         with ctrl.clock.span("ctrl.sq_fetch"):
             raw = self.fetch_sqe(state)
-            ctrl.link.record_only(
-                CAT_INLINE_CHUNK,
-                tlpmod.device_dma_read(SQE_SIZE, ctrl.link.config))
+            ctrl.link.record_only(CAT_INLINE_CHUNK, self._sqe_fetch_batch)
             ctrl.clock.advance(ctrl.timing.chunk_fetch_ns)
         ctrl._pending_chunks[qid] -= 1
         try:

@@ -1,0 +1,155 @@
+"""Equivalence suite for the batched hot loop.
+
+The tentpole batching work is only legal because every bulk path is
+*algebraically* identical to the per-op path it replaces:
+
+* ``TrafficCounter.record_batch(cat, batch, n)`` must equal n scalar
+  ``record`` calls — byte and TLP totals are integers, so multiplication
+  is exact (pinned here with hypothesis over arbitrary interleavings);
+* ``record_event(name, n)`` must equal n scalar events;
+* the batched reactor (fault-free fast paths) must resolve the same
+  future set, observing the same per-queue CQE order, as the verbatim
+  per-op loop — which still exists and is taken whenever a fault plan is
+  armed.  Arming a plan with rate 0.0 forces the per-op code without
+  injecting anything, giving a functionally identical reference run; the
+  schedule explorer then checks the agreement holds across legal service
+  interleavings, not just the default one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.reactor import CompletionReactor
+from repro.faults.plan import CORRUPT_CHUNK, FaultPlan
+from repro.pcie.tlp import (
+    device_dma_read,
+    device_dma_write,
+    host_mmio_write,
+    msix_interrupt,
+)
+from repro.pcie.traffic import TrafficCounter
+from repro.sim.config import LinkConfig
+from repro.testbed import make_engine_testbed
+from repro.verify.explore import explore_schedules
+
+_LINK = LinkConfig()
+
+#: Representative protocol-action batches (doorbell, fetch, CQE, IRQ).
+_BATCHES = (
+    host_mmio_write(4, _LINK),
+    device_dma_read(64, _LINK),
+    device_dma_write(16, _LINK),
+    msix_interrupt(_LINK),
+)
+
+_op = st.tuples(st.sampled_from(("doorbell", "cmd_fetch", "cqe", "msix")),
+                st.integers(min_value=0, max_value=len(_BATCHES) - 1),
+                st.integers(min_value=0, max_value=200))
+
+
+def _totals(tc: TrafficCounter):
+    return (tc.breakdown(), tc.tlp_breakdown(),
+            tc.downstream_bytes, tc.upstream_bytes, tc.total_bytes)
+
+
+@given(st.lists(_op, max_size=40))
+@settings(max_examples=200)
+def test_record_batch_equals_n_scalar_records(ops):
+    """Any interleaving of bulk updates across categories matches the
+    same interleaving expanded into scalar ``record`` calls."""
+    bulk, scalar = TrafficCounter(), TrafficCounter()
+    for cat, batch_idx, count in ops:
+        batch = _BATCHES[batch_idx]
+        bulk.record_batch(cat, batch, count)
+        for _ in range(count):
+            scalar.record(cat, batch)
+    assert _totals(bulk) == _totals(scalar)
+
+
+@given(st.lists(st.tuples(st.sampled_from(("timeout", "retry", "x")),
+                          st.integers(min_value=0, max_value=50)),
+                max_size=30))
+@settings(max_examples=100)
+def test_bulk_events_equal_n_scalar_events(ops):
+    bulk, scalar = TrafficCounter(), TrafficCounter()
+    for name, count in ops:
+        bulk.record_event(name, count)
+        for _ in range(count):
+            scalar.record_event(name)
+    assert bulk.events() == scalar.events()
+
+
+def test_record_batch_zero_is_a_no_op_and_negative_rejected():
+    tc = TrafficCounter()
+    tc.record_batch("doorbell", _BATCHES[0], 0)
+    assert tc.total_bytes == 0 and tc.tlp_count == 0
+    try:
+        tc.record_batch("doorbell", _BATCHES[0], -1)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("negative count must be rejected")
+
+
+# ---------------------------------------------------------------------
+# batched reactor vs the verbatim per-op loop
+# ---------------------------------------------------------------------
+
+QUEUES = 2
+QD = 4
+OPS = 24
+
+#: Active (forces every per-op fault-opportunity path) but fires nothing,
+#: so the run is functionally identical to the fault-free fast path.
+_NEVER_FIRES = FaultPlan(rates={CORRUPT_CHUNK: 0.0})
+
+
+def _run_workload(engine):
+    """Submit a fixed op mix, recording per-queue CQE observation order."""
+    cqe_order = {qid: [] for qid in engine.qids}
+    reactor = engine.reactor
+    orig_on_cqe = CompletionReactor._on_cqe
+
+    def spy(self, qid, cqe):
+        cqe_order[qid].append(cqe.cid)
+        return orig_on_cqe(self, qid, cqe)
+
+    reactor._on_cqe = spy.__get__(reactor)
+    futs = [engine.submit(bytes([i % 251 + 1]) * 64, cdw10=i * 4096)
+            for i in range(OPS)]
+    engine.drain()
+    facts = {f"op{i}.ok": fut.ok for i, fut in enumerate(futs)}
+    for qid, cids in cqe_order.items():
+        facts[f"q{qid}.cqe_order"] = tuple(cids)
+    facts["completed"] = engine.stats.completed
+    facts["failed"] = engine.stats.failed
+    return facts
+
+
+def _capture(fault_plan):
+    tb = make_engine_testbed(queues=QUEUES, fault_plan=fault_plan)
+    if fault_plan is None:
+        tb = tb.unmonitor()
+    engine = tb.make_engine(queues=QUEUES, qd=QD)
+    return _run_workload(engine)
+
+
+def test_batched_reactor_matches_per_op_loop():
+    """Fast-path run ≡ forced per-op run: same futures, same per-queue
+    CQE order, same completion stats."""
+    assert _capture(None) == _capture(_NEVER_FIRES)
+
+
+def test_batched_reactor_matches_per_op_loop_under_explorer():
+    """The agreement must hold for every legal service interleaving: the
+    per-op reference (armed, never-firing plan) is the baseline; the
+    batched fast path is explored across schedule seeds against it."""
+    baseline = _capture(_NEVER_FIRES)
+
+    def build():
+        tb = make_engine_testbed(queues=QUEUES).unmonitor()
+        return tb.make_engine(queues=QUEUES, qd=QD)
+
+    result = explore_schedules(build, _run_workload, seeds=range(4),
+                               baseline=baseline)
+    assert result.ok, result.describe()

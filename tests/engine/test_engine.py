@@ -150,8 +150,10 @@ def test_dropped_doorbell_recovered_by_re_ring():
     eng.drain()
     assert all(f.ok for f in futs)
     assert eng.stats.re_rings >= 1
-    assert eng.stats.timeouts >= 1
-    assert tb.traffic.event_count(EVT_TIMEOUT) >= 1
+    # The re-ring fully recovers a lost tail write: the commands were
+    # only stalled, never timed out, so no timeout may be charged.
+    assert eng.stats.timeouts == 0
+    assert tb.traffic.event_count(EVT_TIMEOUT) == 0
     # re-ring suffices: no resubmission needed for a lost tail update
     assert all(f.attempts == 1 for f in futs)
 

@@ -1,0 +1,64 @@
+"""Regression: recovery stats must distinguish stalls from timeouts.
+
+A dropped doorbell stalls every entry behind the lost tail write; the
+reactor's idempotent re-ring recovers all of them without any command
+ever losing a completion.  The old accounting charged a timeout to every
+tabled entry *before* attempting the re-ring, so one dropped tail write
+on a deep queue inflated ``stats.timeouts`` (and ``driver.timeouts`` and
+the ``EVT_TIMEOUT`` event) by the whole in-flight table.  Only entries
+still tabled after the re-ring + retried drive — i.e. entries whose CQE
+is genuinely lost — may be charged a timeout.
+"""
+
+from repro.faults.plan import DROP_CQE, DROP_DOORBELL, FaultPlan
+from repro.pcie.traffic import EVT_RETRY, EVT_TIMEOUT
+from repro.testbed import make_engine_testbed
+
+
+def _rig(queues, fault_plan, qd):
+    tb = make_engine_testbed(queues=queues, fault_plan=fault_plan)
+    return tb, tb.make_engine(queues=queues, qd=qd)
+
+
+def _bringup_opportunities(kind, queues):
+    """Opportunities of *kind* consumed by controller bring-up; the next
+    index targets the first I/O-phase opportunity."""
+    probe_plan = FaultPlan.scheduled({kind: [10 ** 9]})
+    probe = make_engine_testbed(queues=queues, fault_plan=probe_plan)
+    return probe.ssd.faults.opportunities[kind]
+
+
+def test_dropped_doorbell_charges_re_rings_not_timeouts():
+    """One lost tail write on a deep queue: every op recovers via the
+    re-ring, so zero timeouts anywhere — not one per tabled entry."""
+    first_io = _bringup_opportunities(DROP_DOORBELL, queues=2)
+    plan = FaultPlan.scheduled({DROP_DOORBELL: [first_io]})
+    tb, eng = _rig(queues=2, fault_plan=plan, qd=4)
+    futs = [eng.submit(b"t" * 64, cdw10=i * 4096) for i in range(8)]
+    eng.drain()
+    assert all(f.ok for f in futs)
+    assert all(f.attempts == 1 for f in futs)
+
+    assert eng.stats.re_rings >= 1
+    assert eng.stats.timeouts == 0
+    assert eng.driver.timeouts == 0
+    assert tb.traffic.event_count(EVT_TIMEOUT) == 0
+    # Nothing was resubmitted either: re-ring alone recovered the queue.
+    assert eng.stats.retries == 0
+
+
+def test_dropped_cqe_still_charges_exactly_the_lost_entry():
+    """A genuinely lost completion: exactly one timeout is charged (the
+    entry whose CQE vanished), and it is recovered by resubmission."""
+    plan = FaultPlan.scheduled({DROP_CQE: [2]})
+    tb, eng = _rig(queues=2, fault_plan=plan, qd=4)
+    futs = [eng.submit(bytes([i]) * 64, cdw10=i * 4096) for i in range(8)]
+    eng.drain()
+    assert all(f.ok for f in futs)
+
+    assert eng.stats.timeouts == 1
+    assert eng.driver.timeouts == 1
+    assert tb.traffic.event_count(EVT_TIMEOUT) == 1
+    assert eng.stats.retries >= 1
+    assert tb.traffic.event_count(EVT_RETRY) >= 1
+    assert max(f.attempts for f in futs) == 2

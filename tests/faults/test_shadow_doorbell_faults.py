@@ -109,7 +109,9 @@ def test_engine_recovers_dropped_shadow_store_at_depth():
     eng.drain()
     assert all(f.ok for f in futs)
     assert eng.stats.re_rings >= 1
-    assert eng.stats.timeouts >= 1
+    # The re-ring fully recovered the stalled commands; the reactor
+    # must not charge them as timeouts (they never lost a CQE).
+    assert eng.stats.timeouts == 0
     # re-ring suffices: no resubmission needed for a lost tail update
     assert all(f.attempts == 1 for f in futs)
 

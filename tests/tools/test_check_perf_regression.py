@@ -1,0 +1,200 @@
+"""Regression tests for the CI perf guard (``check_perf_regression.py``).
+
+The guard's failure modes matter as much as its pass mode: a deleted or
+corrupted baseline must exit with the distinct *bad-input* status (3),
+never look like a clean pass (0) or an ordinary regression (1) that
+someone might re-baseline away.  These tests drive the script through
+its ``main()`` entry point exactly as CI does.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+_SCRIPT = (pathlib.Path(__file__).resolve().parents[2]
+           / "benchmarks" / "check_perf_regression.py")
+
+_spec = importlib.util.spec_from_file_location("check_perf_regression",
+                                               _SCRIPT)
+assert _spec is not None and _spec.loader is not None
+guard = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(guard)
+
+
+def _cell(**overrides) -> dict:
+    cell = {
+        "method": "byteexpress",
+        "doorbell": "mmio",
+        "burst": 4,
+        "kiops": 750.0,
+        "tlps_per_op": {"doorbell": 0.25, "cmd_fetch": 2.0, "cqe": 1.0},
+    }
+    cell.update(overrides)
+    return cell
+
+
+def _write(tmp_path: pathlib.Path, name: str, cells) -> str:
+    p = tmp_path / name
+    p.write_text(json.dumps({"cells": cells}))
+    return str(p)
+
+
+def _run(baseline: str, fresh: str) -> int:
+    return guard.main(["check_perf_regression.py", baseline, fresh])
+
+
+# ----------------------------------------------------------------------
+# exit 0 / exit 2
+# ----------------------------------------------------------------------
+
+def test_identical_results_pass(tmp_path):
+    base = _write(tmp_path, "base.json", [_cell()])
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    assert _run(base, fresh) == guard.EXIT_OK
+
+
+def test_within_tolerance_passes(tmp_path):
+    base = _write(tmp_path, "base.json", [_cell(kiops=750.0)])
+    fresh = _write(tmp_path, "fresh.json",
+                   [_cell(kiops=750.0 * (1.0 - guard.TOLERANCE) + 1.0)])
+    assert _run(base, fresh) == guard.EXIT_OK
+
+
+def test_usage_error_is_exit_2():
+    assert guard.main(["check_perf_regression.py"]) == guard.EXIT_USAGE
+    assert guard.main(["check_perf_regression.py", "one"]) == guard.EXIT_USAGE
+    assert guard.main(["prog", "a", "b", "c"]) == guard.EXIT_USAGE
+
+
+# ----------------------------------------------------------------------
+# exit 3: missing / malformed input must be loud and distinct
+# ----------------------------------------------------------------------
+
+def test_missing_baseline_is_exit_3(tmp_path, capsys):
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    rc = _run(str(tmp_path / "nope.json"), fresh)
+    assert rc == guard.EXIT_BAD_INPUT
+    err = capsys.readouterr().err
+    assert "PERF GUARD CANNOT RUN" in err
+    assert "does not exist" in err
+
+
+def test_missing_fresh_results_is_exit_3(tmp_path):
+    base = _write(tmp_path, "base.json", [_cell()])
+    assert _run(base, str(tmp_path / "nope.json")) == guard.EXIT_BAD_INPUT
+
+
+def test_invalid_json_is_exit_3(tmp_path, capsys):
+    bad = tmp_path / "trunc.json"
+    bad.write_text('{"cells": [{"method": "byteexp')  # truncated upload
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    assert _run(str(bad), fresh) == guard.EXIT_BAD_INPUT
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_missing_cells_key_is_exit_3(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"rows": [_cell()]}))
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    assert _run(str(bad), fresh) == guard.EXIT_BAD_INPUT
+
+
+def test_empty_cells_is_exit_3(tmp_path):
+    base = _write(tmp_path, "base.json", [])
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    assert _run(base, fresh) == guard.EXIT_BAD_INPUT
+
+
+def test_cell_missing_required_key_is_exit_3(tmp_path, capsys):
+    cell = _cell()
+    del cell["kiops"]
+    base = _write(tmp_path, "base.json", [cell])
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    assert _run(base, fresh) == guard.EXIT_BAD_INPUT
+    assert "kiops" in capsys.readouterr().err
+
+
+def test_cell_mistyped_key_is_exit_3(tmp_path):
+    base = _write(tmp_path, "base.json", [_cell(kiops="fast")])
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    assert _run(base, fresh) == guard.EXIT_BAD_INPUT
+
+
+def test_non_numeric_wall_clock_is_exit_3(tmp_path):
+    base = _write(tmp_path, "base.json",
+                  [_cell(wall_clock_ops_per_sec="quick")])
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    assert _run(base, fresh) == guard.EXIT_BAD_INPUT
+
+
+def test_bad_input_never_reports_clean_pass(tmp_path, capsys):
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    rc = _run(str(tmp_path / "gone.json"), fresh)
+    out = capsys.readouterr().out
+    assert rc not in (guard.EXIT_OK, guard.EXIT_REGRESSION)
+    assert "within" not in out  # no "cells within tolerance" banner
+
+
+# ----------------------------------------------------------------------
+# exit 1: genuine regressions
+# ----------------------------------------------------------------------
+
+def test_kiops_drop_beyond_tolerance_fails(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", [_cell(kiops=750.0)])
+    fresh = _write(tmp_path, "fresh.json",
+                   [_cell(kiops=750.0 * (1.0 - guard.TOLERANCE) - 1.0)])
+    assert _run(base, fresh) == guard.EXIT_REGRESSION
+    assert "kiops" in capsys.readouterr().err
+
+
+def test_guarded_tlp_growth_fails(tmp_path, capsys):
+    grown = _cell()
+    grown["tlps_per_op"] = dict(grown["tlps_per_op"], cmd_fetch=3.5)
+    base = _write(tmp_path, "base.json", [_cell()])
+    fresh = _write(tmp_path, "fresh.json", [grown])
+    assert _run(base, fresh) == guard.EXIT_REGRESSION
+    assert "cmd_fetch" in capsys.readouterr().err
+
+
+def test_missing_cell_in_fresh_fails(tmp_path):
+    base = _write(tmp_path, "base.json",
+                  [_cell(), _cell(doorbell="shadow")])
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    assert _run(base, fresh) == guard.EXIT_REGRESSION
+
+
+def test_wall_clock_slowdown_beyond_tolerance_fails(tmp_path, capsys):
+    base = _write(tmp_path, "base.json",
+                  [_cell(wall_clock_ops_per_sec=100_000.0)])
+    slowed = 100_000.0 * (1.0 - guard.WALL_CLOCK_TOLERANCE) - 1.0
+    fresh = _write(tmp_path, "fresh.json",
+                   [_cell(wall_clock_ops_per_sec=slowed)])
+    assert _run(base, fresh) == guard.EXIT_REGRESSION
+    assert guard.WALL_CLOCK_METRIC in capsys.readouterr().err
+
+
+def test_wall_clock_within_tolerance_passes(tmp_path):
+    base = _write(tmp_path, "base.json",
+                  [_cell(wall_clock_ops_per_sec=100_000.0)])
+    fresh = _write(tmp_path, "fresh.json",
+                   [_cell(wall_clock_ops_per_sec=85_000.0)])
+    assert _run(base, fresh) == guard.EXIT_OK
+
+
+def test_wall_clock_metric_disappearing_fails(tmp_path, capsys):
+    """Losing the measurement must never pass silently."""
+    base = _write(tmp_path, "base.json",
+                  [_cell(wall_clock_ops_per_sec=100_000.0)])
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    assert _run(base, fresh) == guard.EXIT_REGRESSION
+    assert "missing from fresh" in capsys.readouterr().err
+
+
+def test_wall_clock_only_in_fresh_is_ignored(tmp_path):
+    """A baseline without the metric imposes no wall-clock constraint."""
+    base = _write(tmp_path, "base.json", [_cell()])
+    fresh = _write(tmp_path, "fresh.json",
+                   [_cell(wall_clock_ops_per_sec=1.0)])
+    assert _run(base, fresh) == guard.EXIT_OK
