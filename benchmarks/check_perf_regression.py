@@ -16,7 +16,11 @@ baseline, cell by cell (keyed on method × doorbell × burst):
   ``1 - WALL_CLOCK_TOLERANCE`` of it — a >20 % wall-clock slowdown
   fails the build.  A baseline metric that simply *disappears* from the
   fresh results is also a failure: losing the measurement must never
-  pass silently.
+  pass silently;
+* when the baseline cell carries ``p99_us`` (tail latency — the
+  noisy-neighbor victim's SLO), the fresh cell may not *exceed*
+  ``1 + TAIL_TOLERANCE`` of it — the one guarded metric where higher
+  is worse.  Disappearing from the fresh results is likewise a failure.
 
 Counts near zero (shadow mode's doorbell column) get a small absolute
 allowance instead of a ratio, which would be meaningless at ~0.
@@ -60,6 +64,15 @@ GUARDED_TLP_CATS = ("doorbell", "cmd_fetch")
 
 #: Optional wall-clock metric attached by the perf smoke harness.
 WALL_CLOCK_METRIC = "wall_clock_ops_per_sec"
+
+#: Optional tail-latency metric (µs).  Unlike every other guarded
+#: number, *higher* is worse: a cell that carries it in the baseline
+#: may not exceed ``1 + TAIL_TOLERANCE`` of the reference in a fresh
+#: run.  The noisy-neighbor benchmark pins the QoS-protected victim's
+#: p99 through this — QoS silently eroding is exactly what it catches.
+TAIL_METRIC = "p99_us"
+#: Relative headroom on the tail-latency metric.
+TAIL_TOLERANCE = 0.20
 
 EXIT_OK = 0
 EXIT_REGRESSION = 1
@@ -118,11 +131,12 @@ def _load(path: str) -> Dict[CellKey, dict]:
                     f"{path}: cells[{i}][{key!r}] has type "
                     f"{type(cell[key]).__name__}, expected "
                     f"{getattr(typ, '__name__', typ)}")
-        wall = cell.get(WALL_CLOCK_METRIC)
-        if wall is not None and (isinstance(wall, bool)
-                                 or not isinstance(wall, (int, float))):
-            raise InputError(
-                f"{path}: cells[{i}][{WALL_CLOCK_METRIC!r}] must be a number")
+        for metric in (WALL_CLOCK_METRIC, TAIL_METRIC):
+            value = cell.get(metric)
+            if value is not None and (isinstance(value, bool)
+                                      or not isinstance(value, (int, float))):
+                raise InputError(
+                    f"{path}: cells[{i}][{metric!r}] must be a number")
         out[(cell["method"], cell["doorbell"], cell["burst"])] = cell
     return out
 
@@ -162,6 +176,19 @@ def compare(baseline: Dict[CellKey, dict],
                     problems.append(
                         f"{key}: {WALL_CLOCK_METRIC} {got_wall:.1f} < "
                         f"{wall_floor:.1f} (baseline {ref_wall:.1f})")
+        ref_tail = base.get(TAIL_METRIC)
+        if ref_tail is not None:
+            got_tail = cell.get(TAIL_METRIC)
+            if got_tail is None:
+                problems.append(
+                    f"{key}: {TAIL_METRIC} present in baseline "
+                    f"but missing from fresh results")
+            else:
+                tail_ceil = ref_tail * (1.0 + TAIL_TOLERANCE)
+                if got_tail > tail_ceil:
+                    problems.append(
+                        f"{key}: {TAIL_METRIC} {got_tail:.2f} > "
+                        f"{tail_ceil:.2f} (baseline {ref_tail:.2f})")
     return problems
 
 

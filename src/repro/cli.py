@@ -9,6 +9,7 @@ Commands:
 * ``replay``    — replay a recorded KV trace against a chosen method
 * ``faults``    — fault-injection demo: seeded faults vs driver recovery
 * ``engine``    — asynchronous multi-queue engine + concurrent load gen
+* ``virt``      — multi-tenant rig: namespaces, queue passthrough, QoS
 * ``lint``      — project-specific AST lint (determinism, queue protocol)
 """
 
@@ -342,6 +343,75 @@ def cmd_engine(args) -> int:
     return 0 if report.total_ok == report.total_ops else 1
 
 
+def cmd_virt(args) -> int:
+    """Multi-tenant run: N tenants on private namespaces and queues,
+    loaded concurrently, with QoS arbitration on or off."""
+    from repro.testbed import make_virt_testbed
+    from repro.virt import (
+        QosParams,
+        TenantLoad,
+        TenantManager,
+        run_tenant_loads,
+    )
+
+    engine_choices = datapath_registry.method_names(engine_capable=True)
+    if args.method not in engine_choices:
+        print(f"unknown engine method {args.method!r}; pick from "
+              f"{engine_choices}", file=sys.stderr)
+        return 2
+    tb = make_virt_testbed()
+    manager = TenantManager(tb, qos=args.qos)
+    params = None
+    if args.qos:
+        try:
+            params = QosParams(weight=args.weight,
+                               ops_per_sec=args.ops_per_sec,
+                               bytes_per_sec=args.bytes_per_sec)
+        except ValueError as exc:
+            print(f"bad QoS parameters: {exc}", file=sys.stderr)
+            return 2
+    loads = []
+    for i in range(args.tenants):
+        name = f"tenant{i}"
+        manager.provision(name, queues=args.queues, qos=params)
+        loads.append(TenantLoad(tenant=name, ops=args.ops, size=args.size,
+                                method=args.method,
+                                concurrency=args.concurrency))
+    reports = run_tenant_loads(manager, loads)
+    rows = []
+    total_ok = 0
+    for tenant in manager.tenants():
+        rep = reports[tenant.name]
+        total_ok += rep.ok
+        rows.append([tenant.name, tenant.nsid,
+                     ",".join(str(q) for q in tenant.qids),
+                     rep.ok, rep.errors,
+                     f"{rep.latency.p50 / 1000:.2f}",
+                     f"{rep.latency.p99 / 1000:.2f}",
+                     f"{rep.kops:.1f}"])
+    qos_text = (f"qos on (weight {args.weight}"
+                + (f", {args.ops_per_sec:.0f} ops/s" if args.ops_per_sec
+                   else "")
+                + (f", {args.bytes_per_sec:.0f} B/s" if args.bytes_per_sec
+                   else "") + ")") if args.qos else "qos off"
+    print(format_table(
+        ["tenant", "nsid", "qids", "ok", "fail", "p50(us)", "p99(us)",
+         "kops"],
+        rows,
+        title=(f"virt: {args.tenants} tenant(s) x {args.queues} queue(s), "
+               f"{args.ops} x {args.size}B {args.method}, {qos_text}")))
+    ctrl = tb.ssd.controller
+    print(f"namespace rejections: {ctrl.ns_rejections}")
+    if manager.arbiter is not None:
+        arb = manager.arbiter
+        print(f"arbiter: {arb.grants} grants, "
+              f"{arb.denied_ops} ops-denied, "
+              f"{arb.denied_bytes} bytes-denied, "
+              f"{arb.denied_weight} weight-denied")
+    manager.teardown_all()
+    return 0 if total_ok == args.tenants * args.ops else 1
+
+
 def cmd_lint(args) -> int:
     from repro.verify.lint import run_lint
 
@@ -354,6 +424,8 @@ def _all_fault_kinds():
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.engine.scheduler import POLICIES
+
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -435,8 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="total operations across all streams")
     p.add_argument("--dist", default="fixed:64",
                    help="payload sizes: fixed:N | uniform:LO:HI | mixgraph")
-    p.add_argument("--policy", default="round_robin",
-                   choices=("round_robin", "least_inflight", "affinity"),
+    p.add_argument("--policy", default=POLICIES[0], choices=POLICIES,
                    help="queue placement policy")
     p.add_argument("--think-ns", type=float, default=0.0,
                    help="mean exponential think time per stream (0 = closed)")
@@ -460,6 +531,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-kinds", default="",
                    help="comma-separated fault kinds (default: all)")
     p.set_defaults(func=cmd_engine)
+
+    p = sub.add_parser(
+        "virt",
+        help="multi-tenant rig: namespaces, queue passthrough, QoS")
+    p.add_argument("--tenants", type=int, default=4,
+                   help="tenants to provision")
+    p.add_argument("--queues", type=int, default=1,
+                   help="queue pairs per tenant")
+    p.add_argument("--ops", type=int, default=200,
+                   help="operations per tenant")
+    p.add_argument("--size", type=int, default=64,
+                   help="payload bytes per op")
+    p.add_argument("--method", default=dp_names.BYTEEXPRESS,
+                   choices=datapath_registry.method_names(
+                       engine_capable=True))
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="outstanding ops per tenant (closed loop)")
+    p.add_argument("--no-qos", dest="qos", action="store_false",
+                   help="disable QoS arbitration (isolation only)")
+    p.add_argument("--weight", type=int, default=1,
+                   help="WRR weight per tenant (QoS on)")
+    p.add_argument("--ops-per-sec", type=float, default=None,
+                   help="per-tenant ops/sec budget (QoS on)")
+    p.add_argument("--bytes-per-sec", type=float, default=None,
+                   help="per-tenant bytes/sec budget (QoS on)")
+    p.set_defaults(func=cmd_virt, qos=True)
 
     p = sub.add_parser(
         "lint",

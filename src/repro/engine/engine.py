@@ -39,6 +39,7 @@ from repro.host.driver import NvmeDriver
 from repro.nvme.command import NvmeCommand
 from repro.nvme.constants import (
     BANDSLIM_FRAGMENT_CAPACITY,
+    DEFAULT_NSID,
     IoOpcode,
     VendorOpcode,
 )
@@ -85,9 +86,14 @@ class IoEngine:
     def __init__(self, ssd: OpenSsd, driver: NvmeDriver,
                  queues: Optional[Sequence[int]] = None,
                  qd: int = 8, policy: str = "round_robin",
-                 fetch_lanes: Optional[int] = None) -> None:
+                 fetch_lanes: Optional[int] = None,
+                 default_nsid: int = DEFAULT_NSID) -> None:
         self.ssd = ssd
         self.driver = driver
+        #: Namespace submissions target unless the caller overrides it.
+        #: A tenant's engine facade (repro.virt) sets its private nsid
+        #: here, so existing loadgen code works unmodified per tenant.
+        self.default_nsid = default_nsid
         self.clock = driver.clock
         self.timing = driver.timing
         self.qids: List[int] = list(queues) if queues else list(driver.io_qids)
@@ -139,7 +145,7 @@ class IoEngine:
     # ------------------------------------------------------------------
     def submit(self, payload: bytes, method: str = dp_names.BYTEEXPRESS,
                opcode: int = IoOpcode.WRITE, cdw10: int = 0,
-               cdw11: int = 0, nsid: int = 1,
+               cdw11: int = 0, nsid: Optional[int] = None,
                stream: Optional[int] = None) -> CommandFuture:
         """Issue one asynchronous write; returns its future immediately.
 
@@ -171,7 +177,8 @@ class IoEngine:
         future.submit_ns = now
         entry = InFlightCommand(
             future=future, method=method, opcode=opcode, payload=payload,
-            cdw10=cdw10, cdw11=cdw11, nsid=nsid, stream=stream,
+            cdw10=cdw10, cdw11=cdw11,
+            nsid=self.default_nsid if nsid is None else nsid, stream=stream,
             first_submit_ns=now,
             deadline_ns=now + self.driver.retry_policy.deadline_ns)
         self.stats.submitted += 1

@@ -60,6 +60,16 @@ class CompletionReactor:
         e.kick_dirty()
         self.drive_device()
         resolved = self.reap_all()
+        if resolved == 0:
+            ctrl = e.ssd.controller
+            if (ctrl.qos is not None and ctrl.has_pending()
+                    and not ctrl.has_pending(ready_only=True)):
+                # Nothing resolved and every pending queue is
+                # QoS-throttled: sweep once so the all-denied sweep
+                # advances the clock to the next token-refill instant.
+                # Without this, a backpressured submitter polling on a
+                # throttled queue would spin on a frozen clock.
+                ctrl.poll_once()
         if e.table:
             resolved += self._recover_stuck()
         self._release_parked(pipeline_idle=resolved == 0 and not e.table)
@@ -80,7 +90,11 @@ class CompletionReactor:
         ctrl = e.ssd.controller
         conc = e.clock._concurrency
         fetch_lanes = e.fetch_lanes
-        while ctrl.has_pending():
+        # ready_only: a QoS-throttled tenant's backlog must not make
+        # this loop (and with it every tenant's poll) wait out a token
+        # refill — throttled queues get serviced once sim time reaches
+        # their refill instant.
+        while ctrl.has_pending(ready_only=True):
             lanes = min(max(1, ctrl.active_queue_count()), fetch_lanes)
             # Inlined clock.concurrent(lanes): lanes >= 1 by the max()
             # above, so the scope's validation cannot fire; the push/pop
@@ -161,8 +175,13 @@ class CompletionReactor:
         # Whatever is still tabled lost its completion for good (dropped
         # CQE): the command may or may not have executed, so charge the
         # timeout, abandon the CID and resubmit from scratch — writes
-        # are idempotent here.
-        lost = e.table.entries()
+        # are idempotent here.  Exception: a queue that still holds
+        # unfetched SQEs after a (ready-only) drive is QoS-throttled,
+        # not stuck — its completions arrive once the tokens refill, so
+        # recovery for its entries waits until the queue itself drains.
+        ctrl = e.ssd.controller
+        lost = [entry for entry in e.table.entries()
+                if ctrl._pending_on(entry.key[0]) == 0]
         e.stats.timeouts += len(lost)
         e.driver.timeouts += len(lost)
         if lost:

@@ -33,7 +33,7 @@ from repro.datapath import registry as datapath_registry
 from repro.datapath.spec import DatapathSpec
 from repro.faults.plan import DROP_DOORBELL
 from repro.host.breaker import CircuitBreaker
-from repro.host.shadow import ShadowDoorbells
+from repro.host.shadow import MAX_QID, ShadowDoorbells
 from repro.pcie.traffic import (
     EVT_BREAKER_TRIP,
     EVT_INLINE_FALLBACK,
@@ -42,7 +42,14 @@ from repro.pcie.traffic import (
 )
 from repro.nvme.command import NvmeCommand
 from repro.nvme.completion import NvmeCompletion
-from repro.nvme.constants import PAGE_SIZE, AdminOpcode, StatusCode
+from repro.nvme.constants import (
+    CQE_SIZE,
+    DEFAULT_NSID,
+    PAGE_SIZE,
+    SQE_SIZE,
+    AdminOpcode,
+    StatusCode,
+)
 from repro.nvme.identify import IDENTIFY_SIZE, IdentifyController
 from repro.nvme.passthrough import PassthruRequest, PassthruResult
 from repro.nvme.prp import build_prps
@@ -240,13 +247,15 @@ class NvmeDriver:
         return IdentifyController.unpack(
             self.memory.read(self._admin.scratch, IDENTIFY_SIZE))
 
-    def _create_io_queue_pair(self, qid: int) -> None:
+    def _create_io_queue_pair(self, qid: int,
+                              sq_depth: Optional[int] = None,
+                              cq_depth: Optional[int] = None) -> None:
         if qid > self.identify.num_io_queues:
             raise DriverError(
                 f"controller supports {self.identify.num_io_queues} I/O "
                 f"queues, cannot create qid {qid}")
-        res = self._make_resources(qid, self.ssd.config.sq_depth,
-                                   self.ssd.config.cq_depth)
+        res = self._make_resources(qid, sq_depth or self.ssd.config.sq_depth,
+                                   cq_depth or self.ssd.config.cq_depth)
         create_cq = NvmeCommand(
             opcode=AdminOpcode.CREATE_CQ, prp1=res.cq.base_addr,
             cdw10=qid | ((res.cq.depth - 1) << 16), cdw11=0b11)
@@ -261,6 +270,69 @@ class NvmeDriver:
         if not cqe.ok:
             raise DriverError(f"CREATE_SQ {qid} failed: {cqe.status:#x}")
         self._queues[qid] = res
+
+    # ------------------------------------------------------------------
+    # queue-pair lifecycle (runtime — repro.virt tenant provisioning)
+    # ------------------------------------------------------------------
+    def create_io_queue_pair(self, qid: Optional[int] = None,
+                             sq_depth: Optional[int] = None,
+                             cq_depth: Optional[int] = None) -> int:
+        """Create an I/O queue pair at runtime; returns its qid.
+
+        Same Create-CQ/Create-SQ admin sequence as bring-up.  *qid*
+        defaults to the next free id; depths default to the rig config.
+        Under shadow doorbells the qid must fit the shadow page's slot
+        array (``MAX_QID``) — scale-out rigs use MMIO doorbells.
+        """
+        if qid is None:
+            qid = max(self._queues, default=0) + 1
+        if qid < 1:
+            raise DriverError("I/O queue ids start at 1")
+        if qid in self._queues:
+            raise DriverError(f"I/O queue {qid} already exists")
+        if self.shadow is not None and qid > MAX_QID:
+            raise DriverError(
+                f"qid {qid} exceeds the shadow-doorbell slot array "
+                f"(MAX_QID={MAX_QID}); use MMIO doorbells to scale past it")
+        self._create_io_queue_pair(qid, sq_depth=sq_depth, cq_depth=cq_depth)
+        return qid
+
+    def delete_io_queue_pair(self, qid: int) -> None:
+        """Tear down I/O queue pair *qid*: Delete-SQ then Delete-CQ admin
+        commands, then release every host resource the pair pinned —
+        ring pages, the scratch buffer, per-CID pinned pages, CID state,
+        and (under shadow doorbells) the pair's shadow slots, so a later
+        reuse of the qid starts from a clean slate.
+        """
+        res = self.queue(qid)
+        if res.live_cids:
+            raise DriverError(
+                f"queue {qid} still has {len(res.live_cids)} command(s) "
+                f"in flight")
+        for opcode, name in ((AdminOpcode.DELETE_SQ, "DELETE_SQ"),
+                             (AdminOpcode.DELETE_CQ, "DELETE_CQ")):
+            cqe = self._admin_command(NvmeCommand(opcode=opcode, cdw10=qid))
+            if not cqe.ok:
+                raise DriverError(f"{name} {qid} failed: {cqe.status:#x}")
+        del self._queues[qid]
+        # No completion can arrive for this queue anymore: quarantined
+        # (zombie) CIDs die with it, and their pinned pages are released.
+        for pages in res.pending_pages.values():
+            for page in pages:
+                self.memory.free_page(page)
+        self._free_buffer(res.sq.base_addr, res.sq.depth * SQE_SIZE)
+        self._free_buffer(res.cq.base_addr, res.cq.depth * CQE_SIZE)
+        self._free_buffer(res.scratch, res.scratch_pages * PAGE_SIZE)
+        if self.shadow is not None and qid <= MAX_QID:
+            # Zero the slots: a reused qid must not inherit a stale tail.
+            self.shadow.write_sq_tail(qid, 0)
+            self.shadow.write_cq_head(qid, 0)
+            self.shadow.write_sq_eventidx(qid, 0)
+
+    def _free_buffer(self, base: int, nbytes: int) -> None:
+        """Release a page-aligned buffer allocated with ``alloc_buffer``."""
+        for i in range(max(1, (nbytes + PAGE_SIZE - 1) // PAGE_SIZE)):
+            self.memory.free_page(base + i * PAGE_SIZE)
 
     def _setup_shadow_doorbells(self) -> None:
         """Arm shadow doorbells: allocate the shadow + eventidx pages
@@ -613,7 +685,7 @@ class NvmeDriver:
         start_bytes = self.link.counter.total_bytes
         temp_pages: List[int] = []
         for payload, cdw10 in zip(payloads, cdw10s):
-            cmd = NvmeCommand(opcode=opcode, nsid=1, cdw10=cdw10)
+            cmd = NvmeCommand(opcode=opcode, nsid=DEFAULT_NSID, cdw10=cdw10)
             if spec.caps.inline:
                 self.submit(spec, cmd, payload, qid, ring=False)
                 continue

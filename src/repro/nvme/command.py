@@ -38,6 +38,10 @@ class NvmeCommand:
     opcode: int = 0
     flags: int = 0
     cid: int = 0
+    #: Stays 0 at the wire level (admin commands legitimately carry
+    #: nsid 0); the host I/O stack targets ``DEFAULT_NSID`` by
+    #: convention (see :mod:`repro.nvme.constants`), and nsid 0 on an
+    #: I/O command is rejected once namespace enforcement is armed.
     nsid: int = 0
     cdw2: int = 0
     cdw3: int = 0

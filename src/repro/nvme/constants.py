@@ -86,6 +86,9 @@ class StatusCode(enum.IntEnum):
     INTERNAL_ERROR = 0x06
     ABORTED_BY_REQUEST = 0x07
     INVALID_PRP_OFFSET = 0x13
+    #: Command names a namespace the queue is not allowed to touch (or
+    #: nsid 0 on an I/O command while namespace enforcement is armed).
+    INVALID_NAMESPACE_OR_FORMAT = 0x0B
     #: NVMe 1.4: command interrupted mid-execution; retry is expected.
     COMMAND_INTERRUPTED = 0x21
     #: NVMe 1.4: transient transport (link-level) error; retry is expected.
@@ -115,3 +118,12 @@ class Psdt(enum.IntEnum):
 
 #: Queue id of the admin queue pair.
 ADMIN_QID = 0
+
+#: The namespace every single-tenant host path targets.  Convention: I/O
+#: commands built by the host stack (engine, passthru, batch helpers)
+#: carry this nsid unless the caller says otherwise; ``NvmeCommand``
+#: itself keeps a raw default of 0 because admin commands legitimately
+#: carry nsid 0.  Once device-side namespace enforcement is armed
+#: (``repro.virt``), nsid 0 on an I/O command is rejected with
+#: :attr:`StatusCode.INVALID_NAMESPACE_OR_FORMAT`.
+DEFAULT_NSID = 1

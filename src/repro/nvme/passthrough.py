@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.nvme.constants import StatusCode
+from repro.nvme.constants import DEFAULT_NSID, StatusCode
 
 
 @dataclass
@@ -21,7 +21,7 @@ class PassthruRequest:
     data buffer the driver must map for the transfer."""
 
     opcode: int
-    nsid: int = 1
+    nsid: int = DEFAULT_NSID
     #: Host→device payload for writes; None for data-less commands.
     data: Optional[bytes] = None
     #: Expected device→host transfer length for reads.

@@ -66,6 +66,20 @@ class BarSpace:
         """Install a handler invoked on every write to *offset*."""
         self._handlers[offset] = handler
 
+    def clear_write_handler(self, offset: int) -> None:
+        """Remove the write handler at *offset* (queue teardown).
+
+        A deleted queue's doorbell register must stop reaching firmware:
+        a stale handler would resurrect the old queue's state on the
+        next write — or crash — once the qid is reused.  Clearing an
+        offset that has no handler is a no-op.
+        """
+        self._handlers.pop(offset, None)
+
+    def write_handler_offsets(self) -> List[int]:
+        """Offsets with live write handlers (leak assertions in tests)."""
+        return sorted(self._handlers)
+
     # -- byte-interface window (MMIO comparator) ---------------------------
     def window_write(self, offset: int, data: bytes) -> None:
         """Store *data* into the byte window (cacheline-sized host stores)."""

@@ -15,6 +15,7 @@ measurements on the Cosmos+ OpenSSD testbed (PCIe Gen2 x8, Zynq-7000):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 
 #: NVMe submission-queue entry size; also the ByteExpress chunk size (bytes).
@@ -212,6 +213,20 @@ class SimConfig:
     #: How long the controller promises to keep polling the shadow page
     #: after going idle before the host must fall back to a BAR wake.
     shadow_idle_ns: float = 100_000.0
+    # --- multi-tenant QoS defaults (repro.virt) ----------------------------
+    #: WRR weight a tenant gets when its spec does not set one.  Weight 0
+    #: parks a queue (never serviced); the admin queue is never governed.
+    qos_default_weight: int = 1
+    #: Default ops/sec budget per tenant (token bucket on the sim clock);
+    #: ``None`` = unlimited.
+    qos_default_ops_per_sec: Optional[float] = None
+    #: Default bytes/sec budget per tenant (SQE + inline chunks or PRP
+    #: data length); ``None`` = unlimited.
+    qos_default_bytes_per_sec: Optional[float] = None
+    #: Token-bucket burst capacities (how far an idle tenant may run
+    #: ahead of its sustained rate).  Must be at least 1.
+    qos_burst_ops: int = 32
+    qos_burst_bytes: int = 64 * 1024
 
     def __post_init__(self) -> None:
         if self.doorbell_mode not in (DOORBELL_MMIO, DOORBELL_SHADOW):
@@ -222,6 +237,14 @@ class SimConfig:
             raise ValueError("burst_limit must be at least 1")
         if self.cq_coalesce < 1:
             raise ValueError("cq_coalesce must be at least 1")
+        if self.qos_default_weight < 0:
+            raise ValueError("qos_default_weight must be >= 0")
+        for name in ("qos_default_ops_per_sec", "qos_default_bytes_per_sec"):
+            rate = getattr(self, name)
+            if rate is not None and rate <= 0:
+                raise ValueError(f"{name} must be positive when set")
+        if self.qos_burst_ops < 1 or self.qos_burst_bytes < 1:
+            raise ValueError("qos burst capacities must be at least 1")
 
     def nand_off(self) -> "SimConfig":
         """Copy of this config with NAND I/O disabled (latency-only runs)."""

@@ -36,7 +36,10 @@ The shared firmware datatypes (:class:`CommandContext`,
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.virt.qos import QosArbiter
 
 from repro.core.controller_ext import DeviceSqState
 from repro.core.reassembly import ReassemblyBuffer
@@ -136,6 +139,13 @@ class NvmeController:
         self._rr_order: List[int] = []
         self._rr_next = 0
         self.enabled = False
+        #: Namespace bindings (``repro.virt``): qid → owning nsid.  Empty
+        #: means enforcement is disarmed — the single-tenant default —
+        #: and costs one falsy-dict check per dispatch.
+        self._ns_of_qid: Dict[int, int] = {}
+        #: QoS arbiter (``repro.virt.qos.QosArbiter``); ``None`` keeps
+        #: the fetch unit on its stock service path.
+        self.qos: Optional["QosArbiter"] = None
         # tagged-mode state
         self._reassembly = ReassemblyBuffer(
             max_in_flight=config.reassembly_in_flight)
@@ -163,6 +173,7 @@ class NvmeController:
         self.shadow_rejects = 0
         self.burst_fetches = 0
         self.cqe_flushes = 0
+        self.ns_rejections = 0
         # firmware units (the controller is the orchestrator; all state
         # above stays here, the units operate on it through their backref)
         self.admin = AdminEngine(self)
@@ -220,6 +231,7 @@ class NvmeController:
         self._shadow_stale = False
         self._busy_since_park = False
         self._coalesced.clear()
+        self._ns_of_qid.clear()
         self.enabled = False
         self.bar.write32(REG_CSTS, 0)
 
@@ -263,6 +275,8 @@ class NvmeController:
         self._rr_order.remove(qid)
         self._rr_next = 0
         self._pending_chunks.pop(qid, None)
+        self._ns_of_qid.pop(qid, None)
+        self.bar.clear_write_handler(sq_doorbell_offset(qid))
 
     def delete_cq(self, qid: int) -> None:
         if qid not in self._cqs:
@@ -270,6 +284,7 @@ class NvmeController:
         if qid in self._sq_cq.values():
             raise ValueError(f"CQ {qid} still referenced by an SQ")
         del self._cqs[qid]
+        self.bar.clear_write_handler(cq_doorbell_offset(qid))
 
     def register_queue_pair(self, sq: SubmissionQueue,
                             cq: CompletionQueue) -> None:
@@ -278,6 +293,33 @@ class NvmeController:
             raise ValueError(f"queue pair {sq.qid} already registered")
         self._install_queue_pair(sq.qid, sq.base_addr, sq.depth,
                                  cq.base_addr, cq.depth)
+
+    # ------------------------------------------------------------------
+    # namespace bindings (repro.virt)
+    # ------------------------------------------------------------------
+    def bind_namespace(self, qid: int, nsid: int) -> None:
+        """Pin SQ *qid* to namespace *nsid*; arms enforcement.
+
+        Once any binding exists, every I/O command is checked at dispatch:
+        nsid 0 is always rejected, and a command on a bound queue whose
+        nsid differs from the owner's is rejected — both with
+        ``INVALID_NAMESPACE_OR_FORMAT`` (DNR set; retry cannot succeed).
+        Unbound queues stay usable with any non-zero nsid, so a host's
+        own bring-up queues keep working beside tenant queues.
+        """
+        if qid == ADMIN_QID:
+            raise ValueError("cannot bind a namespace to the admin queue")
+        if nsid <= 0:
+            raise ValueError(f"nsid must be positive, got {nsid}")
+        self._ns_of_qid[qid] = nsid
+
+    def unbind_namespace(self, qid: int) -> None:
+        """Drop SQ *qid*'s namespace binding (idempotent)."""
+        self._ns_of_qid.pop(qid, None)
+
+    def namespace_of(self, qid: int) -> Optional[int]:
+        """The nsid bound to SQ *qid*, or ``None``."""
+        return self._ns_of_qid.get(qid)
 
     def note_sq_doorbell(self, qid: int, tail: int) -> None:
         state = self._sqs.get(qid)
@@ -343,16 +385,32 @@ class NvmeController:
         self.flush_completions()
         self.fetch.park()
 
-    def has_pending(self) -> bool:
+    def has_pending(self, ready_only: bool = False) -> bool:
+        """Is there fetchable work?
+
+        *ready_only* additionally skips QoS-throttled queues (pending
+        work whose token buckets cannot afford a fetch right now).  The
+        engine reactor drives with ``ready_only=True`` so one tenant's
+        polls never sit out another tenant's token refill; full drains
+        (``process_all``) keep the default and wait the throttle out.
+        """
         if self._shadow is not None and not self._shadow_stale:
             self._peek_shadow()
         if self._shadow_stale:
             return True
         tails = self._sq_tails
         chunks = self._pending_chunks
+        qos = self.qos
         for qid, state in self._sqs.items():
             if ((tails[qid] - state.head) % state.depth
                     or chunks.get(qid, 0)):
+                if qos is not None:
+                    if not qos.serviceable(qid):
+                        continue  # parked (weight-0) queue: not drainable
+                    if (ready_only and qos.governs(qid)
+                            and not qos.ready(
+                                qid, self.fetch.peek_cost(state))):
+                        continue  # throttled: pending, but not right now
                 return True
         return False
 
@@ -411,7 +469,11 @@ class NvmeController:
             if self._shadow_stale:
                 self._sync_shadow()
         done = 0
-        order = self._rr_order
+        # Snapshot: servicing the admin queue can CREATE/DELETE queues
+        # mid-sweep (tenant provisioning), mutating ``_rr_order`` under
+        # the iteration.  Deleted queues are skipped below; created ones
+        # join the next sweep.
+        order = list(self._rr_order)
         if not order:
             return 0
         start = self._rr_next
@@ -424,11 +486,13 @@ class NvmeController:
         for i in range(nqueues):
             idx = (start + i) % nqueues
             qid = order[idx]
+            state = sqs.get(qid)
+            if state is None:
+                continue  # deleted by an admin command this sweep
             if tagged and self._pending_chunks.get(qid, 0):
                 fetch.fetch_tagged_chunk(qid)
                 serviced = 1
             else:
-                state = sqs[qid]
                 if (tails[qid] - state.head) % state.depth == 0:
                     continue
                 serviced = fetch.service_queue(qid)
@@ -438,6 +502,17 @@ class NvmeController:
                 log.extend([qid] * serviced)
         if done:
             self._busy_since_park = True
+        elif self.qos is not None and self.has_pending():
+            # Every pending queue was throttled this sweep.  The firmware
+            # polls the doorbells while token buckets refill — jump the
+            # clock to the denials' next service instant (at least one
+            # doorbell poll) so throttled drains stay live without
+            # sweeping once per poll interval.  Charged only on an
+            # all-denied sweep: while any queue makes real progress,
+            # well-behaved neighbors pay nothing for a throttled
+            # tenant's presence.
+            self.clock.advance(max(self.timing.doorbell_poll_ns,
+                                   self.qos.take_wait_ns()))
         return done
 
     #: Backwards-compatible alias (pre-engine name).
@@ -491,6 +566,17 @@ class NvmeController:
         if qid == ADMIN_QID:
             self._dispatch_admin(qid, ctx)
             return
+        ns_map = self._ns_of_qid
+        if ns_map:
+            # Namespace enforcement is armed (repro.virt): nsid 0 is
+            # never valid on an I/O command, and a bound queue only
+            # accepts its owner's nsid.
+            owner = ns_map.get(qid)
+            if cmd.nsid == 0 or (owner is not None and cmd.nsid != owner):
+                self.ns_rejections += 1
+                self._complete(qid, cmd, CommandResult(
+                    StatusCode.INVALID_NAMESPACE_OR_FORMAT))
+                return
         # Writes with a data pointer but no inline payload use PRP/SGL.
         # Convention (matches the NVM command set): CDW12 carries the
         # host→device data length in bytes for our vendor/passthrough

@@ -168,6 +168,9 @@ class FetchUnit:
         on — every command whose SQE landed in one burst window.
         Returns the number of commands serviced."""
         ctrl = self.ctrl
+        qos = ctrl.qos
+        if qos is not None and qid != ADMIN_QID and qos.governs(qid):
+            return self.service_queue_qos(qid, qos)
         # Cheap guard first: ``burst_fetch`` re-checks, but skipping its
         # whole frame matters when burst mode is off (the common case).
         if (ctrl.config.burst_limit <= 1 or qid == ADMIN_QID
@@ -186,7 +189,63 @@ class FetchUnit:
             serviced += 1
         return serviced
 
-    def burst_fetch(self, qid: int) -> Optional[SqeWindow]:
+    def service_queue_qos(self, qid: int, qos) -> int:
+        """Service a QoS-governed queue: at most the arbiter's grant
+        (the WRR quantum clamped by the ops bucket), each command gated
+        by the byte bucket.  A denied visit costs nothing here — while
+        other queues make progress the sweep's clock already moves; the
+        controller charges one doorbell poll only when an *entire*
+        sweep is throttled flat (see ``poll_once``), which keeps
+        throttled drains live without taxing well-behaved neighbors.
+        """
+        ctrl = self.ctrl
+        grant = qos.grant(qid)
+        serviced = 0
+        if grant > 0:
+            window = None
+            if (grant > 1 and ctrl.config.burst_limit > 1
+                    and ctrl.mode == MODE_QUEUE_LOCAL):
+                window = self.burst_fetch(qid, limit=grant)
+            state = ctrl._sqs[qid]
+            while serviced < grant and ctrl._pending_on(qid) > 0:
+                cost = self.peek_cost(state)
+                if not qos.allow_bytes(qid, cost):
+                    # Mid-burst exhaustion: clamp, never overdraw.  Any
+                    # prefetched-but-unexecuted window entries are
+                    # discarded; the head has not advanced past them.
+                    break
+                if window is not None and (
+                        window.remaining <= 0
+                        or window.next_index != state.head):
+                    window = None
+                self.fetch_and_execute(qid, window=window)
+                qos.charge(qid, 1, cost)
+                serviced += 1
+        return serviced
+
+    def peek_cost(self, state: DeviceSqState) -> int:
+        """Wire cost (bytes) of the command at *state*'s head, without
+        fetching it: the SQE itself plus its inline chunks or its PRP
+        data length.  Functional peek only — the productive DMA is
+        charged by the fetch that follows (same pattern as
+        :meth:`peek_shadow`).  Malformed entries cost one SQE; the
+        fetch path's error handling deals with them.
+        """
+        raw = self.ctrl.host_memory.read(state.slot_addr(state.head),
+                                         SQE_SIZE)
+        try:
+            cmd = NvmeCommand.unpack(raw)
+            info = inspect_command(cmd)
+        except (ValueError, InlineEncodingError):
+            return SQE_SIZE
+        if info.is_inline:
+            return SQE_SIZE * (1 + info.chunks)
+        if self.ctrl._data_phase.get(cmd.opcode, True):
+            return SQE_SIZE + cmd.cdw12
+        return SQE_SIZE
+
+    def burst_fetch(self, qid: int,
+                    limit: Optional[int] = None) -> Optional[SqeWindow]:
         """Fetch min(pending, burst_limit) contiguous SQEs in ONE large
         DMA read (one MRd + its CplD batch instead of one pair per SQE).
 
@@ -204,6 +263,8 @@ class FetchUnit:
         state = ctrl._sqs[qid]
         count = min(ctrl._pending_on(qid), ctrl.config.burst_limit,
                     state.depth - state.head)
+        if limit is not None and count > limit:
+            count = limit  # QoS grant clamp: never prefetch past it
         if count <= 1:
             return None
         with ctrl.clock.span("ctrl.sq_fetch"):

@@ -131,6 +131,39 @@ def make_engine_testbed(queues: int = 4,
                               fault_plan=fault_plan)
 
 
+def make_virt_testbed(max_queues: int = 1024,
+                      host_queues: int = 1,
+                      config: Optional[SimConfig] = None,
+                      fault_plan=None) -> Testbed:
+    """Block-SSD rig sized for multi-tenant provisioning at scale.
+
+    The controller advertises *max_queues* I/O queue pairs (the stock
+    Cosmos+-class identify page caps at 16, far too few for hundreds
+    of tenants), while the host brings up only *host_queues* for
+    itself — every further pair is created on demand by the
+    :class:`~repro.virt.TenantManager`.  Rings default to depth 64 so
+    hundreds of queue pairs stay cheap, and MMIO doorbells (the config
+    default) put no ceiling on qids (the shadow page stops at
+    ``MAX_QID``).
+    """
+    from repro.nvme.identify import IdentifyController
+
+    cfg = config or SimConfig(num_io_queues=host_queues, sq_depth=64,
+                              cq_depth=64).nand_off()
+    if not 1 <= cfg.num_io_queues <= max_queues:
+        raise ValueError(f"host bring-up queues ({cfg.num_io_queues}) "
+                         f"exceed the advertised limit {max_queues}")
+    ssd = OpenSsd(cfg, fault_plan=fault_plan)
+    # Before the driver's bring-up IDENTIFY reads it.
+    ssd.controller.identify_data = IdentifyController(
+        num_io_queues=max_queues)
+    personality = BlockSsdPersonality(ssd)
+    driver = NvmeDriver(ssd)
+    methods = make_methods(ssd, driver, include_mmio=False)
+    return _finish(Testbed(ssd=ssd, driver=driver, methods=methods,
+                           personality=personality))
+
+
 def make_kv_testbed(config: Optional[SimConfig] = None,
                     memtable_entries: int = 4096,
                     include_mmio: bool = False,

@@ -31,10 +31,13 @@ from repro.verify.invariants import (
     INV_CQ_OVERRUN,
     INV_CQ_PHASE,
     INV_INLINE_SEQ,
+    INV_QOS_BUDGET,
     INV_RR_FAIRNESS,
     INV_SHADOW,
     INV_SQ_DOORBELL,
     INV_SQ_WINDOW,
+    INV_TENANT_NS,
+    INV_TENANT_QUEUE,
     InvariantViolation,
 )
 from repro.verify.lint import LINT_RULES, LintFinding, lint_paths, run_lint
@@ -51,10 +54,13 @@ __all__ = [
     "INV_CQ_OVERRUN",
     "INV_CQ_PHASE",
     "INV_INLINE_SEQ",
+    "INV_QOS_BUDGET",
     "INV_RR_FAIRNESS",
     "INV_SHADOW",
     "INV_SQ_DOORBELL",
     "INV_SQ_WINDOW",
+    "INV_TENANT_NS",
+    "INV_TENANT_QUEUE",
     "InvariantViolation",
     "LINT_RULES",
     "LintFinding",

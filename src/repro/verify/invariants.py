@@ -40,7 +40,19 @@ INV_SHADOW          Shadow-doorbell consistency: published tails are
                     consumption past the published tail (NVMe 1.3 DBBUF).
 INV_RR_FAIRNESS     Round-robin service fairness: a queue with
                     doorbell'd work is serviced within a bounded number
-                    of firmware sweeps (§4.2 service model).
+                    of firmware sweeps (§4.2 service model).  Queues
+                    governed by a QoS arbiter are exempt — being
+                    throttled is their design, not starvation.
+INV_TENANT_QUEUE    Tenant queue confinement: the fetch unit only
+                    services queues that are host-owned or currently
+                    allocated to a tenant (no fetches from a queue
+                    outside its tenant's allocation).
+INV_TENANT_NS       Namespace isolation: every successfully completed
+                    command on a tenant-owned queue carries the owning
+                    tenant's nsid (cross-namespace access must have
+                    been rejected, never serviced).
+INV_QOS_BUDGET      Token-bucket soundness: no tenant budget ever goes
+                    negative — charges clamp at zero.
 ==================  =====================================================
 """
 
@@ -56,6 +68,9 @@ INV_CID_UNIQUE = "INV_CID_UNIQUE"
 INV_INLINE_SEQ = "INV_INLINE_SEQ"
 INV_SHADOW = "INV_SHADOW"
 INV_RR_FAIRNESS = "INV_RR_FAIRNESS"
+INV_TENANT_QUEUE = "INV_TENANT_QUEUE"
+INV_TENANT_NS = "INV_TENANT_NS"
+INV_QOS_BUDGET = "INV_QOS_BUDGET"
 
 #: Every rule the monitor can report, with a one-line description.
 ALL_RULES: Dict[str, str] = {
@@ -67,6 +82,9 @@ ALL_RULES: Dict[str, str] = {
     INV_INLINE_SEQ: "inline chunk contiguity + length-field agreement",
     INV_SHADOW: "shadow doorbell / eventidx consistency",
     INV_RR_FAIRNESS: "bounded round-robin service fairness",
+    INV_TENANT_QUEUE: "fetches confined to host- or tenant-owned queues",
+    INV_TENANT_NS: "completed tenant commands carry the owner's nsid",
+    INV_QOS_BUDGET: "QoS token buckets never go negative",
 }
 
 

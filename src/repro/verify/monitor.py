@@ -34,15 +34,19 @@ from repro.core.inline_command import (
 )
 from repro.core.reassembly import tagged_chunk_count
 from repro.nvme.command import NvmeCommand
+from repro.nvme.constants import ADMIN_QID, StatusCode
 from repro.verify.invariants import (
     INV_CID_UNIQUE,
     INV_CQ_OVERRUN,
     INV_CQ_PHASE,
     INV_INLINE_SEQ,
+    INV_QOS_BUDGET,
     INV_RR_FAIRNESS,
     INV_SHADOW,
     INV_SQ_DOORBELL,
     INV_SQ_WINDOW,
+    INV_TENANT_NS,
+    INV_TENANT_QUEUE,
     InvariantViolation,
     cq_snapshot,
     ring_delta,
@@ -176,6 +180,40 @@ class ProtocolMonitor:
     def attach_engine(self, engine: Any) -> None:
         """Observe the engine's in-flight table for key aliasing."""
         self._wrap_table_add(engine.table)
+
+    def observe_queue_pair(self, qid: int, res: Any, ctrl: Any) -> None:
+        """Observe a queue pair created *after* attachment (tenant
+        provisioning): host-side SQ/CQ mirrors plus the controller's
+        device CQ producer for the new qid."""
+        self.attach_sq(res.sq)
+        self.attach_cq(res.cq)
+        self._sq_by_qid[qid] = res.sq
+        dev_state = ctrl._cqs.get(qid)
+        if dev_state is not None:
+            self._wrap_device_post(qid, dev_state)
+
+    def release_queue(self, qid: int) -> None:
+        """Drop the mirrors of a deleted queue pair (tenant teardown).
+
+        The wrappers on the dead queue objects go away with the objects;
+        only the monitor's own per-qid state needs forgetting, so a
+        later tenant reusing the qid starts from clean mirrors.
+        """
+        sq = self._sq_by_qid.pop(qid, None)
+        if sq is not None:
+            self._sq.pop(id(sq), None)
+        self._cq.pop(qid, None)
+        self._shadow_published.pop(qid, None)
+        self._shadow_eventidx.pop(qid, None)
+
+    def attach_virt(self, manager: Any) -> None:
+        """Observe a :class:`~repro.virt.TenantManager`: queue
+        confinement, namespace isolation at completion, and QoS
+        token-bucket soundness."""
+        self._wrap_tenant_fetch(manager)
+        self._wrap_tenant_complete(manager)
+        if manager.arbiter is not None:
+            self._wrap_qos_charge(manager.arbiter)
 
     # ------------------------------------------------------------------
     # submission queue
@@ -359,6 +397,14 @@ class ProtocolMonitor:
         state = self._cq.get(qid)
         if state is None:
             return  # controller-only queue the host never attached
+        # The mirror was seeded from the host-side shim, which never saw
+        # posts made before attach (the driver's bring-up admin
+        # commands).  Adopt the live producer position, or the phase
+        # mirror falsely fires on the queue's first wrap.
+        state.dev_tail = dev_state.tail
+        state.dev_phase = dev_state.phase
+        state.outstanding = (dev_state.tail
+                             - state.host_cq.head) % dev_state.depth
         orig = dev_state.post
 
         def post(cqe: Any, memory: Any) -> None:
@@ -494,6 +540,75 @@ class ProtocolMonitor:
         self._patch(shadow, "write_sq_eventidx", write_sq_eventidx)
 
     # ------------------------------------------------------------------
+    # multi-tenant virtualization
+    # ------------------------------------------------------------------
+    def _wrap_tenant_fetch(self, manager: Any) -> None:
+        """Fetch confinement: the sweep only services the admin queue,
+        the host's own bring-up queues (snapshotted at attach time), or
+        a queue some *currently provisioned* tenant owns."""
+        fetch = manager.ctrl.fetch
+        orig = fetch.service_queue
+        host_qids = frozenset(manager.driver.io_qids)
+
+        def service_queue(qid: int) -> int:
+            self.checks[INV_TENANT_QUEUE] += 1
+            if (qid != ADMIN_QID and qid not in host_qids
+                    and manager.owner_of(qid) is None):
+                self._violate(
+                    INV_TENANT_QUEUE,
+                    f"fetch unit serviced SQ{qid}, which no tenant owns "
+                    f"and the host never brought up",
+                    {"qid": qid, "host_qids": sorted(host_qids),
+                     "tenant_qids": manager.tenant_qids()})
+            return orig(qid)
+
+        self._patch(fetch, "service_queue", service_queue)
+
+    def _wrap_tenant_complete(self, manager: Any) -> None:
+        """Namespace isolation: a *successful* CQE on a tenant-owned
+        queue must carry the owning tenant's nsid — a cross-namespace
+        command may only ever complete as a rejection."""
+        ctrl = manager.ctrl
+        orig = ctrl._complete
+
+        def _complete(qid: int, cmd: Any, result: Any) -> None:
+            tenant = manager.owner_of(qid)
+            if tenant is not None:
+                self.checks[INV_TENANT_NS] += 1
+                if (result.status == StatusCode.SUCCESS
+                        and cmd.nsid != tenant.nsid):
+                    self._violate(
+                        INV_TENANT_NS,
+                        f"SQ{qid} (tenant {tenant.name!r}, nsid "
+                        f"{tenant.nsid}) completed a command with nsid "
+                        f"{cmd.nsid} successfully",
+                        {"qid": qid, "tenant": tenant.name,
+                         "owner_nsid": tenant.nsid, "cmd_nsid": cmd.nsid})
+            return orig(qid, cmd, result)
+
+        self._patch(ctrl, "_complete", _complete)
+
+    def _wrap_qos_charge(self, arbiter: Any) -> None:
+        """Token-bucket soundness: no budget is ever negative after a
+        charge (charges must clamp at zero)."""
+        orig = arbiter.charge
+
+        def charge(qid: int, ops: int, nbytes: int) -> None:
+            orig(qid, ops, nbytes)
+            self.checks[INV_QOS_BUDGET] += 1
+            budget = arbiter.budget_of(qid)
+            if budget is not None and budget.min_tokens() < 0:
+                self._violate(
+                    INV_QOS_BUDGET,
+                    f"tenant {budget.name!r} budget went negative "
+                    f"after a charge of ({ops} ops, {nbytes} bytes)",
+                    {"qid": qid, "tenant": budget.name,
+                     "ops_tokens": budget.ops.tokens,
+                     "bytes_tokens": budget.bytes.tokens})
+
+        self._patch(arbiter, "charge", charge)
+
+    # ------------------------------------------------------------------
     # round-robin fairness
     # ------------------------------------------------------------------
     def _wrap_fairness(self, ctrl: Any) -> None:
@@ -511,7 +626,14 @@ class ProtocolMonitor:
             before = {qid: pending(qid) for qid in list(ctrl._sqs)}
             done = orig()
             self.checks[INV_RR_FAIRNESS] += 1
+            qos = ctrl.qos
             for qid, had in before.items():
+                if qos is not None and qos.governs(qid):
+                    # Throttled by design, not starved: QoS-governed
+                    # queues are exempt (admin stays enforced — it is
+                    # never governed).
+                    state.starved.pop(qid, None)
+                    continue
                 if had <= 0:
                     state.starved.pop(qid, None)
                     continue

@@ -126,3 +126,63 @@ def test_io_still_works_after_queue_deletion():
     stats = tb.method("byteexpress").write(b"post-delete",
                                            qid=tb.driver.io_qids[0])
     assert stats.ok
+
+
+# ----------------------------------------------------------------------
+# Queue-lifecycle churn (ISSUE 7 satellite): hundreds of create/delete
+# cycles must leave no residue in the driver, BAR, or controller.
+# ----------------------------------------------------------------------
+def _lifecycle_baseline(tb):
+    return {
+        "qids": set(tb.driver.io_qids),
+        "handlers": sorted(tb.ssd.bar.write_handler_offsets()),
+        "pages": tb.driver.memory.mapped_pages,
+        "ctrl_sqs": set(tb.ssd.controller._sqs),
+        "ctrl_cqs": set(tb.ssd.controller._cqs),
+        "rr": list(tb.ssd.controller._rr_order),
+    }
+
+
+def _churn(tb, cycles):
+    from repro.datapath import names as dp_names
+    from repro.nvme.constants import IoOpcode
+
+    drv = tb.driver
+    for i in range(cycles):
+        qid = drv.create_io_queue_pair()
+        # Real traffic so CID tracking and staging buffers get exercised.
+        cmd = NvmeCommand(opcode=IoOpcode.WRITE, cdw10=(i * 8) & 0xFFFFFFFF)
+        drv.submit(dp_names.BYTEEXPRESS, cmd, b"churn-%03d" % (i % 1000), qid)
+        cqe = drv.wait(qid)
+        assert cqe.ok
+        assert not drv.queue(qid).live_cids
+        drv.delete_io_queue_pair(qid)
+        assert qid not in drv.io_qids
+        with pytest.raises(DriverError):
+            drv.queue(qid)
+    return drv
+
+
+def test_queue_lifecycle_churn_leaks_nothing_mmio():
+    from repro.testbed import make_virt_testbed
+
+    tb = make_virt_testbed()
+    before = _lifecycle_baseline(tb)
+    _churn(tb, 300)
+    assert _lifecycle_baseline(tb) == before
+
+
+def test_queue_lifecycle_churn_leaks_nothing_shadow():
+    from repro.sim.config import DOORBELL_SHADOW
+
+    cfg = SimConfig(doorbell_mode=DOORBELL_SHADOW).nand_off()
+    tb = make_block_testbed(config=cfg)
+    before = _lifecycle_baseline(tb)
+    drv = _churn(tb, 100)
+    assert _lifecycle_baseline(tb) == before
+    # Shadow slots of the churned qid are scrubbed back to zero.
+    qid = max(before["qids"]) + 1  # the qid every cycle reused
+    assert drv.shadow is not None
+    assert drv.shadow.read_sq_tail(qid) == 0
+    assert drv.shadow.read_cq_head(qid) == 0
+    assert drv.shadow.read_sq_eventidx(qid) == 0

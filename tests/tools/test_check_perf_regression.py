@@ -198,3 +198,43 @@ def test_wall_clock_only_in_fresh_is_ignored(tmp_path):
     fresh = _write(tmp_path, "fresh.json",
                    [_cell(wall_clock_ops_per_sec=1.0)])
     assert _run(base, fresh) == guard.EXIT_OK
+
+
+def test_tail_latency_growth_beyond_tolerance_fails(tmp_path, capsys):
+    """p99_us is the one metric where *higher* is worse."""
+    base = _write(tmp_path, "base.json", [_cell(p99_us=40.0)])
+    grown = 40.0 * (1.0 + guard.TAIL_TOLERANCE) + 0.1
+    fresh = _write(tmp_path, "fresh.json", [_cell(p99_us=grown)])
+    assert _run(base, fresh) == guard.EXIT_REGRESSION
+    assert guard.TAIL_METRIC in capsys.readouterr().err
+
+
+def test_tail_latency_within_tolerance_passes(tmp_path):
+    base = _write(tmp_path, "base.json", [_cell(p99_us=40.0)])
+    fresh = _write(tmp_path, "fresh.json", [_cell(p99_us=47.9)])
+    assert _run(base, fresh) == guard.EXIT_OK
+
+
+def test_tail_latency_improvement_passes(tmp_path):
+    base = _write(tmp_path, "base.json", [_cell(p99_us=40.0)])
+    fresh = _write(tmp_path, "fresh.json", [_cell(p99_us=5.0)])
+    assert _run(base, fresh) == guard.EXIT_OK
+
+
+def test_tail_latency_metric_disappearing_fails(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", [_cell(p99_us=40.0)])
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    assert _run(base, fresh) == guard.EXIT_REGRESSION
+    assert "missing from fresh" in capsys.readouterr().err
+
+
+def test_tail_latency_only_in_fresh_is_ignored(tmp_path):
+    base = _write(tmp_path, "base.json", [_cell()])
+    fresh = _write(tmp_path, "fresh.json", [_cell(p99_us=9999.0)])
+    assert _run(base, fresh) == guard.EXIT_OK
+
+
+def test_non_numeric_tail_latency_is_exit_3(tmp_path):
+    base = _write(tmp_path, "base.json", [_cell(p99_us="slow")])
+    fresh = _write(tmp_path, "fresh.json", [_cell()])
+    assert _run(base, fresh) == guard.EXIT_BAD_INPUT
