@@ -1,0 +1,166 @@
+"""Serving front-end ablation: group commit × read cache (ISSUE 8).
+
+256 closed-loop sessions run a read-heavy MixGraph mix against the KV
+front-end in four configurations — ``naive`` (per-op STORE/RETRIEVE),
+``batch`` (group-commit write batching only), ``cache`` (invalidating
+read cache only), and ``full`` (both).  The acceptance criterion is
+that the full front-end serves at least ``SPEEDUP_BOUND``× the naive
+kiops, with read-your-writes verified on every GET (fan_in=1) and the
+worst single client's p99/p99.9 reported — aggregate tails hide a
+starved session, a per-client max does not.
+
+Parameters are fixed (not ``REPRO_BENCH_OPS``-scaled) because the
+committed baseline ``results/kv_serving.json`` is compared cell-by-cell
+in CI: ``kiops`` may not fall and the worst-client ``p99_9_us`` may not
+rise beyond ``check_perf_regression.py`` tolerances.  Regenerate the
+baseline deliberately with::
+
+    PYTHONPATH=src python benchmarks/test_serving_ablation.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from conftest import RESULTS_DIR, report
+from repro.metrics import format_table
+from repro.pcie.traffic import CAT_CMD_FETCH, CAT_DOORBELL
+from repro.testbed import make_kv_testbed
+from repro.workloads import run_serving
+
+RESULTS_PATH = RESULTS_DIR / "kv_serving.json"
+
+SESSIONS = 256
+OPS_PER_SESSION = 16
+KEYS_PER_SESSION = 8
+READ_RATIO = 0.9
+SEED = 42
+QD = 32
+BATCH_WINDOW_NS = 4000.0
+BATCH_MAX_PAIRS = 32
+CACHE_ENTRIES = 8192
+
+#: Full front-end must serve at least this multiple of naive kiops.
+SPEEDUP_BOUND = 2.0
+
+#: variant → (batch_window_ns, cache_entries).
+VARIANTS = {
+    "naive": (0.0, 0),
+    "batch": (BATCH_WINDOW_NS, 0),
+    "cache": (0.0, CACHE_ENTRIES),
+    "full": (BATCH_WINDOW_NS, CACHE_ENTRIES),
+}
+
+
+def _variant(name: str, window_ns: float, cache_entries: int) -> dict:
+    tb = make_kv_testbed()
+    service = tb.make_service(qd=QD, batch_window_ns=window_ns,
+                              batch_max_pairs=BATCH_MAX_PAIRS,
+                              cache_entries=cache_entries)
+    rep = run_serving(service, sessions=SESSIONS,
+                      ops_per_session=OPS_PER_SESSION,
+                      read_ratio=READ_RATIO,
+                      keys_per_session=KEYS_PER_SESSION,
+                      fan_in=1, seed=SEED)
+    completed = rep.ok + rep.not_found
+    assert rep.errors == 0, f"{name}: {rep.errors} serving errors"
+    return {
+        "method": f"kv_serving_{name}",
+        "doorbell": tb.ssd.config.doorbell_mode,
+        "burst": tb.ssd.config.burst_limit,
+        "kiops": rep.served_kiops,
+        "p99_us": rep.latency.p99 / 1000,
+        #: The worst single client's p99.9 — the higher-is-worse tail
+        #: metric the perf guard pins.
+        "p99_9_us": rep.worst_p999_us,
+        "rw_checks": rep.rw_checks,
+        "hit_rate": service.cache_stats.hit_rate,
+        "mean_batch_pairs": service.stats.mean_batch_pairs,
+        "tlps_per_op": {
+            c: tb.traffic.category(c).tlp_count / max(completed, 1)
+            for c in (CAT_DOORBELL, CAT_CMD_FETCH)},
+    }
+
+
+def run_variants() -> dict:
+    return {name: _variant(name, window, cache)
+            for name, (window, cache) in VARIANTS.items()}
+
+
+@pytest.fixture(scope="module")
+def variants():
+    return run_variants()
+
+
+def _render(variants: dict) -> str:
+    base = variants["naive"]["kiops"]
+    rows = [[name, f"{c['kiops']:.1f}", f"{c['kiops'] / base:.2f}x",
+             f"{c['p99_us']:.1f}", f"{c['p99_9_us']:.1f}",
+             f"{c['hit_rate']:.2f}", f"{c['mean_batch_pairs']:.1f}"]
+            for name, c in variants.items()]
+    return format_table(
+        ["front-end", "served kiops", "speedup", "p99 (us)",
+         "worst p99.9 (us)", "hit rate", "pairs/commit"],
+        rows,
+        title=(f"KV serving ablation — {SESSIONS} sessions x "
+               f"{OPS_PER_SESSION} ops, read {READ_RATIO:.0%}, "
+               f"window {BATCH_WINDOW_NS:.0f}ns, "
+               f"cache {CACHE_ENTRIES} entries"))
+
+
+def _payload(variants: dict) -> str:
+    return json.dumps({
+        "config": {"sessions": SESSIONS, "ops_per_session": OPS_PER_SESSION,
+                   "keys_per_session": KEYS_PER_SESSION,
+                   "read_ratio": READ_RATIO, "seed": SEED, "qd": QD,
+                   "batch_window_ns": BATCH_WINDOW_NS,
+                   "batch_max_pairs": BATCH_MAX_PAIRS,
+                   "cache_entries": CACHE_ENTRIES,
+                   "speedup_bound": SPEEDUP_BOUND},
+        "cells": [variants[k] for k in sorted(variants)],
+    }, indent=1, sort_keys=True) + "\n"
+
+
+def test_serving_report(variants):
+    report("kv_serving", _render(variants))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(_payload(variants))
+
+
+def test_full_front_end_meets_speedup_bound(variants):
+    """ISSUE 8 acceptance: batching+cache ≥ 2x the naive front-end."""
+    naive = variants["naive"]["kiops"]
+    full = variants["full"]["kiops"]
+    assert full >= SPEEDUP_BOUND * naive, (
+        f"full front-end {full:.1f} kiops < {SPEEDUP_BOUND}x naive "
+        f"({naive:.1f} kiops)")
+
+
+def test_read_your_writes_verified_everywhere(variants):
+    """Every variant ran with fan_in=1, so every GET was checked
+    against the session's last acknowledged write."""
+    for name, cell in variants.items():
+        assert cell["rw_checks"] > 0, f"{name}: no consistency checks ran"
+
+
+def test_cache_variants_actually_hit(variants):
+    for name in ("cache", "full"):
+        assert variants[name]["hit_rate"] > 0.3, variants[name]
+    for name in ("naive", "batch"):
+        assert variants[name]["hit_rate"] == 0.0, variants[name]
+
+
+def test_batching_coalesces_writes(variants):
+    for name in ("batch", "full"):
+        assert variants[name]["mean_batch_pairs"] > 2.0, variants[name]
+
+
+if __name__ == "__main__":
+    RESULTS_DIR.mkdir(exist_ok=True)
+    cells = run_variants()
+    RESULTS_PATH.write_text(_payload(cells))
+    print(_render(cells))
+    print(f"captured {RESULTS_PATH}")

@@ -10,6 +10,7 @@ Commands:
 * ``faults``    — fault-injection demo: seeded faults vs driver recovery
 * ``engine``    — asynchronous multi-queue engine + concurrent load gen
 * ``virt``      — multi-tenant rig: namespaces, queue passthrough, QoS
+* ``serve``     — KV serving front-end: sessions, group commit, read cache
 * ``lint``      — project-specific AST lint (determinism, queue protocol)
 """
 
@@ -412,6 +413,65 @@ def cmd_virt(args) -> int:
     return 0 if total_ok == args.tenants * args.ops else 1
 
 
+def cmd_serve(args) -> int:
+    """Closed-loop serving run: N sessions over the KV front-end."""
+    from repro.kvssd.service import ServiceError
+    from repro.testbed import make_kv_testbed
+    from repro.workloads import run_serving
+
+    engine_choices = datapath_registry.method_names(engine_capable=True)
+    if args.method not in engine_choices:
+        print(f"unknown serve method {args.method!r}; pick from "
+              f"{engine_choices}", file=sys.stderr)
+        return 2
+    tb = make_kv_testbed()
+    try:
+        service = tb.make_service(
+            queues=args.queues, qd=args.qd, method=args.method,
+            batch_window_ns=args.window_ns,
+            batch_max_pairs=args.batch_max_pairs,
+            cache_entries=args.cache_entries)
+        report = run_serving(
+            service, sessions=args.sessions, ops_per_session=args.ops,
+            read_ratio=args.read_ratio,
+            keys_per_session=args.keys_per_session,
+            fan_in=args.fan_in, seed=args.seed)
+    except (ServiceError, ValueError) as exc:
+        print(f"bad serving configuration: {exc}", file=sys.stderr)
+        return 2
+    stats = service.stats
+    cache = service.cache_stats
+    rows = [
+        ["ops completed", report.ok + report.not_found],
+        ["not found", report.not_found],
+        ["errors", report.errors],
+        ["served kiops", f"{report.served_kiops:.1f}"],
+        ["p50 (us)", f"{report.latency.p50 / 1000:.1f}"],
+        ["p99 (us)", f"{report.latency.p99 / 1000:.1f}"],
+        ["worst client p99 (us)", f"{report.worst_p99_us:.1f}"],
+        ["worst client p99.9 (us)", f"{report.worst_p999_us:.1f}"],
+        ["read-your-writes checks", report.rw_checks],
+        ["group commits", stats.batches],
+        ["mean pairs/commit", f"{stats.mean_batch_pairs:.1f}"],
+        ["barrier flushes", stats.flush_barrier],
+        ["deferred reads/deletes", stats.deferred_ops],
+        ["cache hit rate", f"{cache.hit_rate:.2f}"],
+        ["cache fills / races", f"{cache.fills} / {cache.fill_races}"],
+    ]
+    batching = (f"window {args.window_ns:.0f}ns"
+                if args.window_ns > 0 else "batching off")
+    caching = (f"cache {args.cache_entries}"
+               if args.cache_entries > 0 else "cache off")
+    print(format_table(
+        ["metric", "value"], rows,
+        title=(f"serve: {args.sessions} session(s) x {args.ops} ops, "
+               f"read {args.read_ratio:.0%}, {args.method}, "
+               f"{batching}, {caching}")))
+    print()
+    print(format_traffic_breakdown(tb.traffic, title="PCIe traffic"))
+    return 0 if report.errors == 0 else 1
+
+
 def cmd_lint(args) -> int:
     from repro.verify.lint import run_lint
 
@@ -557,6 +617,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bytes-per-sec", type=float, default=None,
                    help="per-tenant bytes/sec budget (QoS on)")
     p.set_defaults(func=cmd_virt, qos=True)
+
+    p = sub.add_parser(
+        "serve",
+        help="KV serving front-end: sessions, group commit, read cache")
+    p.add_argument("--sessions", type=int, default=64,
+                   help="concurrent client sessions")
+    p.add_argument("--ops", type=int, default=32,
+                   help="operations per session")
+    p.add_argument("--read-ratio", type=float, default=0.9,
+                   help="GET fraction of the mix (rest are PUTs)")
+    p.add_argument("--keys-per-session", type=int, default=8,
+                   help="private key-range size per session")
+    p.add_argument("--fan-in", type=int, default=1,
+                   help="outstanding ops per session (1 verifies "
+                        "read-your-writes)")
+    p.add_argument("--window-ns", type=float, default=4000.0,
+                   help="group-commit batching window (0 disables)")
+    p.add_argument("--batch-max-pairs", type=int, default=32,
+                   help="pairs that close the window early")
+    p.add_argument("--cache-entries", type=int, default=8192,
+                   help="read-cache capacity in entries (0 disables)")
+    p.add_argument("--queues", type=int, default=None,
+                   help="I/O queues the service drives (default: all)")
+    p.add_argument("--qd", type=int, default=32,
+                   help="per-queue queue-depth cap")
+    p.add_argument("--method", default=dp_names.BYTEEXPRESS,
+                   choices=datapath_registry.method_names(
+                       engine_capable=True))
+    p.add_argument("--seed", type=_seed_int, default=0x5EED)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "lint",

@@ -40,6 +40,7 @@ from repro.nvme.command import NvmeCommand
 from repro.nvme.constants import (
     BANDSLIM_FRAGMENT_CAPACITY,
     DEFAULT_NSID,
+    PAGE_SIZE,
     IoOpcode,
     VendorOpcode,
 )
@@ -185,9 +186,46 @@ class IoEngine:
         self._dispatch(entry)
         return future
 
+    def submit_read(self, read_len: int, opcode: int, cdw10: int = 0,
+                    cdw11: int = 0, mptr: int = 0, cdw14: int = 0,
+                    cdw15: int = 0, nsid: Optional[int] = None,
+                    stream: Optional[int] = None) -> CommandFuture:
+        """Issue one asynchronous read-style (or keyed, data-free) command.
+
+        The command carries no host→device payload — its operands ride
+        entirely in the SQE (the NVMe-KV RETRIEVE/DELETE/EXIST/LIST
+        shape: key in mptr+CDW10/11, length in CDW14).  *read_len* > 0
+        allocates a private contiguous DMA buffer for the device's data
+        return; the resolved future carries the returned bytes in
+        ``future.data`` (trimmed to the CQE-reported result length).
+        *read_len* == 0 submits a keyed command with no data phase in
+        either direction (DELETE, EXIST).
+
+        Unlike ``submit_read_prp`` on the driver — whose shared per-queue
+        scratch buffer is unsafe past QD 1 — every in-flight read owns
+        its buffer, so reads pipeline like writes do.
+        """
+        if read_len < 0:
+            raise EngineError("read_len must be >= 0")
+        future = CommandFuture(stream=stream, payload_len=0)
+        now = self.clock.now
+        future.submit_ns = now
+        entry = InFlightCommand(
+            future=future, method=dp_names.PRP, opcode=opcode, payload=b"",
+            cdw10=cdw10, cdw11=cdw11,
+            nsid=self.default_nsid if nsid is None else nsid, stream=stream,
+            mptr=mptr, cdw14=cdw14, cdw15=cdw15, read_len=read_len,
+            first_submit_ns=now,
+            deadline_ns=now + self.driver.retry_policy.deadline_ns)
+        self.stats.submitted += 1
+        self._dispatch(entry)
+        return future
+
     def _slots_needed(self, entry: InFlightCommand) -> int:
         """SQ slots the submission occupies (worst case: inline path) —
         declared by the method's registry caps."""
+        if entry.is_keyed:
+            return 1  # single SQE, operands in the command itself
         spec = (self._spec_cache.get(entry.method)
                 or datapath_registry.resolve(entry.method))
         return spec.caps.slots_needed(len(entry.payload), tagged=self.tagged)
@@ -231,6 +269,9 @@ class IoEngine:
 
     def _submit_entry(self, entry: InFlightCommand, qid: int) -> None:
         """Drive one (re)submission through the driver, no doorbell."""
+        if entry.is_keyed:
+            self._submit_keyed(entry, qid)
+            return
         method = entry.method
         spec = (self._spec_cache.get(method)
                 or datapath_registry.resolve(method))
@@ -273,6 +314,35 @@ class IoEngine:
             cid = spec.host_codec.encode(self.driver, cmd, entry.payload,
                                          qid, ring=False,
                                          private_buffer=True)
+        entry.key = (qid, cid)
+        self.table.add(entry)
+        self.scheduler.note_submit(qid)
+        self._dirty.add(qid)
+
+    def _submit_keyed(self, entry: InFlightCommand, qid: int) -> None:
+        """(Re)submit a ``submit_read`` entry: one SQE, no data phase out.
+
+        The read-return buffer is allocated once per entry and reused
+        across timeout resubmissions — the retry must land its data in
+        the same place the future's copy-out will look.
+        """
+        entry.method_used = entry.method
+        entry.attempts += 1
+        entry.last_submit_ns = self.clock.now
+        # The async submission API call itself (io_uring-style ioctl).
+        self.clock.advance(self.timing.passthrough_ns)
+        cmd = NvmeCommand(entry.opcode, 0, 0, entry.nsid, 0, 0, entry.mptr,
+                          0, 0, entry.cdw10, entry.cdw11)
+        cmd.cdw14 = entry.cdw14
+        cmd.cdw15 = entry.cdw15
+        if entry.read_len:
+            if not entry.read_pages:
+                pages = self.driver.memory.alloc_pages(
+                    -(-entry.read_len // PAGE_SIZE))
+                entry.read_pages = tuple(pages)
+            cmd.prp1 = entry.read_pages[0]
+            cmd.cdw13 = entry.read_len
+        cid = self.driver.submit_raw(cmd, qid, ring=False)
         entry.key = (qid, cid)
         self.table.add(entry)
         self.scheduler.note_submit(qid)

@@ -138,6 +138,7 @@ class CompletionReactor:
         if cqe.ok:
             if entry.is_inline:
                 breaker.record_success()
+            self._finish_read(entry, cqe)
             entry.resolve(cqe, e.clock.now)
             e.stats.completed += 1
             return 1
@@ -149,9 +150,26 @@ class CompletionReactor:
                 e.driver.link.counter.record_event(EVT_BREAKER_TRIP)
         if cqe.retryable and self._park_for_retry(entry):
             return 0
+        self._finish_read(entry, None)
         entry.resolve(cqe, e.clock.now)
         e.stats.failed += 1
         return 1
+
+    def _finish_read(self, entry: "InFlightCommand", cqe) -> None:
+        """Terminal read handling: copy the device's data return out of
+        the entry's private DMA buffer into the future (success only),
+        then free the buffer.  Parked retries keep the buffer — the
+        resubmission lands its data in the same pages."""
+        if not entry.read_pages:
+            return
+        if cqe is not None and cqe.ok:
+            want = min(cqe.result, entry.read_len)
+            if want > 0:
+                entry.future.data = self.engine.driver.memory.read(
+                    entry.read_pages[0], want)
+            else:
+                entry.future.data = b""
+        entry.release_read_buffer(self.engine.driver.memory)
 
     # ------------------------------------------------------------------
     # timeout recovery
@@ -196,6 +214,7 @@ class CompletionReactor:
             entry.key = None
             entry.payload_id = None
             if not self._park_for_retry(entry):
+                entry.release_read_buffer(e.driver.memory)
                 entry.fail(None, e.clock.now)
                 e.stats.failed += 1
                 resolved += 1

@@ -40,7 +40,8 @@ class CommandFuture:
     """
 
     __slots__ = ("state", "cqe", "status", "latency_ns", "attempts",
-                 "method_used", "stream", "payload_len", "submit_ns")
+                 "method_used", "stream", "payload_len", "submit_ns",
+                 "data")
 
     def __init__(self, stream: Optional[int] = None,
                  payload_len: int = 0) -> None:
@@ -55,6 +56,10 @@ class CommandFuture:
         self.stream = stream
         self.payload_len = payload_len
         self.submit_ns: float = 0.0
+        #: Device→host data of a read-style command (``submit_read``),
+        #: copied out of the command's private DMA buffer at completion;
+        #: None for writes and for reads that returned no data.
+        self.data: Optional[bytes] = None
 
     @property
     def done(self) -> bool:
@@ -100,6 +105,19 @@ class InFlightCommand:
     cdw11: int = 0
     nsid: int = 1
     stream: Optional[int] = None
+    #: Extra command words for keyed/read-style commands (NVMe-KV packs
+    #: the key into mptr + CDW10/11 with CDW14 holding the key length,
+    #: CDW15 a per-opcode bound such as LIST's max key count).
+    mptr: int = 0
+    cdw14: int = 0
+    cdw15: int = 0
+    #: Device→host return-buffer size; 0 marks a write (or a keyed
+    #: command with no data return at all, e.g. DELETE/EXIST).
+    read_len: int = 0
+    #: Private contiguous DMA pages backing the read return, allocated
+    #: at first submission and reused across retries; freed by the
+    #: reactor when the future resolves.
+    read_pages: Tuple[int, ...] = ()
     #: Method actually used for the current submission (breaker fallback
     #: may downgrade an inline request to "prp" per attempt).
     method_used: str = ""
@@ -135,6 +153,17 @@ class InFlightCommand:
     def is_inline(self) -> bool:
         """Did the *current* submission use an inline transfer path?"""
         return self.method_used in (dp_names.BYTEEXPRESS, dp_names.BANDSLIM)
+
+    @property
+    def is_keyed(self) -> bool:
+        """Submitted through ``submit_read`` (no host→device payload)?"""
+        return not self.payload
+
+    def release_read_buffer(self, memory: "object") -> None:
+        """Free the private read-return pages, if any (idempotent)."""
+        for page in self.read_pages:
+            memory.free_page(page)  # type: ignore[attr-defined]
+        self.read_pages = ()
 
 
 class InFlightTable:

@@ -1,7 +1,8 @@
 """KV-SSD substrate: value log, LSM index, KV command set, device
-personality, and the host key-value API."""
+personality, the host key-value API, and the serving front-end."""
 
 from repro.kvssd.api import KeyNotFoundError, KvError, KVStore
+from repro.kvssd.cache import CacheStats, ShardedReadCache
 from repro.kvssd.commands import (
     MAX_INLINE_KEY,
     KvEncodingError,
@@ -10,6 +11,7 @@ from repro.kvssd.commands import (
     decode_store_payload,
     encode_batch_payload,
     encode_store_payload,
+    key_field_words,
     make_delete_command,
     make_exist_command,
     make_list_command,
@@ -20,10 +22,25 @@ from repro.kvssd.commands import (
 )
 from repro.kvssd.kvssd import KvSsdPersonality
 from repro.kvssd.lsm import TOMBSTONE, LsmIndex, SsTable
+from repro.kvssd.service import (
+    KvFuture,
+    KvService,
+    KvSession,
+    ServiceError,
+    ServiceStats,
+)
 from repro.kvssd.value_log import LogPointer, ValueLog
 
 __all__ = [
     "KVStore",
+    "KvService",
+    "KvSession",
+    "KvFuture",
+    "ServiceError",
+    "ServiceStats",
+    "ShardedReadCache",
+    "CacheStats",
+    "key_field_words",
     "KvError",
     "KeyNotFoundError",
     "KvSsdPersonality",

@@ -9,11 +9,12 @@ workloads through each.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.kvssd.commands import (
     MAX_INLINE_KEY,
     decode_key_list,
+    encode_batch_payload,
     encode_store_payload,
     make_delete_command,
     make_exist_command,
@@ -21,7 +22,7 @@ from repro.kvssd.commands import (
     make_retrieve_command,
 )
 from repro.host.driver import NvmeDriver
-from repro.nvme.constants import KvOpcode, StatusCode
+from repro.nvme.constants import KvOpcode, StatusCode, VendorOpcode
 from repro.transfer.base import TransferMethod, TransferStats
 
 
@@ -90,16 +91,14 @@ class KVStore:
             raise KvError(f"EXIST failed with status {cqe.status:#x}")
         return True
 
-    def put_batch(self, pairs) -> TransferStats:
+    def put_batch(self,
+                  pairs: Iterable[Tuple[bytes, bytes]]) -> TransferStats:
         """Compound PUT: many pairs in one command (§2.2.1 bulk-PUT).
 
         Amortises per-command protocol cost at the price of per-pair
         persistence granularity — all pairs complete (and become durable)
         together.
         """
-        from repro.kvssd.commands import encode_batch_payload
-        from repro.nvme.constants import VendorOpcode
-
         pairs = list(pairs)
         for key, _ in pairs:
             self._check_key(key)
@@ -113,7 +112,7 @@ class KVStore:
         return stats
 
     def list_keys(self, start_key: bytes = b"\x00",
-                  max_keys: int = 64, max_len: int = 8192) -> list:
+                  max_keys: int = 64, max_len: int = 8192) -> List[bytes]:
         """Enumerate up to *max_keys* keys ≥ *start_key*, in order."""
         self._check_key(start_key)
         cmd = make_list_command(start_key, max_keys)
@@ -121,7 +120,14 @@ class KVStore:
         cqe = self.driver.wait(self.qid)
         if not cqe.ok:
             raise KvError(f"LIST failed with status {cqe.status:#x}")
-        raw = self.driver.memory.read(buf, max_len)
+        # The CQE result reports the response's byte length (mirroring
+        # get()'s value-length contract) — read exactly that, not the
+        # whole worst-case buffer.
+        list_len = cqe.result
+        if list_len > max_len:
+            raise KvError(
+                f"key list of {list_len} B exceeds buffer of {max_len} B")
+        raw = self.driver.memory.read(buf, list_len)
         return list(decode_key_list(raw))
 
     # ------------------------------------------------------------------

@@ -17,7 +17,7 @@ Encoding conventions used by this KV-SSD:
 from __future__ import annotations
 
 import struct
-from typing import Tuple
+from typing import Iterable, List, Tuple
 
 from repro.nvme.command import NvmeCommand
 from repro.nvme.constants import KvOpcode
@@ -52,18 +52,28 @@ def decode_store_payload(payload: bytes) -> Tuple[bytes, bytes]:
     return body[:key_len], body[key_len:]
 
 
-def pack_key_fields(cmd: NvmeCommand, key: bytes) -> None:
-    """Place a ≤16 B key into the command's key field (mptr + CDW10/11)."""
+def key_field_words(key: bytes) -> Tuple[int, int, int, int]:
+    """Encode a ≤16 B key as its command-word tuple.
+
+    Returns ``(mptr, cdw10, cdw11, cdw14)`` — the raw words callers
+    that build SQEs field-by-field (the async engine's keyed path) pass
+    straight through, with CDW14 carrying the key length.
+    """
     if not key:
         raise KvEncodingError("empty key")
     if len(key) > MAX_INLINE_KEY:
         raise KvEncodingError(
             f"key of {len(key)} B exceeds the {MAX_INLINE_KEY} B key field")
     padded = key + b"\x00" * (MAX_INLINE_KEY - len(key))
-    cmd.mptr = int.from_bytes(padded[:8], "little")
-    cmd.cdw10 = int.from_bytes(padded[8:12], "little")
-    cmd.cdw11 = int.from_bytes(padded[12:16], "little")
-    cmd.cdw14 = len(key)
+    return (int.from_bytes(padded[:8], "little"),
+            int.from_bytes(padded[8:12], "little"),
+            int.from_bytes(padded[12:16], "little"),
+            len(key))
+
+
+def pack_key_fields(cmd: NvmeCommand, key: bytes) -> None:
+    """Place a ≤16 B key into the command's key field (mptr + CDW10/11)."""
+    cmd.mptr, cmd.cdw10, cmd.cdw11, cmd.cdw14 = key_field_words(key)
 
 
 def unpack_key_fields(cmd: NvmeCommand) -> bytes:
@@ -117,7 +127,7 @@ def make_list_command(start_key: bytes, max_keys: int,
 _PAIR_HEADER = struct.Struct("<HI")
 
 
-def encode_batch_payload(pairs) -> bytes:
+def encode_batch_payload(pairs: Iterable[Tuple[bytes, bytes]]) -> bytes:
     """Serialise a compound STORE: u16 count | (u16 klen|u32 vlen|k|v)*.
 
     The bulk-PUT alternative of §2.2.1 — one command carries many pairs,
@@ -138,12 +148,12 @@ def encode_batch_payload(pairs) -> bytes:
     return bytes(out)
 
 
-def decode_batch_payload(raw: bytes):
+def decode_batch_payload(raw: bytes) -> List[Tuple[bytes, bytes]]:
     """Inverse of :func:`encode_batch_payload`."""
     if len(raw) < 2:
         raise KvEncodingError("truncated batch payload")
     count = int.from_bytes(raw[:2], "little")
-    pairs = []
+    pairs: List[Tuple[bytes, bytes]] = []
     pos = 2
     for _ in range(count):
         if pos + _PAIR_HEADER.size > len(raw):
@@ -162,7 +172,7 @@ def decode_key_list(raw: bytes) -> Tuple[bytes, ...]:
     if len(raw) < 4:
         raise KvEncodingError("truncated key list")
     count = int.from_bytes(raw[:4], "little")
-    keys = []
+    keys: List[bytes] = []
     pos = 4
     for _ in range(count):
         if pos + 2 > len(raw):

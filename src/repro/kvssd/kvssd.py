@@ -25,6 +25,7 @@ from repro.kvssd.commands import (
 from repro.kvssd.lsm import LsmIndex
 from repro.kvssd.value_log import ValueLog
 from repro.nvme.constants import KvOpcode, StatusCode, VendorOpcode
+from repro.sim.config import TimingModel
 from repro.ssd.controller import CommandContext, CommandResult
 from repro.ssd.device import OpenSsd
 from repro.ssd.nand import NandError
@@ -63,7 +64,7 @@ class KvSsdPersonality:
 
     # ------------------------------------------------------------------
     @property
-    def _timing(self):
+    def _timing(self) -> TimingModel:
         return self.ssd.config.timing
 
     def _on_store(self, ctx: CommandContext) -> CommandResult:
@@ -201,7 +202,26 @@ class KvSsdPersonality:
         for key in keys:
             out += len(key).to_bytes(2, "little") + key
         self.lists += 1
-        return CommandResult(result=len(keys), read_data=bytes(out))
+        # Like RETRIEVE, the CQE result reports the *byte* length of the
+        # data return, so the host can trim its read buffer exactly.
+        return CommandResult(result=len(out), read_data=bytes(out))
+
+    def peek(self, key: bytes) -> Optional[bytes]:
+        """Timing-free ground-truth lookup for verification oracles.
+
+        The cache-coherence invariant shadow-reads every cache hit from
+        the device; going through :meth:`_lookup` would advance the
+        simulated clock and skew the NAND counters, so this walks the
+        DRAM-pinned index and the value log's ``peek`` chain instead.
+        Returns None for missing/deleted keys.
+        """
+        ptr = self.index.get(key)
+        if ptr is None:
+            return None
+        stored_key, value = self.vlog.peek(ptr)
+        if stored_key != key:  # pragma: no cover - index corruption guard
+            return None
+        return value
 
     # ------------------------------------------------------------------
     # device-local iteration (used by tests and the example applications)

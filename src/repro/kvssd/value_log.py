@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.ssd.dram import DeviceDram, DramRegion
 from repro.ssd.ftl import PageMappingFtl
@@ -119,6 +119,25 @@ class ValueLog:
         body = raw[_ENTRY_HEADER.size:]
         return body[:key_len], body[key_len:key_len + value_len]
 
+    def peek(self, ptr: LogPointer) -> Tuple[bytes, bytes]:
+        """Timing-free :meth:`read` for verification oracles.
+
+        Identical decoding, but flushed segments are fetched through the
+        FTL/NAND ``peek`` chain so the shadow read charges no simulated
+        time and perturbs no counters.
+        """
+        if ptr.segment == self._segment and not self._flushed.get(ptr.segment):
+            raw = self._buffer.read(ptr.offset, ptr.length)
+        elif self._flushed.get(ptr.segment):
+            page = self.ftl.peek(self.lpn_base + ptr.segment)
+            raw = page[ptr.offset:ptr.offset + ptr.length]
+        else:
+            raise KeyError(f"stale log pointer {ptr}")
+        key_len, value_len = _ENTRY_HEADER.unpack_from(raw)
+        key_len &= ~_TOMBSTONE_FLAG
+        body = raw[_ENTRY_HEADER.size:]
+        return body[:key_len], body[key_len:key_len + value_len]
+
     @property
     def active_bytes(self) -> int:
         return self._offset
@@ -139,7 +158,9 @@ class ValueLog:
             total += self._used.get(seg, 0) - self._live.get(seg, 0)
         return total
 
-    def _parse_segment(self, segment: int):
+    def _parse_segment(
+            self, segment: int
+    ) -> Iterator[Tuple[LogPointer, bytes, bytes, bool]]:
         """Yield (ptr, key, value, is_tombstone) for a flushed segment."""
         page = self.ftl.read(self.lpn_base + segment)
         used = self._used[segment]
@@ -156,7 +177,12 @@ class ValueLog:
                    bytes(body[:key_len]), bytes(body[key_len:]), is_tomb)
             offset += size
 
-    def collect(self, is_live, on_relocate, keep_tombstone=None) -> bool:
+    def collect(
+            self,
+            is_live: Callable[[bytes, LogPointer], bool],
+            on_relocate: Callable[[bytes, LogPointer, LogPointer], None],
+            keep_tombstone: Optional[Callable[[bytes], bool]] = None,
+    ) -> bool:
         """One GC pass: reclaim the flushed segment with the most garbage.
 
         *is_live(key, ptr)* asks the index whether *ptr* is still current;

@@ -115,6 +115,13 @@ class PageMappingFtl:
             raise FtlError(f"LPN {lpn} has never been written")
         return self.nand.read(ppage)
 
+    def peek(self, lpn: int) -> bytes:
+        """Timing-free read for verification oracles (no NAND charge)."""
+        ppage = self._map.get(lpn)
+        if ppage is None:
+            raise FtlError(f"LPN {lpn} has never been written")
+        return self.nand.peek(ppage)
+
     def trim(self, lpn: int) -> None:
         """Discard a logical page (DSM deallocate)."""
         self._invalidate(lpn)

@@ -157,6 +157,20 @@ class NandArray:
             self.clock.advance_to(end)
         return data
 
+    def peek(self, page: PhysicalPage) -> bytes:
+        """Timing-free read for verification oracles.
+
+        Returns the programmed data without advancing the clock, marking
+        the die busy, or counting a read — the protocol monitor's shadow
+        reads must be invisible to the simulation they check.
+        """
+        self._check_page(page)
+        die = self._die(page)
+        data = self._pages.get((die, page.block, page.page))
+        if data is None:
+            raise NandError(f"peek of unwritten page {page}")
+        return data
+
     def erase(self, die: int, block: int, erase_ns: float = 3_000_000.0) -> float:
         """Erase a block, resetting its write point."""
         if not 0 <= die < self.geometry.dies:

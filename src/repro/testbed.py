@@ -83,6 +83,26 @@ class Testbed:
             self.monitor.attach_engine(engine)  # type: ignore[attr-defined]
         return engine
 
+    def make_service(self, queues: Optional[int] = None, qd: int = 8,
+                     policy: str = "round_robin", **service_kwargs):
+        """Build a :class:`~repro.kvssd.KvService` over this rig.
+
+        Constructs the async engine (monitored under ``REPRO_VERIFY``)
+        and the serving front-end bound to the rig's KV personality;
+        *service_kwargs* pass through to :class:`KvService` (method,
+        batch window, cache size, ...).  When the monitor is armed and
+        the cache is enabled, every cache hit is shadow-read from the
+        device (the INV_CACHE_COHERENT oracle).
+        """
+        from repro.kvssd.service import KvService
+
+        engine = self.make_engine(queues=queues, qd=qd, policy=policy)
+        service = KvService(engine, personality=self.personality,
+                            **service_kwargs)
+        if self.monitor is not None and service.cache is not None:
+            self.monitor.attach_service(service)  # type: ignore[attr-defined]
+        return service
+
 
 def _finish(tb: Testbed) -> Testbed:
     """Arm the protocol monitor when ``REPRO_VERIFY`` asks for it."""

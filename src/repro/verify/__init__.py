@@ -27,6 +27,7 @@ from repro.verify.explore import (
 )
 from repro.verify.invariants import (
     ALL_RULES,
+    INV_CACHE_COHERENT,
     INV_CID_UNIQUE,
     INV_CQ_OVERRUN,
     INV_CQ_PHASE,
@@ -50,6 +51,7 @@ __all__ = [
     "ALL_RULES",
     "ENV_FLAG",
     "ExplorationResult",
+    "INV_CACHE_COHERENT",
     "INV_CID_UNIQUE",
     "INV_CQ_OVERRUN",
     "INV_CQ_PHASE",

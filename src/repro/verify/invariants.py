@@ -53,6 +53,11 @@ INV_TENANT_NS       Namespace isolation: every successfully completed
                     been rejected, never serviced).
 INV_QOS_BUDGET      Token-bucket soundness: no tenant budget ever goes
                     negative — charges clamp at zero.
+INV_CACHE_COHERENT  Serving-cache coherence: every value the KV serving
+                    layer's read cache returns equals a timing-free
+                    shadow read of the device's current state — a cache
+                    hit is never older than the session's last
+                    acknowledged write (invalidate-before-ack).
 ==================  =====================================================
 """
 
@@ -71,6 +76,7 @@ INV_RR_FAIRNESS = "INV_RR_FAIRNESS"
 INV_TENANT_QUEUE = "INV_TENANT_QUEUE"
 INV_TENANT_NS = "INV_TENANT_NS"
 INV_QOS_BUDGET = "INV_QOS_BUDGET"
+INV_CACHE_COHERENT = "INV_CACHE_COHERENT"
 
 #: Every rule the monitor can report, with a one-line description.
 ALL_RULES: Dict[str, str] = {
@@ -85,6 +91,7 @@ ALL_RULES: Dict[str, str] = {
     INV_TENANT_QUEUE: "fetches confined to host- or tenant-owned queues",
     INV_TENANT_NS: "completed tenant commands carry the owner's nsid",
     INV_QOS_BUDGET: "QoS token buckets never go negative",
+    INV_CACHE_COHERENT: "serving-cache hits match a device shadow read",
 }
 
 

@@ -36,6 +36,7 @@ from repro.core.reassembly import tagged_chunk_count
 from repro.nvme.command import NvmeCommand
 from repro.nvme.constants import ADMIN_QID, StatusCode
 from repro.verify.invariants import (
+    INV_CACHE_COHERENT,
     INV_CID_UNIQUE,
     INV_CQ_OVERRUN,
     INV_CQ_PHASE,
@@ -205,6 +206,37 @@ class ProtocolMonitor:
         self._cq.pop(qid, None)
         self._shadow_published.pop(qid, None)
         self._shadow_eventidx.pop(qid, None)
+
+    def attach_service(self, service: Any) -> None:
+        """Observe a KV serving front-end's read cache.
+
+        Installs the service's ``on_cache_hit`` hook: every cache hit is
+        shadow-read from the device through the personality's
+        timing-free ``peek`` chain and compared byte-for-byte — the
+        cache-coherence invariant, checked without perturbing the
+        simulated clock or any device counter.
+        """
+        personality = service.personality
+        if personality is None:
+            raise ValueError(
+                "attach_service needs a service bound to its device "
+                "personality (KvService(personality=...)) for shadow reads")
+
+        def on_cache_hit(key: bytes, value: bytes) -> None:
+            self.checks[INV_CACHE_COHERENT] += 1
+            truth = personality.peek(key)
+            if truth != value:
+                self._violate(
+                    INV_CACHE_COHERENT,
+                    f"cache hit for key {key.hex()} returned "
+                    f"{len(value)} B that differ from the device's "
+                    f"current value "
+                    f"({'missing' if truth is None else f'{len(truth)} B'})",
+                    {"key": key.hex(),
+                     "cached_len": len(value),
+                     "device_len": None if truth is None else len(truth)})
+
+        self._patch(service, "on_cache_hit", on_cache_hit)
 
     def attach_virt(self, manager: Any) -> None:
         """Observe a :class:`~repro.virt.TenantManager`: queue

@@ -7,6 +7,14 @@ from repro.workloads.microbench import (
     fixed_size_payloads,
     size_sweep,
 )
+from repro.workloads.serving import (
+    ServingConsistencyError,
+    ServingReport,
+    SessionReport,
+    run_serving,
+    session_key,
+    session_ops,
+)
 from repro.workloads.trace import TraceRecorder, dump_trace, load_trace
 from repro.workloads.mixgraph import (
     GPD_SCALE,
@@ -40,4 +48,10 @@ __all__ = [
     "TraceRecorder",
     "dump_trace",
     "load_trace",
+    "run_serving",
+    "session_key",
+    "session_ops",
+    "ServingReport",
+    "SessionReport",
+    "ServingConsistencyError",
 ]

@@ -1,6 +1,8 @@
 """CLI smoke tests (every subcommand end-to-end)."""
 
 
+import pytest
+
 from repro.cli import main
 from repro.workloads import MixGraphWorkload, dump_trace
 
@@ -56,3 +58,36 @@ def test_replay_empty_trace(tmp_path, capsys):
     trace = tmp_path / "empty.jsonl"
     trace.write_text("")
     assert main(["replay", str(trace)]) == 2
+
+
+def test_serve(capsys):
+    assert main(["serve", "--sessions", "16", "--ops", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "served kiops" in out
+    assert "worst client p99.9" in out
+    assert "read-your-writes checks" in out
+    assert "PCIe traffic" in out
+
+
+def test_serve_disabled_optimisations(capsys):
+    assert main(["serve", "--sessions", "4", "--ops", "4",
+                 "--window-ns", "0", "--cache-entries", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "batching off" in out and "cache off" in out
+
+
+def test_serve_unknown_method(capsys):
+    # argparse rejects non-registry methods before cmd_serve runs.
+    with pytest.raises(SystemExit) as exc:
+        main(["serve", "--method", "warp-drive"])
+    assert exc.value.code == 2
+
+
+def test_serve_bad_mix_is_exit_2(capsys):
+    assert main(["serve", "--read-ratio", "1.5"]) == 2
+    assert "bad serving configuration" in capsys.readouterr().err
+
+
+def test_serve_bad_window_is_exit_2(capsys):
+    assert main(["serve", "--window-ns", "-1"]) == 2
+    assert "bad serving configuration" in capsys.readouterr().err

@@ -1,0 +1,118 @@
+"""Unit tests for the sharded invalidating read cache."""
+
+import pytest
+
+from repro.kvssd.cache import ShardedReadCache
+
+
+def test_lookup_miss_then_fill_then_hit():
+    cache = ShardedReadCache(capacity=16, shards=4)
+    assert cache.lookup(b"k") is None
+    token = cache.begin_fill(b"k")
+    assert cache.commit_fill(token, b"v")
+    assert cache.lookup(b"k") == b"v"
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.fills == 1
+
+
+def test_invalidate_drops_entry_and_counts():
+    cache = ShardedReadCache(capacity=16)
+    token = cache.begin_fill(b"k")
+    cache.commit_fill(token, b"v")
+    assert cache.invalidate(b"k")
+    assert cache.lookup(b"k") is None
+    assert cache.stats.invalidations == 1
+    # Invalidating an absent key is not an "invalidation" event.
+    assert not cache.invalidate(b"absent")
+    assert cache.stats.invalidations == 1
+
+
+def test_fill_race_discarded():
+    """A fill begun before an invalidation must not install — the
+    classic look-aside bug where a slow read resurrects a stale value."""
+    cache = ShardedReadCache(capacity=16)
+    token = cache.begin_fill(b"k")
+    cache.invalidate(b"k")  # a write landed mid-read-through
+    assert not cache.commit_fill(token, b"stale")
+    assert cache.peek(b"k") is None
+    assert cache.stats.fill_races == 1
+    # A fill started *after* the invalidation installs fine.
+    token = cache.begin_fill(b"k")
+    assert cache.commit_fill(token, b"fresh")
+    assert cache.peek(b"k") == b"fresh"
+
+
+def test_neighbour_key_writes_do_not_fence_a_fill():
+    """Fences are per key, not per shard: a busy neighbour must not
+    discard every concurrent fill that happens to share its shard."""
+    cache = ShardedReadCache(capacity=64, shards=1)  # force sharing
+    token = cache.begin_fill(b"cold")
+    for i in range(10):
+        cache.invalidate(b"hot")
+    assert cache.commit_fill(token, b"v")
+    assert cache.peek(b"cold") == b"v"
+    assert cache.stats.fill_races == 0
+
+
+def test_clear_fences_all_in_flight_fills():
+    cache = ShardedReadCache(capacity=16)
+    token = cache.begin_fill(b"k")
+    cache.clear()
+    assert not cache.commit_fill(token, b"stale")
+    assert len(cache) == 0
+
+
+def test_lru_eviction_per_shard():
+    cache = ShardedReadCache(capacity=4, shards=1)
+    for i in range(6):
+        key = b"k%d" % i
+        cache.commit_fill(cache.begin_fill(key), b"v")
+    assert len(cache) == 4
+    assert cache.stats.evictions == 2
+    # Oldest two fell out.
+    assert cache.peek(b"k0") is None
+    assert cache.peek(b"k1") is None
+    assert cache.peek(b"k5") == b"v"
+
+
+def test_lookup_refreshes_recency():
+    cache = ShardedReadCache(capacity=2, shards=1)
+    cache.commit_fill(cache.begin_fill(b"a"), b"1")
+    cache.commit_fill(cache.begin_fill(b"b"), b"2")
+    assert cache.lookup(b"a") == b"1"  # refresh a
+    cache.commit_fill(cache.begin_fill(b"c"), b"3")  # evicts b
+    assert cache.peek(b"a") == b"1"
+    assert cache.peek(b"b") is None
+
+
+def test_shard_placement_is_deterministic():
+    a = ShardedReadCache(capacity=64, shards=8)
+    b = ShardedReadCache(capacity=64, shards=8)
+    for i in range(32):
+        k = b"key-%d" % i
+        assert (a._shards.index(a._shard_for(k))
+                == b._shards.index(b._shard_for(k)))
+
+
+def test_capacity_smaller_than_shards():
+    cache = ShardedReadCache(capacity=2, shards=8)
+    assert cache.num_shards == 2
+    assert cache.per_shard == 1
+
+
+def test_bad_parameters_rejected():
+    with pytest.raises(ValueError):
+        ShardedReadCache(capacity=-1)
+    with pytest.raises(ValueError):
+        ShardedReadCache(capacity=8, shards=0)
+
+
+def test_hit_rate():
+    cache = ShardedReadCache(capacity=8)
+    assert cache.stats.hit_rate == 0.0
+    cache.commit_fill(cache.begin_fill(b"k"), b"v")
+    cache.lookup(b"k")
+    cache.lookup(b"miss")
+    assert cache.stats.hit_rate == 0.5
+    assert cache.stats.as_dict()["hit_rate"] == 0.5

@@ -1,0 +1,111 @@
+"""INV_CACHE_COHERENT: every serving-cache hit matches a device shadow
+read (ISSUE 8).  The oracle reads the device's current value through the
+personality's timing-free ``peek`` chain, so checking coherence cannot
+itself perturb the simulated clock or any NAND counter."""
+
+import pytest
+
+from repro.testbed import make_kv_testbed
+from repro.verify import INV_CACHE_COHERENT
+from repro.verify.invariants import InvariantViolation
+from repro.verify.monitor import ProtocolMonitor
+
+
+def _monitored_service(**service_kwargs):
+    tb = make_kv_testbed()
+    tb.unmonitor()  # a private monitor keeps counts deterministic
+    monitor = ProtocolMonitor()
+    service = tb.make_service(qd=8, cache_entries=64, **service_kwargs)
+    monitor.attach_service(service)
+    return tb, monitor, service
+
+
+def _run(service, future):
+    while not future.done:
+        service.poll()
+    return future
+
+
+def test_every_cache_hit_is_shadow_checked():
+    _tb, monitor, service = _monitored_service()
+    s = service.open_session()
+    _run(service, s.put(b"k", b"v"))
+    _run(service, s.get(b"k"))  # miss + fill: no hit, no check
+    assert monitor.checks[INV_CACHE_COHERENT] == 0
+    for n in range(1, 4):
+        got = s.get(b"k")  # synchronous cache hits
+        assert got.done and got.result() == b"v"
+        assert monitor.checks[INV_CACHE_COHERENT] == n
+    assert not monitor.violations
+
+
+def test_clock_not_perturbed_by_the_oracle():
+    """The shadow read must be timing-free: hits under the monitor
+    resolve at the same simulated instant as unmonitored hits."""
+    results = []
+    for monitored in (False, True):
+        tb = make_kv_testbed()
+        tb.unmonitor()
+        service = tb.make_service(qd=8, cache_entries=64)
+        if monitored:
+            ProtocolMonitor().attach_service(service)
+        s = service.open_session()
+        _run(service, s.put(b"k", b"v"))
+        _run(service, s.get(b"k"))
+        s.get(b"k")  # the monitored hit
+        results.append((tb.clock.now, tb.ssd.nand.reads))
+    assert results[0] == results[1]
+
+
+def test_poisoned_cache_trips_the_invariant():
+    _tb, monitor, service = _monitored_service()
+    s = service.open_session()
+    _run(service, s.put(b"k", b"genuine"))
+    _run(service, s.get(b"k"))  # fill
+    # Corrupt the cached entry behind the service's back: the next hit
+    # returns bytes the device never stored.
+    shard = service.cache._shard_for(b"k")
+    shard.entries[b"k"] = b"poisoned"
+    with pytest.raises(InvariantViolation) as exc:
+        s.get(b"k")
+    assert exc.value.rule == INV_CACHE_COHERENT
+    assert monitor.violations
+
+
+def test_stale_value_after_missed_invalidation_trips():
+    """Simulate the bug the invariant exists for: a write that fails to
+    invalidate leaves the old value serving from cache."""
+    _tb, monitor, service = _monitored_service()
+    s = service.open_session()
+    _run(service, s.put(b"k", b"old"))
+    _run(service, s.get(b"k"))  # cache now holds b"old"
+    cached = dict(service.cache._shard_for(b"k").entries)
+    _run(service, s.put(b"k", b"new"))
+    # Re-install the stale entry, as a missing invalidation would.
+    service.cache._shard_for(b"k").entries.update(cached)
+    with pytest.raises(InvariantViolation):
+        s.get(b"k")
+
+
+def test_attach_service_requires_personality():
+    tb = make_kv_testbed()
+    tb.unmonitor()
+    engine = tb.make_engine(qd=8)
+    from repro.kvssd.service import KvService
+
+    service = KvService(engine, personality=None, cache_entries=8)
+    with pytest.raises(ValueError):
+        ProtocolMonitor().attach_service(service)
+
+
+def test_detach_restores_plain_hook():
+    _tb, monitor, service = _monitored_service()
+    s = service.open_session()
+    _run(service, s.put(b"k", b"v"))
+    _run(service, s.get(b"k"))
+    s.get(b"k")
+    assert monitor.checks[INV_CACHE_COHERENT] == 1
+    monitor.detach()
+    s.get(b"k")  # no longer observed
+    assert monitor.checks[INV_CACHE_COHERENT] == 1
+    assert service.on_cache_hit is None  # class default restored
