@@ -475,7 +475,9 @@ def cmd_serve(args) -> int:
 def cmd_lint(args) -> int:
     from repro.verify.lint import run_lint
 
-    return run_lint(args.paths, list_rules=args.list_rules)
+    return run_lint(args.paths, list_rules=args.list_rules,
+                    flow=args.flow, output=args.output,
+                    baseline=args.baseline)
 
 
 def _all_fault_kinds():
@@ -655,6 +657,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="files or directories to lint (default: src)")
     p.add_argument("--list", action="store_true", dest="list_rules",
                    help="list the rule codes and exit")
+    p.add_argument("--flow", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="also run the whole-project flow analysis "
+                        "(call graph + CFG dataflow: VER2xx/3xx/4xx)")
+    p.add_argument("--output", choices=("text", "json", "sarif"),
+                   default="text", help="report format")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="verify_baseline.json of grandfathered findings "
+                        "that are reported but do not fail the run")
     p.set_defaults(func=cmd_lint)
     return parser
 

@@ -1,0 +1,69 @@
+"""Whole-project flow analysis: call graph + CFG dataflow rules.
+
+Public surface::
+
+    from repro.verify.flow import FLOW_RULES, analyze_paths, analyze_sources
+
+    findings = analyze_sources({"pkg/mod.py": source_text})
+
+The flat per-file lint (:mod:`repro.verify.lint`) stays the first
+line; this package adds the interprocedural rules (VER2xx lock
+discipline, VER3xx resource leaks, VER4xx determinism taint) that need
+a project-wide view.  ``python -m repro lint --flow`` runs both.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Mapping
+
+from repro.verify.lint import LintFinding, _suppressions
+from repro.verify.flow.callgraph import Project
+from repro.verify.flow.cfg import CFG, build_cfg
+from repro.verify.flow.dataflow import ForwardAnalysis, solve_forward
+from repro.verify.flow.report import Baseline, render_json, render_sarif
+from repro.verify.flow.rules import FLOW_RULES, analyze_project
+
+__all__ = [
+    "FLOW_RULES",
+    "Baseline",
+    "CFG",
+    "ForwardAnalysis",
+    "Project",
+    "analyze_paths",
+    "analyze_project",
+    "analyze_sources",
+    "build_cfg",
+    "render_json",
+    "render_sarif",
+    "solve_forward",
+]
+
+
+def analyze_sources(sources: Mapping[str, str]) -> List[LintFinding]:
+    """Run every flow rule over ``{path: source}``; returns findings
+    sorted by location, with same-line ``# verify: ignore[...]``
+    suppressions applied and one finding per (path, line, col, code)
+    even when call-graph over-approximation yields several witnesses."""
+    project = Project.load(sources)
+    suppressed = {path: _suppressions(source)
+                  for path, source in sources.items()}
+    kept: List[LintFinding] = []
+    seen = set()
+    for finding in sorted(analyze_project(project),
+                          key=lambda f: (f.path, f.line, f.col, f.code)):
+        codes = suppressed.get(finding.path, {}).get(finding.line, set())
+        if finding.code in codes or "*" in codes:
+            continue
+        key = (finding.path, finding.line, finding.col, finding.code)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(finding)
+    return kept
+
+
+def analyze_paths(paths: Iterable["Path | str"]) -> List[LintFinding]:
+    """Run every flow rule over the given files as one project."""
+    return analyze_sources({
+        str(p): Path(p).read_text(encoding="utf-8") for p in paths})

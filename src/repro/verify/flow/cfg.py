@@ -1,0 +1,352 @@
+"""Per-function control-flow graphs with exception edges.
+
+The flow rules (:mod:`repro.verify.flow.rules`) need *paths*, not just
+syntax: a resource acquired on line 10 leaks only if some execution
+reaches the function's exit without releasing it, and the interesting
+executions are precisely the ones the flat AST lint cannot see — an
+``except`` handler that swallows a timeout and returns, an early
+``return`` inside a loop, a ``finally`` that runs (or doesn't) on the
+raising path.  This module lowers one function body into a statement-
+level CFG:
+
+* **Nodes** are simple statements and the *headers* of compound
+  statements (the ``if``/``while`` test, the ``for`` iterable, the
+  ``with`` context expressions).  Bodies become their own nodes, so a
+  dataflow state can differ between the two arms of a branch.
+* **Edges** are labelled :data:`NORMAL` (the statement completed) or
+  :data:`EXC` (it raised).  Every node gets an ``EXC`` edge to the
+  innermost enclosing handler set — or to the synthetic :attr:`~CFG.RAISE`
+  exit when the exception would propagate out of the function.  This is
+  a deliberate over-approximation (``pass`` cannot raise) that costs
+  nothing in a worklist analysis and never *hides* a path.
+* ``finally`` bodies are built once and exit to the union of the
+  continuations that can enter them (fall-through, exception
+  propagation, ``return``/``break``/``continue``) — only the reasons
+  that actually occur in the guarded code are wired, so a ``finally``
+  never invents a path to the function exit that the source cannot take.
+* ``while True:`` (a constant-true test) gets no fall-through edge:
+  the only ways out are ``break``, ``return``, or an exception.
+
+Three synthetic nodes frame every graph: :attr:`~CFG.ENTRY`,
+:attr:`~CFG.EXIT` (normal completion: ``return`` or falling off the
+end) and :attr:`~CFG.RAISE` (an exception escaping the function).  The
+leak rules report resources still held at ``EXIT`` and deliberately
+ignore ``RAISE`` — requiring try/finally around every allocation would
+drown real findings in noise; what must be release-clean is every path
+the function itself completes.
+
+Nested ``def``/``class``/``lambda`` bodies execute at another time and
+are *not* part of the enclosing function's flow: the defining statement
+is a single opaque node (whose sub-tree the rules may still scan for
+closure captures).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Edge labels.
+NORMAL = "normal"
+EXC = "exc"
+
+#: Statements whose nested suites run later, in another frame.
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement (or compound-statement header).
+
+    ``payload`` holds the AST fragments the dataflow transfer function
+    should scan — the whole statement for simple statements, just the
+    header expressions for compound ones (their suites are separate
+    nodes).  Synthetic nodes (entry/exit/joins) carry an empty payload.
+    """
+
+    index: int
+    label: str
+    payload: Tuple[ast.AST, ...] = ()
+    lineno: int = 0
+
+
+class CFG:
+    """Control-flow graph of a single function body."""
+
+    ENTRY = 0
+    EXIT = 1
+    RAISE = 2
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: List[Node] = [
+            Node(self.ENTRY, "<entry>"),
+            Node(self.EXIT, "<exit>"),
+            Node(self.RAISE, "<raise>"),
+        ]
+        #: ``succs[n]`` is the set of ``(successor, edge_kind)`` pairs.
+        self.succs: Dict[int, Set[Tuple[int, str]]] = {
+            self.ENTRY: set(), self.EXIT: set(), self.RAISE: set()}
+
+    def add_node(self, label: str, payload: Sequence[ast.AST] = (),
+                 lineno: int = 0) -> int:
+        index = len(self.nodes)
+        self.nodes.append(Node(index, label, tuple(payload), lineno))
+        self.succs[index] = set()
+        return index
+
+    def add_edge(self, src: int, dst: int, kind: str = NORMAL) -> None:
+        self.succs[src].add((dst, kind))
+
+    def node(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class _Context:
+    """Where control transfers land, given the enclosing structure."""
+
+    #: Successors of a raising statement (handler entries and/or the
+    #: finally entry and/or ``RAISE``).
+    raise_to: Tuple[int, ...]
+    #: Where ``return`` jumps (``EXIT``, or the innermost finally).
+    return_to: Tuple[int, ...]
+    break_to: Optional[int] = None
+    continue_to: Optional[int] = None
+    #: Transfer reasons observed while building a ``try``'s guarded
+    #: suites — the finally exit is wired only for reasons that occur.
+    finally_uses: Optional[Set[str]] = None
+
+    def noting(self, reason: str) -> None:
+        if self.finally_uses is not None:
+            self.finally_uses.add(reason)
+
+
+class _Builder:
+    """Recursive lowering of a statement suite into CFG edges."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+
+    # -- suites ---------------------------------------------------------
+    def seq(self, stmts: Sequence[ast.stmt], follow: int,
+            ctx: _Context) -> int:
+        """Build *stmts*; control falls through to *follow*.  Returns
+        the entry node of the sequence (= *follow* when empty)."""
+        entry = follow
+        for stmt in reversed(stmts):
+            entry = self.stmt(stmt, entry, ctx)
+        return entry
+
+    # -- single statements ----------------------------------------------
+    def stmt(self, stmt: ast.stmt, follow: int, ctx: _Context) -> int:
+        if isinstance(stmt, (ast.If,)):
+            return self._if(stmt, follow, ctx)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, follow, ctx)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, follow, ctx)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, follow, ctx)
+        if _is_try_star(stmt):
+            return self._try(stmt, follow, ctx)  # type: ignore[arg-type]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, follow, ctx)
+        if _is_match(stmt):
+            return self._match(stmt, follow, ctx)
+        if isinstance(stmt, ast.Return):
+            node = self._leaf(stmt, "return")
+            for target in ctx.return_to:
+                self.cfg.add_edge(node, target, NORMAL)
+            ctx.noting("return")
+            self._raises(node, ctx)
+            return node
+        if isinstance(stmt, ast.Raise):
+            node = self._leaf(stmt, "raise")
+            for target in ctx.raise_to:
+                self.cfg.add_edge(node, target, EXC)
+            ctx.noting("raise")
+            return node
+        if isinstance(stmt, ast.Break):
+            node = self._leaf(stmt, "break")
+            if ctx.break_to is not None:
+                self.cfg.add_edge(node, ctx.break_to, NORMAL)
+            ctx.noting("break")
+            return node
+        if isinstance(stmt, ast.Continue):
+            node = self._leaf(stmt, "continue")
+            if ctx.continue_to is not None:
+                self.cfg.add_edge(node, ctx.continue_to, NORMAL)
+            ctx.noting("continue")
+            return node
+        # Opaque nested scopes and every simple statement: one node,
+        # fall through, may raise.
+        label = type(stmt).__name__.lower()
+        node = self._leaf(stmt, label)
+        self.cfg.add_edge(node, follow, NORMAL)
+        self._raises(node, ctx)
+        return node
+
+    # -- compound statements ----------------------------------------------
+    def _if(self, stmt: ast.If, follow: int, ctx: _Context) -> int:
+        node = self.cfg.add_node("if", (stmt.test,), stmt.lineno)
+        self._raises(node, ctx)
+        body = self.seq(stmt.body, follow, ctx)
+        orelse = self.seq(stmt.orelse, follow, ctx)
+        self.cfg.add_edge(node, body, NORMAL)
+        self.cfg.add_edge(node, orelse, NORMAL)
+        return node
+
+    def _while(self, stmt: ast.While, follow: int, ctx: _Context) -> int:
+        node = self.cfg.add_node("while", (stmt.test,), stmt.lineno)
+        self._raises(node, ctx)
+        exit_via_else = self.seq(stmt.orelse, follow, ctx)
+        loop_ctx = _Context(raise_to=ctx.raise_to, return_to=ctx.return_to,
+                            break_to=follow, continue_to=node,
+                            finally_uses=ctx.finally_uses)
+        body = self.seq(stmt.body, node, loop_ctx)
+        self.cfg.add_edge(node, body, NORMAL)
+        if not _constant_true(stmt.test):
+            self.cfg.add_edge(node, exit_via_else, NORMAL)
+        return node
+
+    def _for(self, stmt: "ast.For | ast.AsyncFor", follow: int,
+             ctx: _Context) -> int:
+        node = self.cfg.add_node("for", (stmt.target, stmt.iter),
+                                 stmt.lineno)
+        self._raises(node, ctx)
+        exit_via_else = self.seq(stmt.orelse, follow, ctx)
+        loop_ctx = _Context(raise_to=ctx.raise_to, return_to=ctx.return_to,
+                            break_to=follow, continue_to=node,
+                            finally_uses=ctx.finally_uses)
+        body = self.seq(stmt.body, node, loop_ctx)
+        self.cfg.add_edge(node, body, NORMAL)
+        self.cfg.add_edge(node, exit_via_else, NORMAL)
+        return node
+
+    def _with(self, stmt: "ast.With | ast.AsyncWith", follow: int,
+              ctx: _Context) -> int:
+        payload: List[ast.AST] = []
+        for item in stmt.items:
+            payload.append(item.context_expr)
+            if item.optional_vars is not None:
+                payload.append(item.optional_vars)
+        node = self.cfg.add_node("with", payload, stmt.lineno)
+        self._raises(node, ctx)
+        body = self.seq(stmt.body, follow, ctx)
+        self.cfg.add_edge(node, body, NORMAL)
+        return node
+
+    def _match(self, stmt: ast.stmt, follow: int, ctx: _Context) -> int:
+        node = self.cfg.add_node(
+            "match", (stmt.subject,), stmt.lineno)  # type: ignore[attr-defined]
+        self._raises(node, ctx)
+        self.cfg.add_edge(node, follow, NORMAL)  # no case may match
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            body = self.seq(case.body, follow, ctx)
+            self.cfg.add_edge(node, body, NORMAL)
+        return node
+
+    def _try(self, stmt: ast.Try, follow: int, ctx: _Context) -> int:
+        cfg = self.cfg
+        uses: Set[str] = set()
+
+        if stmt.finalbody:
+            # The finally suite is built once against the OUTER context
+            # (an exception raised inside it propagates past this try)
+            # and ends in a join node wired below, once the guarded
+            # suites reveal which transfer reasons can enter it.
+            fexit = cfg.add_node("<finally-exit>")
+            fentry = self.seq(stmt.finalbody, fexit, ctx)
+            inner_raise: Tuple[int, ...] = (fentry,)
+            inner_return: Tuple[int, ...] = (fentry,)
+            inner_break: Optional[int] = fentry
+            inner_continue: Optional[int] = fentry
+            after_normal = fentry
+        else:
+            fexit = -1
+            fentry = -1
+            inner_raise = ctx.raise_to
+            inner_return = ctx.return_to
+            inner_break = ctx.break_to
+            inner_continue = ctx.continue_to
+            after_normal = follow
+
+        # Handler suites: an exception raised inside a handler leaves
+        # the try (through the finally, when present).
+        handler_ctx = _Context(raise_to=inner_raise, return_to=inner_return,
+                               break_to=inner_break,
+                               continue_to=inner_continue,
+                               finally_uses=uses)
+        handler_entries: List[int] = []
+        for handler in stmt.handlers:
+            payload = (handler.type,) if handler.type is not None else ()
+            hnode = cfg.add_node("except", payload, handler.lineno)
+            hbody = self.seq(handler.body, after_normal, handler_ctx)
+            cfg.add_edge(hnode, hbody, NORMAL)
+            handler_entries.append(hnode)
+
+        # The try suite: a raising statement may be caught by any
+        # handler, or match none and propagate (through the finally).
+        body_raise = tuple(handler_entries) + inner_raise
+        body_ctx = _Context(raise_to=body_raise, return_to=inner_return,
+                            break_to=inner_break, continue_to=inner_continue,
+                            finally_uses=uses)
+        orelse = self.seq(stmt.orelse, after_normal, body_ctx)
+        entry = self.seq(stmt.body, orelse, body_ctx)
+
+        if stmt.finalbody:
+            # Wire the finally exit to every continuation a guarded
+            # suite actually used, plus plain fall-through, plus
+            # exception propagation (any guarded statement may raise).
+            cfg.add_edge(fexit, follow, NORMAL)
+            for target in ctx.raise_to:
+                cfg.add_edge(fexit, target, EXC)
+            if "return" in uses:
+                for target in ctx.return_to:
+                    cfg.add_edge(fexit, target, NORMAL)
+            if "break" in uses and ctx.break_to is not None:
+                cfg.add_edge(fexit, ctx.break_to, NORMAL)
+            if "continue" in uses and ctx.continue_to is not None:
+                cfg.add_edge(fexit, ctx.continue_to, NORMAL)
+            # Reasons bubble further out (nested finally chains).
+            if ctx.finally_uses is not None:
+                ctx.finally_uses |= uses
+        elif ctx.finally_uses is not None:
+            ctx.finally_uses |= uses
+        return entry
+
+    # -- helpers -----------------------------------------------------------
+    def _leaf(self, stmt: ast.stmt, label: str) -> int:
+        return self.cfg.add_node(label, (stmt,), stmt.lineno)
+
+    def _raises(self, node: int, ctx: _Context) -> None:
+        for target in ctx.raise_to:
+            self.cfg.add_edge(node, target, EXC)
+
+
+def _constant_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _is_match(stmt: ast.stmt) -> bool:
+    match_type = getattr(ast, "Match", None)
+    return match_type is not None and isinstance(stmt, match_type)
+
+
+def _is_try_star(stmt: ast.stmt) -> bool:
+    try_star = getattr(ast, "TryStar", None)  # Python >= 3.11
+    return try_star is not None and isinstance(stmt, try_star)
+
+
+def build_cfg(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> CFG:
+    """Lower one function's body into a :class:`CFG`."""
+    cfg = CFG(fn.name)
+    ctx = _Context(raise_to=(CFG.RAISE,), return_to=(CFG.EXIT,))
+    entry = _Builder(cfg).seq(fn.body, CFG.EXIT, ctx)
+    cfg.add_edge(CFG.ENTRY, entry, NORMAL)
+    return cfg

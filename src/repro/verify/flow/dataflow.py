@@ -1,0 +1,72 @@
+"""Generic forward worklist dataflow solver over a :class:`~.cfg.CFG`.
+
+The rule families share one fixpoint engine: a rule supplies a join
+semilattice (``initial``/``join``) and an edge-sensitive ``transfer``,
+and the solver computes the state *entering* every node.  Edge
+sensitivity matters here: an acquisition whose call raised never
+produced the resource, so the leak analysis applies its GEN only on the
+:data:`~repro.verify.flow.cfg.NORMAL` out-edge of the acquiring
+statement and lets the :data:`~repro.verify.flow.cfg.EXC` edge carry
+the unmodified state into the handler.
+
+States must be immutable values with structural equality (the rules
+use ``frozenset``); joins must be monotone, which with the finite
+state spaces the rules use guarantees termination.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generic, Set, TypeVar
+
+from repro.verify.flow.cfg import CFG, Node
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """One dataflow problem: lattice + transfer.  Subclass per rule."""
+
+    def initial(self) -> S:
+        """State entering the function (at ``CFG.ENTRY``)."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two states meeting at a node."""
+        raise NotImplementedError
+
+    def transfer(self, node: Node, state: S, edge_kind: str) -> S:
+        """State after *node* executes, along an out-edge of
+        *edge_kind* (``NORMAL``: it completed; ``EXC``: it raised)."""
+        raise NotImplementedError
+
+
+def solve_forward(cfg: CFG, analysis: ForwardAnalysis[S]) -> Dict[int, S]:
+    """Fixpoint of *analysis* over *cfg*.
+
+    Returns the state at the **entry** of every reached node (keyed by
+    node index); unreachable nodes are absent.  ``result[CFG.EXIT]`` is
+    the join over every normally-completing path, ``result[CFG.RAISE]``
+    over every escaping-exception path.
+    """
+    entry_state: Dict[int, S] = {CFG.ENTRY: analysis.initial()}
+    worklist: Deque[int] = deque([CFG.ENTRY])
+    queued: Set[int] = {CFG.ENTRY}
+    while worklist:
+        index = worklist.popleft()
+        queued.discard(index)
+        state = entry_state[index]
+        node = cfg.node(index)
+        for succ, kind in cfg.succs[index]:
+            out = analysis.transfer(node, state, kind)
+            if succ in entry_state:
+                merged = analysis.join(entry_state[succ], out)
+                if merged == entry_state[succ]:
+                    continue
+                entry_state[succ] = merged
+            else:
+                entry_state[succ] = out
+            if succ not in queued:
+                worklist.append(succ)
+                queued.add(succ)
+    return entry_state

@@ -1,0 +1,133 @@
+"""Report rendering (text / JSON / SARIF) and the findings baseline.
+
+The baseline file (``verify_baseline.json``, checked in at the repo
+root) makes grandfathered findings *explicit*: a finding matching a
+baseline entry is reported but does not fail the run, so turning a new
+rule on never blocks CI on pre-existing debt while every entry stays
+visible in review.  Entries match on ``path`` + ``code`` + ``message``
+(``message`` may be omitted to absorb every finding of that code in
+that file); line numbers are deliberately not part of the match, so
+unrelated edits above a grandfathered finding do not resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.verify.lint import LintFinding
+
+#: Schema version of both the baseline file and the JSON report.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    path: str
+    code: str
+    message: Optional[str] = None
+
+    def matches(self, finding: LintFinding) -> bool:
+        return (finding.path == self.path and finding.code == self.code
+                and (self.message is None
+                     or finding.message == self.message))
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings loaded from ``verify_baseline.json``."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+    source: Optional[str] = None
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = [BaselineEntry(path=e["path"], code=e["code"],
+                                 message=e.get("message"))
+                   for e in raw.get("findings", [])]
+        return cls(entries=entries, source=str(path))
+
+    def split(self, findings: Sequence[LintFinding]) -> Tuple[
+            List[LintFinding], List[LintFinding], List[BaselineEntry]]:
+        """Partition into (new, grandfathered, stale-entries).
+
+        A stale entry matched nothing — usually the underlying finding
+        was fixed and the entry should be deleted; it is surfaced as a
+        warning, never a failure, so fixing debt needs no lockstep
+        baseline edit."""
+        new: List[LintFinding] = []
+        grandfathered: List[LintFinding] = []
+        used: set = set()
+        for finding in findings:
+            entry_index = next(
+                (i for i, entry in enumerate(self.entries)
+                 if entry.matches(finding)), None)
+            if entry_index is None:
+                new.append(finding)
+            else:
+                grandfathered.append(finding)
+                used.add(entry_index)
+        stale = [entry for i, entry in enumerate(self.entries)
+                 if i not in used]
+        return new, grandfathered, stale
+
+
+def _finding_dict(finding: LintFinding, baselined: bool) -> Dict[str, object]:
+    return {"path": finding.path, "line": finding.line, "col": finding.col,
+            "code": finding.code, "message": finding.message,
+            "baselined": baselined}
+
+
+def render_json(new: Sequence[LintFinding],
+                grandfathered: Sequence[LintFinding]) -> str:
+    report = {
+        "version": FORMAT_VERSION,
+        "tool": "repro-lint",
+        "counts": {"new": len(new), "grandfathered": len(grandfathered)},
+        "findings": ([_finding_dict(f, False) for f in new]
+                     + [_finding_dict(f, True) for f in grandfathered]),
+    }
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def render_sarif(new: Sequence[LintFinding],
+                 grandfathered: Sequence[LintFinding],
+                 rules: Dict[str, str]) -> str:
+    """Minimal SARIF 2.1.0 — enough for code-scanning UIs: one run,
+    one driver, grandfathered findings demoted to ``note`` level."""
+    used = {f.code for f in new} | {f.code for f in grandfathered}
+    results = []
+    for findings, level in ((new, "error"), (grandfathered, "note")):
+        for f in findings:
+            results.append({
+                "ruleId": f.code,
+                "level": level,
+                "message": {"text": f.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {"startLine": max(f.line, 1),
+                                   "startColumn": max(f.col + 1, 1)},
+                    },
+                }],
+            })
+    sarif = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri": "docs/verify.md",
+                "rules": [{"id": code,
+                           "shortDescription": {"text": text}}
+                          for code, text in sorted(rules.items())
+                          if code in used],
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True)

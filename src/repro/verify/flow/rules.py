@@ -1,0 +1,599 @@
+"""The interprocedural rule families on top of the flow engine.
+
+Three families, each answering a question the flat lint structurally
+cannot:
+
+* **VER2xx — lock discipline.**  VER201 lifts VER103 across function
+  boundaries: a function that rings the doorbell without taking the
+  lock itself (the ``repro.host.driver._ring_sq_doorbell`` pattern,
+  documented with a suppressed VER103) is legal only if *every* call
+  site lexically holds the SQ lock; each unlocked call edge to such a
+  function is a finding.  VER202 builds a lock-acquisition-order graph
+  (lexical nesting plus calls made while holding a lock into functions
+  that transitively acquire another) and reports every acquisition
+  participating in an inconsistent-order cycle.
+
+* **VER3xx — resource leaks.**  Acquire/release pairs (read/page
+  buffers, CIDs, QoS tokens) are tracked path-sensitively through the
+  per-function CFG, including ``except``/``finally``/early-``return``
+  edges.  A resource still held on some path into the normal exit is a
+  leak; ownership transfers (the variable escaping bare into a call, a
+  container, a return) end tracking, while *derived* reads
+  (``pages[0]``, ``buf.addr``) do not.  Paths that leave the function
+  by an escaping exception are deliberately not charged — what must be
+  release-clean is every path the function itself completes.
+
+* **VER4xx — determinism taint.**  VER401/VER402 lift VER101/VER102
+  interprocedurally: a project function whose return value derives from
+  a wall-clock read (or unseeded RNG) taints every call site, through
+  any chain of pass-through helpers.  A line-level VER101 suppression
+  silences the *read*, not the flow — the suppressed read is precisely
+  what makes the function's callers interesting.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.verify.lint import (
+    _SEEDED_NP_OK,
+    _WALL_CLOCK_FNS,
+    LintFinding,
+)
+from repro.verify.flow.callgraph import (
+    FunctionInfo,
+    Project,
+    dotted_name,
+)
+from repro.verify.flow.cfg import CFG, NORMAL, Node, build_cfg
+from repro.verify.flow.dataflow import ForwardAnalysis, solve_forward
+
+VER201 = "VER201"
+VER202 = "VER202"
+VER301 = "VER301"
+VER302 = "VER302"
+VER303 = "VER303"
+VER401 = "VER401"
+VER402 = "VER402"
+
+#: Every flow rule, with a one-line description (for ``lint --list``).
+FLOW_RULES: Dict[str, str] = {
+    VER201: "unlocked call to a function that rings the doorbell "
+            "(interprocedural VER103)",
+    VER202: "inconsistent lock-acquisition order (deadlock cycle)",
+    VER301: "read/page buffer not released on every completing path",
+    VER302: "command id (CID) not retired/quarantined on every "
+            "completing path",
+    VER303: "QoS token grant not refunded on every completing path",
+    VER401: "wall-clock-derived value flowing in through a helper "
+            "(interprocedural VER101)",
+    VER402: "unseeded-RNG-derived value flowing in through a helper "
+            "(interprocedural VER102)",
+}
+
+_DOORBELL = "ring_doorbell"
+
+
+def analyze_project(project: Project) -> List[LintFinding]:
+    """Run every flow rule family; findings are unsorted and
+    unsuppressed (the front-end applies ``# verify: ignore[...]``)."""
+    findings: List[LintFinding] = []
+    findings.extend(check_lock_discipline(project))
+    findings.extend(check_lock_order(project))
+    findings.extend(check_leaks(project))
+    findings.extend(check_taint(project))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# VER201: interprocedural doorbell/lock discipline
+# ---------------------------------------------------------------------------
+
+def _rings_unlocked(fn: FunctionInfo) -> bool:
+    """Does *fn*'s own body call ``ring_doorbell()`` outside any
+    lexical lock?  (Line-level VER103 suppressions do not matter here:
+    a suppressed ring is a *declared* caller-side obligation.)"""
+    return any(call.dotted is not None
+               and call.dotted.split(".")[-1] == _DOORBELL
+               and not call.locks
+               for call in fn.calls)
+
+
+def check_lock_discipline(project: Project) -> List[LintFinding]:
+    """VER201: every unlocked call edge into a function that (directly
+    or transitively) rings the doorbell while expecting its caller to
+    hold the SQ lock."""
+    needs_lock: Set[str] = {fn.qualname for fn in project.functions.values()
+                            if _rings_unlocked(fn)}
+    # Obligations escape upward: an unlocked call to a needs-lock
+    # function makes the caller need the lock too.
+    changed = True
+    while changed:
+        changed = False
+        for site in project.call_sites:
+            if (site.callee.qualname in needs_lock and not site.locks
+                    and site.caller.qualname not in needs_lock):
+                needs_lock.add(site.caller.qualname)
+                changed = True
+    findings: List[LintFinding] = []
+    for site in project.call_sites:
+        if site.callee.qualname in needs_lock and not site.locks:
+            findings.append(LintFinding(
+                path=site.caller.path, line=site.node.lineno,
+                col=site.node.col_offset, code=VER201,
+                message=(f"call to `{site.callee.name}()` (defined at "
+                         f"{site.callee.path}:{site.callee.lineno}) which "
+                         f"rings the SQ doorbell and relies on its caller "
+                         f"holding the lock; this call site does not "
+                         f"lexically hold a `with ....lock:` block")))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# VER202: lock-acquisition-order cycles
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _OrderEdge:
+    """Witness that lock *second* was acquired while *first* was held."""
+
+    first: str
+    second: str
+    path: str
+    line: int
+    col: int
+    via: str  # human description of how the second acquisition happens
+
+
+def _transitive_acquires(project: Project) -> Dict[str, FrozenSet[str]]:
+    """Lock ids each function may acquire, directly or via callees."""
+    acquired: Dict[str, Set[str]] = {
+        fn.qualname: {acq.lock_id for acq in fn.acquires}
+        for fn in project.functions.values()}
+    changed = True
+    while changed:
+        changed = False
+        for site in project.call_sites:
+            caller = acquired[site.caller.qualname]
+            callee = acquired[site.callee.qualname]
+            if not callee <= caller:
+                caller |= callee
+                changed = True
+    return {name: frozenset(locks) for name, locks in acquired.items()}
+
+
+def _order_edges(project: Project) -> List[_OrderEdge]:
+    edges: List[_OrderEdge] = []
+    transitive = _transitive_acquires(project)
+    for fn in project.functions.values():
+        for acq in fn.acquires:
+            for outer in acq.outer:
+                if outer != acq.lock_id:
+                    edges.append(_OrderEdge(
+                        first=outer, second=acq.lock_id, path=fn.path,
+                        line=getattr(acq.node, "lineno", fn.lineno),
+                        col=getattr(acq.node, "col_offset", 0),
+                        via=f"`with ....{acq.lock_id}.lock:` nested inside "
+                            f"`{outer}` in {fn.qualname}"))
+    for site in project.call_sites:
+        if not site.locks:
+            continue
+        for inner in transitive[site.callee.qualname]:
+            for held in site.locks:
+                if held != inner:
+                    edges.append(_OrderEdge(
+                        first=held, second=inner, path=site.caller.path,
+                        line=site.node.lineno, col=site.node.col_offset,
+                        via=f"call to `{site.callee.name}()` (which "
+                            f"acquires `{inner}`) while holding `{held}` "
+                            f"in {site.caller.qualname}"))
+    return edges
+
+
+def check_lock_order(project: Project) -> List[LintFinding]:
+    """VER202: report every acquisition edge that closes an
+    inconsistent-order cycle (``a`` before ``b`` here, ``b`` before
+    ``a`` elsewhere)."""
+    edges = _order_edges(project)
+    adjacency: Dict[str, Set[str]] = {}
+    for edge in edges:
+        adjacency.setdefault(edge.first, set()).add(edge.second)
+
+    def reaches(start: str, goal: str) -> bool:
+        seen: Set[str] = set()
+        stack = [start]
+        while stack:
+            lock = stack.pop()
+            if lock == goal:
+                return True
+            if lock in seen:
+                continue
+            seen.add(lock)
+            stack.extend(adjacency.get(lock, ()))
+        return False
+
+    findings: List[LintFinding] = []
+    reported: Set[Tuple[str, int, str, str]] = set()
+    for edge in edges:
+        if not reaches(edge.second, edge.first):
+            continue
+        key = (edge.path, edge.line, edge.first, edge.second)
+        if key in reported:
+            continue
+        reported.add(key)
+        findings.append(LintFinding(
+            path=edge.path, line=edge.line, col=edge.col, code=VER202,
+            message=(f"lock order cycle: {edge.via}, but elsewhere "
+                     f"`{edge.first}` is acquired while `{edge.second}` "
+                     f"is held; pick one global acquisition order")))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# VER3xx: acquire/release leak tracking over the CFG
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ResourceFamily:
+    """One acquire/release convention the leak analysis tracks."""
+
+    code: str
+    resource: str
+    acquires: FrozenSet[str]
+    releases: FrozenSet[str]
+    #: When set, an acquire call's receiver chain must contain one of
+    #: these substrings (``bucket.take(...)`` yes, ``parser.take(...)``
+    #: no) — for conventions whose method names are common words.
+    receiver_hint: Optional[FrozenSet[str]] = None
+
+
+FAMILIES: Tuple[ResourceFamily, ...] = (
+    ResourceFamily(
+        code=VER301, resource="read/page buffer",
+        acquires=frozenset({"alloc_read_buffer", "alloc_pages",
+                            "alloc_page", "alloc_buffer"}),
+        releases=frozenset({"release_read_buffer", "free_page",
+                            "free_pages", "free_buffer", "_free_buffer"})),
+    ResourceFamily(
+        code=VER302, resource="command id (CID)",
+        acquires=frozenset({"_alloc_cid", "alloc_cid"}),
+        releases=frozenset({"retire", "_retire_cid", "_abandon_cid",
+                            "retire_cid", "quarantine"})),
+    ResourceFamily(
+        code=VER303, resource="QoS token grant",
+        acquires=frozenset({"take"}),
+        releases=frozenset({"refund"}),
+        receiver_hint=frozenset({"bucket", "qos", "budget", "tokens"})),
+)
+
+#: One tracked acquisition: (variable, family code, acquire line,
+#: acquire col, acquire spelling).
+_Held = Tuple[str, str, int, int, str]
+
+
+def _family_of_call(call: ast.Call) -> Optional[ResourceFamily]:
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    for family in FAMILIES:
+        if parts[-1] not in family.acquires:
+            continue
+        if family.receiver_hint is not None:
+            receiver = [p.lower() for p in parts[:-1]]
+            if not any(hint in seg for seg in receiver
+                       for hint in family.receiver_hint):
+                continue
+        return family
+    return None
+
+
+def _acquire_of(stmt: ast.AST) -> Optional[Tuple[str, ast.Call]]:
+    """``x = acquire(...)`` / ``x = acquire(...)[i]`` → (x, call)."""
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+        value: Optional[ast.expr] = stmt.value
+    elif isinstance(stmt, ast.AnnAssign):
+        targets = [stmt.target]
+        value = stmt.value
+    else:
+        return None
+    if value is None or len(targets) != 1 \
+            or not isinstance(targets[0], ast.Name):
+        return None
+    call = value
+    if isinstance(call, ast.Subscript):
+        call = call.value
+    if not isinstance(call, ast.Call):
+        return None
+    return targets[0].id, call
+
+
+def _name_uses(root: ast.AST) -> Iterator[Tuple[str, str]]:
+    """Yield ``(name, use)`` for every Name in *root*'s subtree, where
+    *use* is ``derived`` (attribute/subscript read — the binding still
+    owns the resource), ``escape`` (the reference itself flows
+    somewhere: a call argument, a container, a return, an RHS), or
+    ``kill`` (rebound or deleted).  Nested ``def`` bodies are included:
+    a closure capture is an escape."""
+    def visit(node: ast.AST, parent: Optional[ast.AST]) -> Iterator[
+            Tuple[str, str]]:
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                yield node.id, "kill"
+            elif isinstance(parent, (ast.Attribute, ast.Subscript)) \
+                    and parent.value is node:
+                yield node.id, "derived"
+            else:
+                yield node.id, "escape"
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, node)
+
+    yield from visit(root, None)
+
+
+def _release_mentions(root: ast.AST) -> Dict[str, Set[str]]:
+    """Family codes released per variable: every release-family call in
+    *root* whose subtree mentions the variable (bare or derived) kills
+    its tracking — ``entry.release_read_buffer(mem)`` and
+    ``memory.free_page(page)`` both count."""
+    out: Dict[str, Set[str]] = {}
+    for node in ast.walk(root):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            continue
+        method = dotted.split(".")[-1]
+        for family in FAMILIES:
+            if method not in family.releases:
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Name):
+                    out.setdefault(inner.id, set()).add(family.code)
+    return out
+
+
+class _LeakAnalysis(ForwardAnalysis[FrozenSet[_Held]]):
+    """Held-resource sets over the CFG; see the module docstring."""
+
+    def initial(self) -> FrozenSet[_Held]:
+        return frozenset()
+
+    def join(self, a: FrozenSet[_Held],
+             b: FrozenSet[_Held]) -> FrozenSet[_Held]:
+        return a | b
+
+    def transfer(self, node: Node, state: FrozenSet[_Held],
+                 edge_kind: str) -> FrozenSet[_Held]:
+        payload = node.payload
+        if not payload:
+            return state
+        out = set(state)
+        for element in payload:
+            released = _release_mentions(element)
+            ended: Set[str] = set()
+            for name, use in _name_uses(element):
+                if use in ("escape", "kill"):
+                    ended.add(name)
+            out = {held for held in out
+                   if held[1] not in released.get(held[0], set())
+                   and held[0] not in ended}
+            if edge_kind == NORMAL:
+                acquired = _acquire_of(element)
+                if acquired is not None:
+                    var, call = acquired
+                    family = _family_of_call(call)
+                    if family is not None:
+                        spelling = dotted_name(call.func) or "?"
+                        out.add((var, family.code, call.lineno,
+                                 call.col_offset, spelling.split(".")[-1]))
+        return frozenset(out)
+
+
+def _own_statements(fn: FunctionInfo) -> Iterator[ast.stmt]:
+    """Every statement of *fn*'s own body (nested scopes excluded)."""
+    stack: List[ast.stmt] = list(fn.node.body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif hasattr(child, "body") and isinstance(
+                    getattr(child, "body"), list):
+                stack.extend(s for s in getattr(child, "body")
+                             if isinstance(s, ast.stmt))
+    return
+
+
+def check_leaks(project: Project) -> List[LintFinding]:
+    """VER301/302/303: resources still held on a completing path."""
+    findings: List[LintFinding] = []
+    for fn in project.functions.values():
+        # Discarded acquisitions never had a releasable binding at all.
+        for stmt in _own_statements(fn):
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value,
+                                                         ast.Call):
+                family = _family_of_call(stmt.value)
+                if family is not None:
+                    name = (dotted_name(stmt.value.func) or "?").split(
+                        ".")[-1]
+                    findings.append(LintFinding(
+                        path=fn.path, line=stmt.value.lineno,
+                        col=stmt.value.col_offset, code=family.code,
+                        message=(f"result of `{name}()` is discarded; "
+                                 f"the {family.resource} can never be "
+                                 f"released")))
+        if not any(_family_of_call(call.node) is not None
+                   for call in fn.calls):
+            continue
+        cfg = build_cfg(fn.node)
+        states = solve_forward(cfg, _LeakAnalysis())
+        leaked = states.get(CFG.EXIT, frozenset())
+        reported: Set[Tuple[str, str, int]] = set()
+        for var, code, line, col, spelling in sorted(leaked):
+            key = (var, code, line)
+            if key in reported:
+                continue
+            reported.add(key)
+            family = next(f for f in FAMILIES if f.code == code)
+            releases = ", ".join(sorted(family.releases)[:3])
+            findings.append(LintFinding(
+                path=fn.path, line=line, col=col, code=code,
+                message=(f"`{var}` holds a {family.resource} from "
+                         f"`{spelling}()` that is not released (e.g. via "
+                         f"{releases}) on every path {fn.qualname} "
+                         f"completes")))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# VER4xx: determinism taint through helper functions
+# ---------------------------------------------------------------------------
+
+_CLOCK = "clock"
+_RNG = "rng"
+_TAINT_CODE = {_CLOCK: VER401, _RNG: VER402}
+
+
+def _source_kind(call: ast.Call, imports: Dict[str, str]) -> Optional[
+        Tuple[str, str]]:
+    """(taint kind, human spelling) when *call* reads a nondeterminism
+    source directly; mirrors the flat VER101/VER102 matchers."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if len(parts) == 2 and parts[0] == "time" \
+            and parts[1] in _WALL_CLOCK_FNS:
+        return _CLOCK, dotted
+    if len(parts) == 1 and imports.get(parts[0], "") == f"time.{parts[0]}" \
+            and parts[0] in _WALL_CLOCK_FNS:
+        return _CLOCK, dotted
+    if parts[0] == "random" and len(parts) > 1:
+        return _RNG, dotted
+    if len(parts) >= 3 and parts[0] in ("np", "numpy") \
+            and parts[1] == "random" and parts[2] not in _SEEDED_NP_OK:
+        return _RNG, dotted
+    if parts[-1] == "default_rng" and not call.args and not call.keywords:
+        return _RNG, f"unseeded {dotted}"
+    return None
+
+
+def _taint_in_expr(expr: ast.expr, tainted: Set[str],
+                   imports: Dict[str, str],
+                   resolved: Dict[int, List[FunctionInfo]],
+                   taint_summary: Dict[str, Dict[str, str]],
+                   kind: str) -> Optional[str]:
+    """Witness string when *expr*'s value derives from a *kind* source,
+    else None."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+                and node.id in tainted:
+            return f"via `{node.id}`"
+        if isinstance(node, ast.Call):
+            source = _source_kind(node, imports)
+            if source is not None and source[0] == kind:
+                return f"`{source[1]}()` at line {node.lineno}"
+            for callee in resolved.get(id(node), ()):
+                witness = taint_summary.get(callee.qualname, {}).get(kind)
+                if witness is not None:
+                    return f"`{callee.name}()` ({witness})"
+    return None
+
+
+def check_taint(project: Project) -> List[LintFinding]:
+    """VER401/402: call sites receiving nondeterministic values through
+    project helpers.  Pass-through helpers are not charged — the
+    finding lands where the value enters code that keeps it."""
+    resolved: Dict[int, List[FunctionInfo]] = {}
+    for site in project.call_sites:
+        resolved.setdefault(id(site.node), []).append(site.callee)
+    imports_of = {name: module.imports
+                  for name, module in project.modules.items()}
+
+    #: qualname -> {kind: witness} for functions returning tainted data.
+    taint_summary: Dict[str, Dict[str, str]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for fn in project.functions.values():
+            imports = imports_of.get(fn.module, {})
+            for kind in (_CLOCK, _RNG):
+                if kind in taint_summary.get(fn.qualname, {}):
+                    continue
+                witness = _returns_taint(fn, kind, imports, resolved,
+                                         taint_summary)
+                if witness is not None:
+                    taint_summary.setdefault(fn.qualname, {})[kind] = \
+                        witness
+                    changed = True
+
+    findings: List[LintFinding] = []
+    for site in project.call_sites:
+        summary = taint_summary.get(site.callee.qualname, {})
+        for kind, witness in summary.items():
+            # A pass-through caller hands the value on; its own call
+            # sites carry the finding instead.
+            if kind in taint_summary.get(site.caller.qualname, {}):
+                continue
+            noun = ("a wall-clock" if kind == _CLOCK
+                    else "an unseeded-RNG")
+            findings.append(LintFinding(
+                path=site.caller.path, line=site.node.lineno,
+                col=site.node.col_offset, code=_TAINT_CODE[kind],
+                message=(f"`{site.callee.name}()` returns {noun}-derived "
+                         f"value — {witness} in {site.callee.path}; sim "
+                         f"code must draw from SimClock / make_rng")))
+    return findings
+
+
+def _returns_taint(fn: FunctionInfo, kind: str, imports: Dict[str, str],
+                   resolved: Dict[int, List[FunctionInfo]],
+                   taint_summary: Dict[str, Dict[str, str]]) -> Optional[
+                       str]:
+    """Witness when some ``return`` of *fn* carries *kind* taint."""
+    tainted: Set[str] = set()
+    witnesses: Dict[str, str] = {}
+    statements = [stmt for stmt in _own_statements(fn)]
+    grew = True
+    while grew:
+        grew = False
+        for stmt in statements:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            elif isinstance(stmt, ast.AugAssign):
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            witness = _taint_in_expr(value, tainted, imports, resolved,
+                                     taint_summary, kind)
+            if witness is None:
+                continue
+            for target in targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name) \
+                            and node.id not in tainted:
+                        tainted.add(node.id)
+                        witnesses[node.id] = witness
+                        grew = True
+    for stmt in statements:
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            witness = _taint_in_expr(stmt.value, tainted, imports,
+                                     resolved, taint_summary, kind)
+            if witness is not None:
+                if witness.startswith("via `"):
+                    name = witness[5:].split("`")[0]
+                    witness = witnesses.get(name, witness)
+                return witness
+    return None

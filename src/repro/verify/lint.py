@@ -36,6 +36,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
+#: Not a rule: a file that does not parse (distinct exit code 3).
+VER000 = "VER000"
+
 VER101 = "VER101"
 VER102 = "VER102"
 VER103 = "VER103"
@@ -121,6 +124,28 @@ class _Linter(ast.NodeVisitor):
         self.findings: List[LintFinding] = []
         self._lock_depth = 0
 
+    # -- lexical scopes: the lock context does not cross them ----------
+    def _fresh_scope(self, node: ast.AST) -> None:
+        """A nested ``def``/``lambda``/``class`` body executes later, in
+        another frame — an enclosing ``with ....lock:`` is *not* held
+        when it runs, so the lock depth resets at the boundary."""
+        saved = self._lock_depth
+        self._lock_depth = 0
+        self.generic_visit(node)
+        self._lock_depth = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._fresh_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._fresh_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._fresh_scope(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._fresh_scope(node)
+
     def _report(self, node: ast.AST, code: str, message: str) -> None:
         self.findings.append(LintFinding(
             path=self.path, line=getattr(node, "lineno", 0),
@@ -185,7 +210,7 @@ class _Linter(ast.NodeVisitor):
                          "`with ....lock:` block publishes a tail the "
                          "lock no longer protects")
 
-    def visit_With(self, node: ast.With) -> None:
+    def _visit_with(self, node: "ast.With | ast.AsyncWith") -> None:
         locked = any(
             isinstance(item.context_expr, ast.Attribute)
             and item.context_expr.attr == "lock"
@@ -196,6 +221,12 @@ class _Linter(ast.NodeVisitor):
             self._lock_depth -= 1
         else:
             self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
 
     # -- VER104: queue-internal mutation -------------------------------
     def _check_target(self, target: ast.expr) -> None:
@@ -269,7 +300,7 @@ def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [LintFinding(path=path, line=exc.lineno or 0,
-                            col=exc.offset or 0, code="VER000",
+                            col=exc.offset or 0, code=VER000,
                             message=f"syntax error: {exc.msg}")]
     linter = _Linter(path=path, in_nvme=in_nvme,
                      check_methods=check_methods)
@@ -288,22 +319,32 @@ def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
 def iter_py_files(paths: Sequence[str]) -> Iterator[Path]:
     """Python files under *paths*, skipping hidden and cache dirs.
 
-    A path that does not exist raises ``FileNotFoundError``: a typo'd
-    CI path must not pass silently as "no findings".
+    Each file is yielded once even when *paths* overlap (``lint src
+    src/repro`` must not double-report).  A path that does not exist
+    raises ``FileNotFoundError``: a typo'd CI path must not pass
+    silently as "no findings".
     """
+    seen: Set[Path] = set()
+
+    def once(candidate: Path) -> Iterator[Path]:
+        resolved = candidate.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            yield candidate
+
     for raw in paths:
         root = Path(raw)
         if not root.exists():
             raise FileNotFoundError(f"lint path does not exist: {raw}")
         if root.is_file():
             if root.suffix == ".py":
-                yield root
+                yield from once(root)
             continue
         for candidate in sorted(root.rglob("*.py")):
             if any(part.startswith(".") or part == "__pycache__"
                    for part in candidate.parts):
                 continue
-            yield candidate
+            yield from once(candidate)
 
 
 def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
@@ -315,20 +356,77 @@ def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
     return findings
 
 
-def run_lint(paths: Sequence[str], list_rules: bool = False) -> int:
-    """CLI entry: print findings, return a shell exit code."""
+def run_lint(paths: Sequence[str], list_rules: bool = False,
+             flow: bool = False, output: str = "text",
+             baseline: Optional[str] = None) -> int:
+    """CLI entry: print findings, return a shell exit code.
+
+    Exit codes (mirroring ``check_perf_regression.py``'s convention of
+    keeping "the input is unusable" distinct from "the check failed"):
+
+    * ``0`` — clean (or every finding grandfathered by *baseline*),
+    * ``1`` — unbaselined rule findings,
+    * ``2`` — a lint path does not exist,
+    * ``3`` — unparseable input (``VER000``); dominates exit 1 so CI
+      can tell "the tree broke a rule" from "the tree did not parse".
+
+    With ``flow=True`` the whole-project analysis
+    (:mod:`repro.verify.flow`) runs over the same files and its
+    findings merge into the report.  *output* selects ``text`` (one
+    finding per line), ``json`` (machine-readable report, uploaded as
+    a CI artifact) or ``sarif`` (code-scanning import).  *baseline*
+    names a ``verify_baseline.json`` of grandfathered findings:
+    matches are reported but do not fail the run.
+    """
+    import sys
+
     if list_rules:
-        for code, text in sorted(LINT_RULES.items()):
+        from repro.verify.flow.rules import FLOW_RULES
+        for code, text in sorted({**LINT_RULES, **FLOW_RULES}.items()):
             print(f"{code}  {text}")
         return 0
     try:
-        findings = lint_paths(paths)
+        files = list(iter_py_files(paths))
     except FileNotFoundError as exc:
         print(f"error: {exc}")
         return 2
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"{len(findings)} finding(s)")
-        return 1
-    return 0
+    findings: List[LintFinding] = []
+    for path in files:
+        findings.extend(lint_source(path.read_text(encoding="utf-8"),
+                                    str(path)))
+    if flow:
+        from repro.verify.flow import analyze_paths
+        findings.extend(analyze_paths(files))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+
+    new = findings
+    grandfathered: List[LintFinding] = []
+    if baseline is not None:
+        from repro.verify.flow.report import Baseline
+        base = Baseline.load(baseline)
+        new, grandfathered, stale = base.split(findings)
+        for entry in stale:
+            print(f"warning: stale baseline entry (nothing matches): "
+                  f"{entry.path}: {entry.code}", file=sys.stderr)
+
+    if output == "json":
+        from repro.verify.flow.report import render_json
+        print(render_json(new, grandfathered))
+    elif output == "sarif":
+        from repro.verify.flow.report import render_sarif
+        from repro.verify.flow.rules import FLOW_RULES
+        rules = {**LINT_RULES, **FLOW_RULES,
+                 VER000: "file does not parse"}
+        print(render_sarif(new, grandfathered, rules))
+    else:
+        for finding in new:
+            print(finding)
+        if grandfathered:
+            print(f"{len(grandfathered)} grandfathered finding(s) "
+                  f"(see {baseline})")
+        if new:
+            print(f"{len(new)} finding(s)")
+
+    if any(f.code == VER000 for f in findings):
+        return 3
+    return 1 if new else 0

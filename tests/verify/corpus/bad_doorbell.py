@@ -13,3 +13,22 @@ def publish_locked(res):
 def publish_contract(res):
     # suppressed: lock held by caller per documented contract
     return res.sq.ring_doorbell()  # verify: ignore[VER103]
+
+
+def deferred_publish(res):
+    # The nested def runs later, after the with block has exited: the
+    # lock is NOT held when the doorbell rings.
+    with res.sq.lock:
+        def later():
+            res.sq.ring_doorbell()  # line 24: VER103 (scope reset)
+        return later
+
+
+def deferred_lambda(res):
+    with res.sq.lock:
+        return lambda: res.sq.ring_doorbell()  # line 30: VER103
+
+
+async def publish_async_locked(res):
+    async with res.sq.lock:
+        res.sq.ring_doorbell()  # fine: async with holds the lock too

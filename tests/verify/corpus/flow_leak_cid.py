@@ -1,0 +1,45 @@
+"""VER302 vectors: CIDs not retired/quarantined on every path.
+
+Mirrors the ``repro.host.driver`` CID lifecycle: ``_alloc_cid`` hands
+out a live command id that must reach ``retire``/``quarantine`` (or be
+handed off) on every completing path — an orphaned CID permanently
+shrinks the queue's usable window.  Flat-lint clean.
+"""
+
+
+def leaky_cid(driver, res):
+    cid = driver._alloc_cid(res)  # line 11: VER302 (lost when full)
+    if res.full():
+        return None
+    driver.retire(res.qid, cid)
+    return None
+
+
+def clean_retire(driver, res):
+    cid = driver._alloc_cid(res)
+    driver.retire(res.qid, cid)
+    return None
+
+
+def clean_quarantine(driver, res):
+    cid = driver._alloc_cid(res)
+    if res.full():
+        driver.quarantine(cid)
+        return None
+    driver.retire(res.qid, cid)
+    return None
+
+
+def clean_handoff(driver, res, cmd):
+    cid = driver._alloc_cid(res)
+    cmd.adopt(cid)  # fine: the command owns the CID's lifecycle now
+    return cmd
+
+
+def hushed_cid(driver, res):
+    # suppressed: drained-queue teardown retires the whole window
+    cid = driver._alloc_cid(res)  # verify: ignore[VER302]
+    if res.full():
+        return None
+    driver.retire(res.qid, cid)
+    return None

@@ -1,0 +1,47 @@
+"""VER303 vectors: QoS token grants not refunded on every path.
+
+The ``take``/``refund`` convention only applies to token-bucket-like
+receivers (``bucket``/``qos``/``budget``/``tokens`` in the receiver
+chain) — ``parser.take(4)`` is a different ``take`` entirely and must
+not be tracked.  A grant ends its life either refunded or handed to
+the spender (ownership transfer).  Flat-lint clean.
+"""
+
+
+def leaky_grant(bucket, arbiter, cost):
+    grant = bucket.take(cost)  # line 12: VER303 (lost when denied)
+    if arbiter.throttled():
+        return None
+    arbiter.spend(grant)
+    return None
+
+
+def clean_refund(bucket, arbiter, cost):
+    grant = bucket.take(cost)
+    if arbiter.throttled():
+        bucket.refund(grant)
+        return None
+    arbiter.spend(grant)
+    return None
+
+
+def clean_qos_receiver(tenant, cost):
+    grant = tenant.qos.take(cost)
+    tenant.qos.refund(grant)
+    return None
+
+
+def not_a_token_bucket(parser):
+    head = parser.take(4)  # fine: not a QoS receiver, never tracked
+    if parser.empty():
+        return None
+    return head
+
+
+def hushed_grant(bucket, arbiter, cost):
+    # suppressed: the arbiter reconciles unrefunded grants each epoch
+    grant = bucket.take(cost)  # verify: ignore[VER303]
+    if arbiter.throttled():
+        return None
+    arbiter.spend(grant)
+    return None

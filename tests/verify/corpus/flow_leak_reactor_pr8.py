@@ -1,0 +1,37 @@
+"""Regression shape: the PR-8 reactor read-buffer leak.
+
+PR 8's batched reactor leaked read pages on the hard-timeout recovery
+path in ``repro.engine.reactor._recover_stuck``: when an entry could
+not be parked for retry, the lost-completion branch failed the command
+without releasing its read buffer.  The shipped fix releases before
+failing.  Both shapes are reproduced here so the VER301 analysis is
+pinned to keep catching the original bug.  Flat-lint clean.
+"""
+
+
+class Reactor:
+    def recover_stuck_leaky(self, driver, entry, clock):
+        # The PR-8 bug: a recovery bounce buffer is acquired, then the
+        # lost-entry branch fails the command and returns without
+        # releasing it.
+        pages = driver.memory.alloc_pages(entry.npages)  # line 17: VER301
+        if not self.park_for_retry(entry):
+            entry.fail(None, clock.now)
+            return False
+        entry.resubmit(pages[0])
+        driver.memory.free_pages(pages)
+        return True
+
+    def recover_stuck_fixed(self, driver, entry, clock):
+        # The shipped fix: the lost branch releases before failing.
+        pages = driver.memory.alloc_pages(entry.npages)
+        if not self.park_for_retry(entry):
+            driver.memory.free_pages(pages)
+            entry.fail(None, clock.now)
+            return False
+        entry.resubmit(pages[0])
+        driver.memory.free_pages(pages)
+        return True
+
+    def park_for_retry(self, entry):
+        return entry.retries_left > 0

@@ -1,0 +1,61 @@
+"""VER301 vectors: read/page buffers not released on every path.
+
+The leak analysis follows the CFG — early returns, except handlers and
+finally suites — and distinguishes *derived* reads (``pages[0]``, the
+binding still owns the buffer) from ownership transfers (the bare name
+escaping into a call or container ends tracking).  Flat-lint clean.
+"""
+
+
+def leaky_early_return(memory, n):
+    pages = memory.alloc_pages(n)  # line 11: VER301 (lost on early return)
+    if n > 4:
+        return None
+    memory.free_pages(pages)
+    return None
+
+
+def leaky_swallowed_error(memory, n):
+    pages = memory.alloc_pages(n)  # line 19: VER301 (lost in the handler)
+    try:
+        pages[0].fill(n)
+    except ValueError:
+        return None
+    memory.free_pages(pages)
+    return None
+
+
+def leaky_discarded(memory):
+    memory.alloc_page()  # line 29: VER301 (result discarded)
+
+
+def clean_finally(memory, n):
+    pages = memory.alloc_pages(n)
+    try:
+        pages[0].fill(n)
+    finally:
+        memory.free_pages(pages)
+
+
+def clean_branch_release(memory, n):
+    pages = memory.alloc_pages(n)
+    if n > 4:
+        memory.free_pages(pages)
+        return None
+    memory.free_pages(pages)
+    return None
+
+
+def clean_ownership_transfer(memory, sink, n):
+    pages = memory.alloc_pages(n)
+    sink.adopt(pages)  # fine: the sink owns (and releases) them now
+    return None
+
+
+def hushed_leak(memory, n):
+    # suppressed: the arena itself is torn down wholesale by the caller
+    pages = memory.alloc_pages(n)  # verify: ignore[VER301]
+    if n > 4:
+        return None
+    memory.free_pages(pages)
+    return None

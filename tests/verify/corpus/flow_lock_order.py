@@ -1,0 +1,60 @@
+"""VER202 vectors: inconsistent lock-acquisition order.
+
+The ``alpha``/``beta`` pair is taken in both orders (lexically) and the
+``theta``/``eta`` pair closes a cycle through a call made under a lock
+into a function that acquires the other — both deadlock shapes.  The
+``gamma``/``delta`` pair is always taken in the same order (fine), and
+the ``mu``/``nu`` cycle is suppressed with justification.  Flat-lint
+clean: only the flow analysis finds anything here.
+"""
+
+
+class Inverted:
+    def ab(self, left, right):
+        with left.alpha.lock:
+            with right.beta.lock:  # line 15: VER202 (beta after alpha)
+                left.touch()
+
+    def ba(self, left, right):
+        with right.beta.lock:
+            with left.alpha.lock:  # line 20: VER202 (alpha after beta)
+                right.touch()
+
+
+class Consistent:
+    def first(self, a, b):
+        with a.gamma.lock:
+            with b.delta.lock:  # fine: delta always follows gamma
+                a.touch()
+
+    def second(self, a, b):
+        with a.gamma.lock:
+            with b.delta.lock:
+                b.touch()
+
+
+class ThroughCall:
+    def takes_eta(self, res):
+        with res.eta.lock:
+            res.poke()
+
+    def theta_then_eta(self, res):
+        with res.theta.lock:
+            self.takes_eta(res)  # line 43: VER202 (eta via call, theta held)
+
+    def eta_then_theta(self, res):
+        with res.eta.lock:
+            with res.theta.lock:  # line 47: VER202 (closes the cycle)
+                res.poke()
+
+
+class Hushed:
+    def mn(self, x):
+        with x.mu.lock:
+            with x.nu.lock:  # verify: ignore[VER202]
+                x.touch()
+
+    def nm(self, x):
+        with x.nu.lock:
+            with x.mu.lock:  # verify: ignore[VER202]
+                x.touch()

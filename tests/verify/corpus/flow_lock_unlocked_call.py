@@ -1,0 +1,31 @@
+"""VER201 vectors: unlocked calls into a caller-must-hold-lock helper.
+
+``Driver.ring`` mirrors ``repro.host.driver._ring_sq_doorbell``: it
+rings the doorbell itself without taking the lock (suppressed VER103,
+documented contract "caller holds the SQ lock").  The flow rule checks
+that contract at every call site.  This file is flat-lint clean — only
+the interprocedural analysis finds anything here.
+"""
+
+
+class Driver:
+    def ring(self, res):
+        # Contract: res.sq.lock is held by every caller.
+        return res.sq.ring_doorbell()  # verify: ignore[VER103]
+
+    def kick_locked(self, res):
+        with res.sq.lock:
+            return self.ring(res)  # fine: lock lexically held
+
+    def kick_unlocked(self, res):
+        return self.ring(res)  # line 21: VER201
+
+    def kick_hushed(self, res):
+        # suppressed: single-threaded setup path, queue not yet live
+        return self.ring(res)  # verify: ignore[VER201]
+
+
+def kick_via_chain(driver, res):
+    # The obligation escapes upward: this function calls the (now
+    # lock-needing) unlocked kicker, itself without the lock.
+    return driver.kick_unlocked(res)  # line 31: VER201

@@ -1,0 +1,37 @@
+"""VER401 vectors: wall-clock values arriving through helpers.
+
+The line-level ``# verify: ignore[VER101]`` on the read silences the
+*read*, not the flow — that suppression is exactly what makes the
+helper's call sites interesting, so the taint rule sees through it.
+Flat-lint clean (every direct read is suppressed).
+"""
+import time
+
+
+def read_wall():
+    # Intentional for these vectors: the raw read is suppressed, the
+    # derived value still taints every caller.
+    return time.perf_counter()  # verify: ignore[VER101]
+
+
+def relay():
+    # A pass-through helper is not charged: the finding lands where
+    # the value enters code that keeps it.
+    return read_wall()
+
+
+def stamp(sim):
+    sim.note(relay())  # line 24: VER401 (through two helpers)
+
+
+def stamp_direct(sim):
+    sim.note(read_wall())  # line 28: VER401
+
+
+def stamp_hushed(sim):
+    # suppressed: this sink is a debug log, not sim state
+    sim.note(read_wall())  # verify: ignore[VER401]
+
+
+def stamp_clean(sim, clock):
+    sim.note(clock.now)  # fine: the seeded sim clock

@@ -1,0 +1,31 @@
+"""VER402 vectors: unseeded-RNG values arriving through helpers.
+
+Same through-the-helper story as the clock vectors: the suppressed
+VER102 read is a declared intent, and the flow rule reports where the
+nondeterministic value actually lands.  Flat-lint clean.
+"""
+import numpy as np
+
+
+def draw():
+    # Intentional for these vectors: unseeded on purpose.
+    rng = np.random.default_rng()  # verify: ignore[VER102]
+    return rng.normal()
+
+
+def jitter(sim):
+    sim.delay(draw())  # line 17: VER402
+
+
+def jitter_hushed(sim):
+    # suppressed: perturbation study, reproducibility waived on purpose
+    sim.delay(draw())  # verify: ignore[VER402]
+
+
+def draw_seeded(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal()
+
+
+def jitter_clean(sim, seed):
+    sim.delay(draw_seeded(seed))  # fine: seeded construction

@@ -1,0 +1,201 @@
+"""Unit tests for the symbol table / call graph
+(``repro.verify.flow.callgraph``)."""
+
+import textwrap
+
+from repro.verify.flow.callgraph import (
+    Project,
+    dotted_name,
+    module_name_for,
+)
+
+
+def load(**sources):
+    """Project from ``{filename_py: source}`` keyword args."""
+    return Project.load({
+        name.replace("__", "/").replace("_py", ".py"):
+        textwrap.dedent(text)
+        for name, text in sources.items()})
+
+
+# ------------------------------------------------------------- helpers
+
+
+def test_dotted_name():
+    import ast
+    expr = ast.parse("a.b.c(x)", mode="eval").body.func
+    assert dotted_name(expr) == "a.b.c"
+    lone = ast.parse("f(x)", mode="eval").body.func
+    assert dotted_name(lone) == "f"
+    dynamic = ast.parse("table[0](x)", mode="eval").body.func
+    assert dotted_name(dynamic) is None
+
+
+def test_module_name_for_src_trees():
+    assert module_name_for("src/repro/host/driver.py") == \
+        "repro.host.driver"
+    assert module_name_for("src/repro/verify/__init__.py") == \
+        "repro.verify"
+    assert module_name_for("benchmarks/perf_smoke.py") == \
+        "benchmarks.perf_smoke"
+
+
+# ------------------------------------------------------------ collection
+
+
+def test_functions_methods_and_nested_defs_are_collected():
+    project = load(m_py="""
+        def free(x):
+            return x
+
+        class Box:
+            def method(self):
+                def helper():
+                    return 1
+                return helper()
+    """)
+    names = set(project.functions)
+    assert names == {"m.free", "m.Box.method", "m.Box.method.helper"}
+    assert project.functions["m.Box.method"].is_method
+    # A def nested in a method is a plain function, not a method.
+    assert not project.functions["m.Box.method.helper"].is_method
+
+
+def test_syntax_error_file_is_skipped_not_fatal():
+    project = load(good_py="def f():\n    return 1\n",
+                   bad_py="def broken(:\n")
+    assert project.skipped == ["bad.py"]
+    assert "good.f" in project.functions
+
+
+# ------------------------------------------------------------ resolution
+
+
+def test_bare_name_resolves_within_module():
+    project = load(m_py="""
+        def callee():
+            return 1
+
+        def caller():
+            return callee()
+    """)
+    sites = project.callers_of("m.callee")
+    assert [s.caller.qualname for s in sites] == ["m.caller"]
+
+
+def test_from_import_resolves_across_modules():
+    project = load(
+        src__repro__util_py="""
+            def helper():
+                return 1
+        """,
+        src__repro__use_py="""
+            from repro.util import helper
+
+            def go():
+                return helper()
+        """)
+    sites = project.callers_of("repro.util.helper")
+    assert [s.caller.qualname for s in sites] == ["repro.use.go"]
+
+
+def test_self_method_resolves_to_enclosing_class():
+    project = load(m_py="""
+        class A:
+            def target(self):
+                return 1
+
+            def caller(self):
+                return self.target()
+
+        class B:
+            def target(self):
+                return 2
+    """)
+    sites = project.callers_of("m.A.target")
+    assert [s.caller.qualname for s in sites] == ["m.A.caller"]
+    assert project.callers_of("m.B.target") == []
+
+
+def test_attribute_call_duck_types_to_every_matching_method():
+    project = load(m_py="""
+        class Driver:
+            def kick(self, qid):
+                return qid
+
+        def go(driver):
+            return driver.kick(0)
+    """)
+    sites = project.callers_of("m.Driver.kick")
+    assert [s.caller.qualname for s in sites] == ["m.go"]
+
+
+def test_unresolvable_calls_produce_no_edges():
+    project = load(m_py="""
+        def go(table):
+            return table[0]()
+    """)
+    assert project.call_sites == []
+
+
+# ------------------------------------------------------------- locks
+
+
+def test_call_sites_carry_the_lexical_lock_context():
+    project = load(m_py="""
+        class D:
+            def ring(self, res):
+                return res.sq.ring_doorbell()
+
+            def locked(self, res):
+                with res.sq.lock:
+                    return self.ring(res)
+
+            def unlocked(self, res):
+                return self.ring(res)
+    """)
+    by_caller = {s.caller.qualname: s.locks
+                 for s in project.callers_of("m.D.ring")}
+    assert by_caller["m.D.locked"] == ("sq",)
+    assert by_caller["m.D.unlocked"] == ()
+
+
+def test_lock_context_does_not_leak_into_nested_defs():
+    project = load(m_py="""
+        class D:
+            def ring(self, res):
+                return res.sq.ring_doorbell()
+
+            def deferred(self, res):
+                with res.sq.lock:
+                    def later():
+                        return self.ring(res)
+                    return later
+    """)
+    (site,) = project.callers_of("m.D.ring")
+    # The call lives in the nested function, which runs later, unlocked.
+    assert site.caller.qualname == "m.D.deferred.later"
+    assert site.locks == ()
+
+
+def test_lock_acquisitions_record_outer_locks():
+    project = load(m_py="""
+        def f(a, b):
+            with a.alpha.lock:
+                with b.beta.lock:
+                    a.touch()
+    """)
+    fn = project.functions["m.f"]
+    acquired = {acq.lock_id: acq.outer for acq in fn.acquires}
+    assert acquired == {"alpha": (), "beta": ("alpha",)}
+
+
+def test_multi_item_with_orders_locks_left_to_right():
+    project = load(m_py="""
+        def f(a, b):
+            with a.alpha.lock, b.beta.lock:
+                a.touch()
+    """)
+    fn = project.functions["m.f"]
+    acquired = {acq.lock_id: acq.outer for acq in fn.acquires}
+    assert acquired == {"alpha": (), "beta": ("alpha",)}

@@ -1,0 +1,325 @@
+"""Unit tests for the per-function CFG (``repro.verify.flow.cfg``).
+
+The assertions work through :func:`solve_forward` with a tiny
+"lines on some path" analysis: the state entering ``CFG.EXIT`` is the
+union of line numbers on every normally-completing path, so edge wiring
+(exception edges, finally routing, ``while True`` fall-through) shows
+up directly as which lines can/cannot reach which synthetic exit.
+"""
+
+import ast
+import textwrap
+
+from repro.verify.flow.cfg import CFG, EXC, NORMAL, build_cfg
+from repro.verify.flow.dataflow import ForwardAnalysis, solve_forward
+
+
+def fn_cfg(source, name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    fns = [node for node in ast.walk(tree)
+           if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    if name is not None:
+        fns = [f for f in fns if f.name == name]
+    return build_cfg(fns[0])
+
+
+class LinesSeen(ForwardAnalysis):
+    """State = frozenset of line numbers executed on some path."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, node, state, edge_kind):
+        if node.lineno:
+            return state | {node.lineno}
+        return state
+
+
+def lines_at(cfg, index):
+    states = solve_forward(cfg, LinesSeen())
+    return states.get(index)
+
+
+# ------------------------------------------------------------- structure
+
+
+def test_linear_body_reaches_exit():
+    cfg = fn_cfg("""
+        def f(x):
+            a = x + 1
+            b = a * 2
+            return b
+    """)
+    assert lines_at(cfg, CFG.EXIT) == frozenset({3, 4, 5})
+
+
+def test_both_branches_reach_exit():
+    cfg = fn_cfg("""
+        def f(x):
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+    """)
+    # The join at EXIT sees both arms.
+    assert lines_at(cfg, CFG.EXIT) >= frozenset({3, 4, 6, 7})
+
+
+def test_early_return_skips_the_rest():
+    cfg = fn_cfg("""
+        def f(x):
+            if x:
+                return 1
+            tail = 2
+            return tail
+    """)
+    exit_lines = lines_at(cfg, CFG.EXIT)
+    assert 4 in exit_lines and 6 in exit_lines
+
+
+def test_statements_after_return_are_unreachable():
+    cfg = fn_cfg("""
+        def f():
+            return 1
+            dead = 2
+    """)
+    assert 4 not in lines_at(cfg, CFG.EXIT)
+
+
+# ------------------------------------------------------------- loops
+
+
+def test_while_true_has_no_fall_through():
+    cfg = fn_cfg("""
+        def f():
+            while True:
+                spin = 1
+    """)
+    # The only exits are break/return/exception; with none, the normal
+    # exit is unreachable.
+    assert lines_at(cfg, CFG.EXIT) is None
+
+
+def test_while_true_break_reaches_exit():
+    cfg = fn_cfg("""
+        def f(q):
+            while True:
+                if q.done():
+                    break
+            return 1
+    """)
+    assert 5 in lines_at(cfg, CFG.EXIT)
+
+
+def test_plain_while_falls_through():
+    cfg = fn_cfg("""
+        def f(n):
+            while n:
+                n -= 1
+            return n
+    """)
+    assert {3, 5} <= lines_at(cfg, CFG.EXIT)
+
+
+def test_continue_loops_back():
+    cfg = fn_cfg("""
+        def f(items):
+            for item in items:
+                if item:
+                    continue
+                handle = item
+            return 1
+    """)
+    assert {3, 4, 6} <= lines_at(cfg, CFG.EXIT)
+
+
+# ------------------------------------------------------------- exceptions
+
+
+def test_raise_reaches_raise_exit_not_exit():
+    cfg = fn_cfg("""
+        def f():
+            raise ValueError("boom")
+    """)
+    assert lines_at(cfg, CFG.EXIT) is None
+    assert 3 in lines_at(cfg, CFG.RAISE)
+
+
+def test_handler_catches_and_falls_through():
+    cfg = fn_cfg("""
+        def f(x):
+            try:
+                risky = x()
+            except ValueError:
+                fallback = 1
+            return 2
+    """)
+    exit_lines = lines_at(cfg, CFG.EXIT)
+    # Both the clean path and the caught path complete normally.
+    assert {4, 7} <= exit_lines and 6 in exit_lines
+
+
+def test_any_statement_may_raise_into_the_handler():
+    cfg = fn_cfg("""
+        def f(x):
+            try:
+                a = 1
+            except Exception:
+                return 2
+            return 3
+    """)
+    # The EXC edge from `a = 1` lands in the handler: line 5 (the
+    # handler's return) is on a completing path.
+    assert 5 in lines_at(cfg, CFG.EXIT)
+
+
+def test_unmatched_exception_propagates():
+    cfg = fn_cfg("""
+        def f(x):
+            try:
+                risky = x()
+            except ValueError:
+                pass
+            return 1
+    """)
+    # The try body's raise may miss the handler and escape.
+    assert 4 in lines_at(cfg, CFG.RAISE)
+
+
+# ------------------------------------------------------------- finally
+
+
+def test_return_routes_through_finally():
+    cfg = fn_cfg("""
+        def f(x):
+            try:
+                return x
+            finally:
+                cleanup = 1
+    """)
+    assert 6 in lines_at(cfg, CFG.EXIT)
+
+
+def test_finally_runs_on_the_raising_path():
+    cfg = fn_cfg("""
+        def f(x):
+            try:
+                risky = x()
+            finally:
+                cleanup = 1
+    """)
+    assert 6 in lines_at(cfg, CFG.RAISE)
+
+
+def test_finally_exit_is_not_wired_for_unused_break():
+    # No break/continue/return in the guarded suite: the finally's only
+    # normal continuation is plain fall-through.
+    cfg = fn_cfg("""
+        def f(items):
+            for item in items:
+                try:
+                    step = item
+                finally:
+                    cleanup = 1
+            return 2
+    """)
+    fexits = [n.index for n in cfg.nodes if n.label == "<finally-exit>"]
+    assert len(fexits) == 1
+    normal_targets = {dst for dst, kind in cfg.succs[fexits[0]]
+                      if kind == NORMAL}
+    # Exactly one normal continuation (back to the loop header).
+    assert len(normal_targets) == 1
+
+
+def test_finally_exit_wired_for_used_break():
+    cfg = fn_cfg("""
+        def f(items):
+            for item in items:
+                try:
+                    break
+                finally:
+                    cleanup = 1
+            return 2
+    """)
+    # break routes through the finally and out of the loop to return 2.
+    assert {5, 7} <= lines_at(cfg, CFG.EXIT)
+
+
+# ------------------------------------------------------------- opacity
+
+
+def test_nested_def_is_one_opaque_node():
+    cfg = fn_cfg("""
+        def f():
+            def inner():
+                hidden = 1
+            return inner
+    """, name="f")
+    all_lines = set()
+    for node in cfg.nodes:
+        if node.lineno:
+            all_lines.add(node.lineno)
+    assert 3 in all_lines      # the def statement itself is a node
+    assert 4 not in all_lines  # its body is not part of f's flow
+
+
+def test_with_header_is_the_only_with_node():
+    cfg = fn_cfg("""
+        def f(res):
+            with res.sq.lock:
+                body = 1
+    """)
+    labels = [n.label for n in cfg.nodes]
+    assert labels.count("with") == 1
+    assert {3, 4} <= lines_at(cfg, CFG.EXIT)
+
+
+# ------------------------------------------------------- edge sensitivity
+
+
+class GenOnNormal(ForwardAnalysis):
+    """GEN the node's line only when the statement *completed* —
+    mirrors the leak analysis's acquire semantics."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, node, state, edge_kind):
+        if edge_kind == NORMAL and node.lineno:
+            return state | {node.lineno}
+        return state
+
+
+def test_exc_edge_does_not_gen():
+    cfg = fn_cfg("""
+        def f(x):
+            try:
+                acq = x()
+            except ValueError:
+                return 1
+            return 2
+    """)
+    states = solve_forward(cfg, GenOnNormal())
+    handler = [n.index for n in cfg.nodes if n.label == "except"][0]
+    # Entering the handler, `acq = x()` did NOT complete.
+    assert 4 not in states[handler]
+    # But on the fall-through path it did.
+    ret2 = [n.index for n in cfg.nodes if n.lineno == 7][0]
+    assert 4 in states[ret2]
+
+
+def test_exc_edges_are_labelled():
+    cfg = fn_cfg("""
+        def f(x):
+            a = x()
+    """)
+    kinds = {kind for succs in cfg.succs.values()
+             for _, kind in succs}
+    assert kinds == {NORMAL, EXC}

@@ -1,0 +1,199 @@
+"""End-to-end flow analysis over the corpus, the real tree, the
+baseline workflow, and the report renderers."""
+
+import json
+from pathlib import Path
+
+from repro.verify.flow import analyze_paths
+from repro.verify.flow.report import (
+    Baseline,
+    BaselineEntry,
+    render_json,
+    render_sarif,
+)
+from repro.verify.lint import LintFinding, lint_paths
+
+CORPUS = Path(__file__).parent / "corpus"
+REPO = Path(__file__).resolve().parents[2]
+
+#: Every seeded flow bug: (file, line, code).  A corpus edit that
+#: stops one firing must update this table deliberately.
+EXPECTED = {
+    ("flow_leak_cid.py", 11, "VER302"),
+    ("flow_leak_qos.py", 12, "VER303"),
+    ("flow_leak_reactor_pr8.py", 17, "VER301"),
+    ("flow_leak_read_buffer.py", 11, "VER301"),
+    ("flow_leak_read_buffer.py", 19, "VER301"),
+    ("flow_leak_read_buffer.py", 29, "VER301"),
+    ("flow_lock_order.py", 15, "VER202"),
+    ("flow_lock_order.py", 20, "VER202"),
+    ("flow_lock_order.py", 43, "VER202"),
+    ("flow_lock_order.py", 47, "VER202"),
+    ("flow_lock_unlocked_call.py", 21, "VER201"),
+    ("flow_lock_unlocked_call.py", 31, "VER201"),
+    ("flow_taint_clock.py", 24, "VER401"),
+    ("flow_taint_clock.py", 28, "VER401"),
+    ("flow_taint_rng.py", 17, "VER402"),
+}
+
+
+def corpus_flow_findings():
+    files = sorted(CORPUS.glob("flow_*.py"))
+    return analyze_paths(files)
+
+
+def test_corpus_flags_exactly_the_seeded_flow_bugs():
+    got = {(Path(f.path).name, f.line, f.code)
+           for f in corpus_flow_findings()}
+    assert got == EXPECTED
+
+
+def test_corpus_covers_every_flow_rule():
+    assert {code for _, _, code in EXPECTED} == {
+        "VER201", "VER202", "VER301", "VER302", "VER303",
+        "VER401", "VER402"}
+
+
+def test_flow_corpus_files_are_flat_lint_clean():
+    # The flow vectors must only be visible to the flow analysis —
+    # and must not disturb the flat corpus expectations.
+    files = sorted(CORPUS.glob("flow_*.py"))
+    assert lint_paths([str(f) for f in files]) == []
+
+
+def test_pr8_reactor_leak_shape_is_caught_and_fix_is_clean():
+    findings = analyze_paths([CORPUS / "flow_leak_reactor_pr8.py"])
+    assert [(f.code, f.line) for f in findings] == [("VER301", 17)]
+    assert "recover_stuck_leaky" in findings[0].message
+    assert "recover_stuck_fixed" not in findings[0].message
+
+
+def test_real_reactor_stays_ver3xx_clean():
+    # The engine transfers buffer ownership into the in-flight entry
+    # (the corpus file pins the *local-acquire* PR-8 shape); the real
+    # reactor/table/engine trio must stay free of VER3xx noise so the
+    # rule remains enforceable on the hot path.
+    engine_dir = REPO / "src" / "repro" / "engine"
+    findings = analyze_paths([engine_dir / "reactor.py",
+                              engine_dir / "table.py",
+                              engine_dir / "engine.py"])
+    assert [f for f in findings if f.code.startswith("VER3")] == []
+
+
+def test_live_mutation_of_the_engine_is_flagged(tmp_path):
+    # End-to-end: take the real engine source, introduce an
+    # early-return between the local acquire and the ownership
+    # transfer, and the analysis must flag the new leak path.
+    source = (REPO / "src" / "repro" / "engine" / "engine.py").read_text(
+        encoding="utf-8")
+    needle = "entry.read_pages = tuple(pages)"
+    assert needle in source
+    indent = " " * 16
+    mutated = source.replace(
+        needle,
+        f"if entry.read_len > (1 << 20):\n{indent}    return None\n"
+        f"{indent}{needle}")
+    bad = tmp_path / "engine.py"
+    bad.write_text(mutated, encoding="utf-8")
+    findings = analyze_paths([bad])
+    assert "VER301" in {f.code for f in findings}
+
+
+def test_real_tree_has_only_baselined_findings(monkeypatch):
+    # The acceptance bar: src/ + benchmarks/ produce zero findings
+    # beyond the checked-in baseline.  Paths are repo-relative, exactly
+    # as the CI job invokes the lint.
+    from repro.verify.lint import iter_py_files
+
+    monkeypatch.chdir(REPO)
+    files = list(iter_py_files(["src", "benchmarks"]))
+    findings = analyze_paths(files)
+    baseline = Baseline.load(REPO / "verify_baseline.json")
+    new, grandfathered, stale = baseline.split(findings)
+    assert new == []
+    assert grandfathered, "baseline no longer exercised"
+    assert stale == []
+
+
+# ------------------------------------------------------------- baseline
+
+
+def finding(path="a.py", line=3, col=0, code="VER301", message="leak"):
+    return LintFinding(path=path, line=line, col=col, code=code,
+                       message=message)
+
+
+def test_baseline_matches_on_path_and_code_not_line():
+    entry = BaselineEntry(path="a.py", code="VER301")
+    assert entry.matches(finding(line=3))
+    assert entry.matches(finding(line=99))
+    assert not entry.matches(finding(path="b.py"))
+    assert not entry.matches(finding(code="VER302"))
+
+
+def test_baseline_message_narrows_the_match():
+    entry = BaselineEntry(path="a.py", code="VER301", message="leak")
+    assert entry.matches(finding(message="leak"))
+    assert not entry.matches(finding(message="other"))
+
+
+def test_baseline_split_partitions_and_reports_stale(tmp_path):
+    raw = {"version": 1, "findings": [
+        {"path": "a.py", "code": "VER301"},
+        {"path": "gone.py", "code": "VER202"},
+    ]}
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(raw))
+    baseline = Baseline.load(path)
+    new, grandfathered, stale = baseline.split(
+        [finding(), finding(path="fresh.py", code="VER401")])
+    assert [f.path for f in grandfathered] == ["a.py"]
+    assert [f.path for f in new] == ["fresh.py"]
+    assert [e.path for e in stale] == ["gone.py"]
+
+
+def test_one_baseline_entry_absorbs_repeat_findings():
+    baseline = Baseline(entries=[BaselineEntry(path="a.py",
+                                               code="VER301")])
+    new, grandfathered, _ = baseline.split(
+        [finding(line=3), finding(line=7)])
+    assert new == [] and len(grandfathered) == 2
+
+
+def test_checked_in_baseline_parses_and_is_nonempty():
+    baseline = Baseline.load(REPO / "verify_baseline.json")
+    assert baseline.entries
+    for entry in baseline.entries:
+        assert entry.path and entry.code.startswith("VER")
+
+
+# ------------------------------------------------------------- renderers
+
+
+def test_render_json_shape():
+    report = json.loads(render_json([finding()],
+                                    [finding(path="old.py")]))
+    assert report["version"] == 1
+    assert report["counts"] == {"new": 1, "grandfathered": 1}
+    flags = {f["path"]: f["baselined"] for f in report["findings"]}
+    assert flags == {"a.py": False, "old.py": True}
+
+
+def test_render_sarif_shape():
+    sarif = json.loads(render_sarif(
+        [finding()], [finding(path="old.py")],
+        rules={"VER301": "buffer leak"}))
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["VER301"]
+    levels = {r["locations"][0]["physicalLocation"]["artifactLocation"]
+              ["uri"]: r["level"] for r in run["results"]}
+    assert levels == {"a.py": "error", "old.py": "note"}
+
+
+def test_sarif_lines_and_columns_are_one_based():
+    sarif = json.loads(render_sarif(
+        [finding(line=0, col=0)], [], rules={"VER301": "x"}))
+    region = sarif["runs"][0]["results"][0]["locations"][0][
+        "physicalLocation"]["region"]
+    assert region["startLine"] >= 1 and region["startColumn"] >= 1

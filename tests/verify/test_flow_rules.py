@@ -1,0 +1,470 @@
+"""Unit tests for the flow rule families (``repro.verify.flow.rules``),
+driven through :func:`analyze_sources` on small in-memory projects."""
+
+import textwrap
+
+import pytest
+
+from repro.verify.flow import FLOW_RULES, analyze_sources
+from repro.verify.flow.rules import (
+    VER201,
+    VER202,
+    VER301,
+    VER302,
+    VER303,
+    VER401,
+    VER402,
+)
+from repro.verify.lint import LINT_RULES
+
+
+def findings(source, path="m.py", **more):
+    sources = {path: textwrap.dedent(source)}
+    for extra_path, text in more.items():
+        sources[extra_path.replace("__", "/").replace("_py", ".py")] = \
+            textwrap.dedent(text)
+    return analyze_sources(sources)
+
+
+def codes(source, **kw):
+    return [f.code for f in findings(source, **kw)]
+
+
+# ------------------------------------------------------------- catalogue
+
+
+def test_flow_rules_are_disjoint_from_flat_rules():
+    assert not set(FLOW_RULES) & set(LINT_RULES)
+
+
+@pytest.mark.parametrize("code", sorted(FLOW_RULES))
+def test_every_flow_rule_has_a_description(code):
+    assert FLOW_RULES[code]
+
+
+# ---------------------------------------------------------------- VER201
+
+
+RING_HELPER = """
+        class Driver:
+            def ring(self, res):
+                return res.sq.ring_doorbell()  # verify: ignore[VER103]
+"""
+
+
+def test_ver201_flags_unlocked_call_to_ringing_helper():
+    result = findings(RING_HELPER + """
+        def go(driver, res):
+            return driver.ring(res)
+    """)
+    assert [f.code for f in result] == [VER201]
+    assert "ring" in result[0].message
+
+
+def test_ver201_allows_call_under_the_lock():
+    assert codes(RING_HELPER + """
+        def go(driver, res):
+            with res.sq.lock:
+                return driver.ring(res)
+    """) == []
+
+
+def test_ver201_obligation_propagates_up_the_call_graph():
+    result = findings(RING_HELPER + """
+        def kick(driver, res):
+            with res.sq.lock:
+                return driver.ring(res)
+
+        def kick_unlocked(driver, res):
+            return driver.ring(res)  # finding 1
+
+        def outer(driver, res):
+            return kick_unlocked(driver, res)  # finding 2: inherits
+    """)
+    assert [f.code for f in result] == [VER201, VER201]
+    assert {f.line for f in result} == {11, 14}
+
+
+def test_ver201_function_that_locks_itself_is_not_flagged():
+    assert codes("""
+        class Driver:
+            def kick(self, res):
+                with res.sq.lock:
+                    return res.sq.ring_doorbell()
+
+        def go(driver, res):
+            return driver.kick(res)
+    """) == []
+
+
+def test_ver201_suppression():
+    assert codes(RING_HELPER + """
+        def go(driver, res):
+            return driver.ring(res)  # verify: ignore[VER201]
+    """) == []
+
+
+# ---------------------------------------------------------------- VER202
+
+
+def test_ver202_flags_inverted_lexical_order():
+    result = findings("""
+        def ab(x, y):
+            with x.alpha.lock:
+                with y.beta.lock:
+                    x.touch()
+
+        def ba(x, y):
+            with y.beta.lock:
+                with x.alpha.lock:
+                    y.touch()
+    """)
+    assert [f.code for f in result] == [VER202, VER202]
+
+
+def test_ver202_consistent_order_is_clean():
+    assert codes("""
+        def first(x, y):
+            with x.alpha.lock:
+                with y.beta.lock:
+                    x.touch()
+
+        def second(x, y):
+            with x.alpha.lock:
+                with y.beta.lock:
+                    y.touch()
+    """) == []
+
+
+def test_ver202_cycle_through_a_call_edge():
+    result = findings("""
+        class C:
+            def takes_beta(self, res):
+                with res.beta.lock:
+                    res.poke()
+
+            def alpha_then_beta(self, res):
+                with res.alpha.lock:
+                    self.takes_beta(res)
+
+            def beta_then_alpha(self, res):
+                with res.beta.lock:
+                    with res.alpha.lock:
+                        res.poke()
+    """)
+    assert [f.code for f in result] == [VER202, VER202]
+
+
+def test_ver202_same_lock_id_nested_is_not_a_cycle():
+    # Two queues' `sq` locks share an id; re-nesting the same id is
+    # outside this rule's per-kind ordering discipline.
+    assert codes("""
+        def f(a, b):
+            with a.sq.lock:
+                with b.sq.lock:
+                    a.touch()
+    """) == []
+
+
+# ---------------------------------------------------------------- VER301
+
+
+def test_ver301_flags_early_return_leak():
+    result = findings("""
+        def f(memory, n):
+            pages = memory.alloc_pages(n)
+            if n > 4:
+                return None
+            memory.free_pages(pages)
+    """)
+    assert [(f.code, f.line) for f in result] == [(VER301, 3)]
+    assert "pages" in result[0].message
+
+
+def test_ver301_finally_release_is_clean():
+    assert codes("""
+        def f(memory, n):
+            pages = memory.alloc_pages(n)
+            try:
+                pages[0].fill(n)
+            finally:
+                memory.free_pages(pages)
+    """) == []
+
+
+def test_ver301_swallowing_handler_leaks():
+    assert codes("""
+        def f(memory, n):
+            pages = memory.alloc_pages(n)
+            try:
+                pages[0].fill(n)
+            except ValueError:
+                return None
+            memory.free_pages(pages)
+    """) == [VER301]
+
+
+def test_ver301_escaping_exception_path_is_not_charged():
+    # The acquire completes, the next statement raises out of the
+    # function: leak rules only police paths the function completes.
+    assert codes("""
+        def f(memory, n):
+            pages = memory.alloc_pages(n)
+            raise ValueError(n)
+    """) == []
+
+
+def test_ver301_discarded_result_is_flagged():
+    assert codes("""
+        def f(memory):
+            memory.alloc_page()
+    """) == [VER301]
+
+
+def test_ver301_ownership_transfer_kills_tracking():
+    assert codes("""
+        def f(memory, sink, n):
+            pages = memory.alloc_pages(n)
+            sink.adopt(pages)
+            return None
+    """) == []
+
+
+def test_ver301_return_of_the_resource_is_a_transfer():
+    assert codes("""
+        def f(memory, n):
+            pages = memory.alloc_pages(n)
+            return pages
+    """) == []
+
+
+def test_ver301_derived_reads_keep_tracking():
+    # pages[0] / pages.meta are reads through the binding — the binding
+    # still owns the buffer, so the early return still leaks.
+    assert codes("""
+        def f(memory, engine, n):
+            pages = memory.alloc_pages(n)
+            engine.drive(pages[0])
+            if n > 4:
+                return None
+            memory.free_pages(pages)
+    """) == [VER301]
+
+
+def test_ver301_release_through_a_method_receiver_counts():
+    # `entry.release_read_buffer(memory)` mentions no bare binding but
+    # releases what entry holds; any release-family call naming the
+    # variable (bare or derived) kills tracking.
+    assert codes("""
+        def f(memory, n):
+            buf = memory.alloc_buffer(n)
+            memory.free_buffer(buf)
+            return None
+    """) == []
+
+
+def test_ver301_rebinding_ends_tracking():
+    assert codes("""
+        def f(memory, n):
+            pages = memory.alloc_pages(n)
+            memory.free_pages(pages)
+            pages = None
+            return pages
+    """) == []
+
+
+def test_ver301_suppression():
+    assert codes("""
+        def f(memory, n):
+            pages = memory.alloc_pages(n)  # verify: ignore[VER301]
+            if n > 4:
+                return None
+            memory.free_pages(pages)
+    """) == []
+
+
+# -------------------------------------------------------- VER302 / VER303
+
+
+def test_ver302_flags_unretired_cid():
+    assert codes("""
+        def f(driver, res):
+            cid = driver._alloc_cid(res)
+            if res.full():
+                return None
+            driver.retire(res.qid, cid)
+    """) == [VER302]
+
+
+def test_ver302_quarantine_counts_as_release():
+    assert codes("""
+        def f(driver, res):
+            cid = driver._alloc_cid(res)
+            driver.quarantine(cid)
+            return None
+    """) == []
+
+
+def test_ver303_receiver_hint_gates_tracking():
+    # bucket.take is a QoS grant; parser.take is unrelated.
+    assert codes("""
+        def leaky(bucket, arbiter, cost):
+            grant = bucket.take(cost)
+            if arbiter.throttled():
+                return None
+            arbiter.spend(grant)
+    """) == [VER303]
+    assert codes("""
+        def fine(parser):
+            head = parser.take(4)
+            if parser.empty():
+                return None
+            return head
+    """) == []
+
+
+def test_ver303_refund_is_clean():
+    assert codes("""
+        def f(bucket, arbiter, cost):
+            grant = bucket.take(cost)
+            if arbiter.throttled():
+                bucket.refund(grant)
+                return None
+            arbiter.spend(grant)
+    """) == []
+
+
+# -------------------------------------------------------- VER401 / VER402
+
+
+WALL_HELPER = """
+        import time
+
+        def read_wall():
+            return time.perf_counter()  # verify: ignore[VER101]
+"""
+
+
+def test_ver401_flags_call_site_of_clock_helper():
+    result = findings(WALL_HELPER + """
+        def stamp(sim):
+            sim.note(read_wall())
+    """)
+    assert [f.code for f in result] == [VER401]
+    assert "read_wall" in result[0].message
+
+
+def test_ver401_sees_through_pass_through_helpers():
+    result = findings(WALL_HELPER + """
+        def relay():
+            return read_wall()
+
+        def stamp(sim):
+            sim.note(relay())
+    """)
+    # The pass-through helper is not charged; its caller is.
+    assert [(f.code, f.line) for f in result] == [(VER401, 11)]
+
+
+def test_ver401_taint_through_local_assignment():
+    result = findings(WALL_HELPER + """
+        def elapsed():
+            start = time.perf_counter()  # verify: ignore[VER101]
+            delta = start + 1.0
+            return delta
+
+        def stamp(sim):
+            sim.note(elapsed())
+    """)
+    assert [f.code for f in result] == [VER401]
+
+
+def test_ver401_helper_without_taint_is_clean():
+    assert codes("""
+        def now(clock):
+            return clock.now
+
+        def stamp(sim, clock):
+            sim.note(now(clock))
+    """) == []
+
+
+def test_ver401_cross_module_taint():
+    result = findings(
+        """
+        from repro.helpers import wall
+
+        def stamp(sim):
+            sim.note(wall())
+        """,
+        path="src/repro/use.py",
+        src__repro__helpers_py="""
+            import time
+
+            def wall():
+                return time.time()  # verify: ignore[VER101]
+        """)
+    assert [f.code for f in result] == [VER401]
+    assert result[0].path == "src/repro/use.py"
+
+
+def test_ver402_flags_unseeded_rng_helper():
+    result = findings("""
+        import numpy as np
+
+        def draw():
+            rng = np.random.default_rng()  # verify: ignore[VER102]
+            return rng.normal()
+
+        def jitter(sim):
+            sim.delay(draw())
+    """)
+    assert [f.code for f in result] == [VER402]
+
+
+def test_ver402_seeded_rng_is_clean():
+    assert codes("""
+        import numpy as np
+
+        def draw(seed):
+            rng = np.random.default_rng(seed)
+            return rng.normal()
+
+        def jitter(sim, seed):
+            sim.delay(draw(seed))
+    """) == []
+
+
+def test_ver4xx_suppression_at_the_call_site():
+    assert codes(WALL_HELPER + """
+        def stamp(sim):
+            sim.note(read_wall())  # verify: ignore[VER401]
+    """) == []
+
+
+# ------------------------------------------------------------ front-end
+
+
+def test_duplicate_witnesses_collapse_to_one_finding():
+    # Duck-typed resolution can bind one call to several candidate
+    # methods; the front-end reports each (path, line, col, code) once.
+    result = findings(RING_HELPER + """
+        class Other:
+            def ring(self, res):
+                return res.sq.ring_doorbell()  # verify: ignore[VER103]
+
+        def go(driver, res):
+            return driver.ring(res)
+    """)
+    assert [f.code for f in result] == [VER201]
+
+
+def test_findings_are_sorted_by_location():
+    result = findings(RING_HELPER + """
+        def zz(driver, res):
+            return driver.ring(res)
+
+        def aa(driver, res):
+            return driver.ring(res)
+    """)
+    assert [f.line for f in result] == sorted(f.line for f in result)

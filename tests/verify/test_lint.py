@@ -111,6 +111,51 @@ def test_ver103_suppression():
     assert codes(src) == []
 
 
+def test_ver103_lock_does_not_leak_into_nested_def():
+    # The nested function runs later, after the with block exited.
+    src = ("with res.sq.lock:\n"
+           "    def later():\n"
+           "        res.sq.ring_doorbell()\n")
+    assert codes(src) == [VER103]
+
+
+def test_ver103_lock_does_not_leak_into_lambda():
+    src = ("with res.sq.lock:\n"
+           "    cb = lambda: res.sq.ring_doorbell()\n")
+    assert codes(src) == [VER103]
+
+
+def test_ver103_lock_does_not_leak_into_class_body():
+    src = ("with res.sq.lock:\n"
+           "    class Hook:\n"
+           "        res.sq.ring_doorbell()\n")
+    assert codes(src) == [VER103]
+
+
+def test_ver103_nested_def_may_take_the_lock_itself():
+    src = ("with res.sq.lock:\n"
+           "    def later():\n"
+           "        with res.sq.lock:\n"
+           "            res.sq.ring_doorbell()\n")
+    assert codes(src) == []
+
+
+def test_ver103_outer_lock_restored_after_nested_def():
+    # After the nested def, the enclosing with block is still locked.
+    src = ("with res.sq.lock:\n"
+           "    def later():\n"
+           "        pass\n"
+           "    res.sq.ring_doorbell()\n")
+    assert codes(src) == []
+
+
+def test_ver103_async_with_holds_the_lock():
+    src = ("async def kick(res):\n"
+           "    async with res.sq.lock:\n"
+           "        res.sq.ring_doorbell()\n")
+    assert codes(src) == []
+
+
 # ---------------------------------------------------------------- VER104
 
 
@@ -214,6 +259,31 @@ def test_syntax_error_becomes_ver000_finding():
     assert [f.code for f in findings] == ["VER000"]
 
 
+# --------------------------------------------------------- iter_py_files
+
+
+def test_iter_py_files_dedupes_overlapping_paths(tmp_path):
+    from repro.verify.lint import iter_py_files
+
+    (tmp_path / "pkg").mkdir()
+    target = tmp_path / "pkg" / "mod.py"
+    target.write_text("x = 1\n")
+    # Duplicate argument, directory+file overlap, and a relative-ish
+    # respelling all resolve to the same file: yielded once.
+    got = list(iter_py_files([str(tmp_path), str(tmp_path),
+                              str(target),
+                              str(tmp_path / "pkg" / ".." / "pkg"
+                                  / "mod.py")]))
+    assert len(got) == 1
+
+
+def test_duplicate_paths_do_not_double_report(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("sq.tail = 0\n")
+    findings = lint_paths([str(bad), str(bad), str(tmp_path)])
+    assert [f.code for f in findings] == [VER104]
+
+
 # ------------------------------------------------------------- corpus
 
 
@@ -262,6 +332,134 @@ def test_cli_lint_list_rules(capsys):
         assert code in out
 
 
+def test_cli_lint_list_includes_flow_rules(capsys):
+    from repro.verify.flow.rules import FLOW_RULES
+
+    assert main(["lint", "--list"]) == 0
+    out = capsys.readouterr().out
+    for code in FLOW_RULES:
+        assert code in out
+
+
 @pytest.mark.parametrize("code", sorted(LINT_RULES))
 def test_every_rule_has_a_description(code):
     assert LINT_RULES[code]
+
+
+# ------------------------------------------------------- exit codes
+
+
+def test_cli_syntax_error_exits_3(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    rc = main(["lint", str(bad)])
+    assert rc == 3
+    assert "VER000" in capsys.readouterr().out
+
+
+def test_cli_syntax_error_dominates_rule_findings(tmp_path):
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    (tmp_path / "bad.py").write_text("sq.tail = 0\n")
+    assert main(["lint", str(tmp_path)]) == 3
+
+
+# ----------------------------------------------------------- --flow
+
+
+def test_cli_flow_finds_corpus_bugs(capsys):
+    rc = main(["lint", "--flow", str(CORPUS)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    for code in ("VER201", "VER202", "VER301", "VER302", "VER303",
+                 "VER401", "VER402"):
+        assert code in out, code
+
+
+def test_cli_no_flow_is_the_default(capsys):
+    main(["lint", str(CORPUS)])
+    out = capsys.readouterr().out
+    assert "VER201" not in out
+
+
+def test_cli_flow_src_is_clean_against_baseline():
+    repo = Path(__file__).resolve().parents[2]
+    import os
+
+    cwd = os.getcwd()
+    os.chdir(repo)
+    try:
+        rc = main(["lint", "--flow", "src", "benchmarks",
+                   "--baseline", "verify_baseline.json"])
+    finally:
+        os.chdir(cwd)
+    assert rc == 0
+
+
+# ----------------------------------------------------------- --output
+
+
+def test_cli_output_json(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("sq.tail = 0\n")
+    rc = main(["lint", "--output", "json", str(bad)])
+    assert rc == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["counts"] == {"new": 1, "grandfathered": 0}
+    assert report["findings"][0]["code"] == VER104
+
+
+def test_cli_output_sarif(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("sq.tail = 0\n")
+    rc = main(["lint", "--output", "sarif", str(bad)])
+    assert rc == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    assert sarif["runs"][0]["results"][0]["ruleId"] == VER104
+
+
+# ----------------------------------------------------------- --baseline
+
+
+def test_cli_baseline_grandfathers_matching_findings(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("sq.tail = 0\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "findings": [{"path": str(bad), "code": "VER104"}]}))
+    rc = main(["lint", str(bad), "--baseline", str(baseline)])
+    assert rc == 0
+    assert "grandfathered" in capsys.readouterr().out
+
+
+def test_cli_baseline_does_not_absorb_new_findings(tmp_path):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("sq.tail = 0\nimport random\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "findings": [{"path": str(bad), "code": "VER104"}]}))
+    assert main(["lint", str(bad), "--baseline", str(baseline)]) == 1
+
+
+def test_cli_stale_baseline_entry_warns_but_passes(tmp_path, capsys):
+    import json
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "findings": [{"path": "long_gone.py", "code": "VER104"}]}))
+    rc = main(["lint", str(clean), "--baseline", str(baseline)])
+    assert rc == 0
+    assert "stale" in capsys.readouterr().err
