@@ -1,52 +1,86 @@
 #!/usr/bin/env python3
-"""Crash recovery demo: durable KV semantics on the simulated KV-SSD.
+"""Crash recovery demo: seeded power cuts against the durability harness.
 
 Fine-grained per-PUT persistence is one of the workload patterns the
 paper motivates ByteExpress with (§2.2: Redis appendfsync-always, etcd
-raft logs).  This example PUTs a workload through ByteExpress, yanks the
-power, and shows the device rebuilding its index from the NAND-resident
-value log — including durable tombstones for deletes.
+raft logs).  This example uses the crash-and-recover harness from
+``repro.durability``: each run arms a seeded :class:`CrashPlan` on the
+rig's fault injector, drives acknowledged KV writes until the power
+dies mid-protocol-action, then reboots the host, replays the value log
+to the durable watermark, and checks every *acknowledged* write
+against a timing-free device oracle.
+
+Three arms:
+
+1. a power cut at a seeded TLP boundary with power-loss protection —
+   every acked write must survive;
+2. the same cut during CQE delivery, through the command-less
+   ``pio_coherent`` datapath — durability is a property of the device,
+   not of one transfer method;
+3. the deliberately lossy arm: PLP disabled, so the device reboots from
+   a stale checkpoint and the harness *reports* the acked writes it
+   lost (under ``REPRO_VERIFY=1`` this raises ``INV_DURABLE_ACK``).
 
 Run:  python examples/crash_recovery.py
 """
 
-from repro import KVStore, MixGraphWorkload, make_kv_testbed
+from repro.durability.harness import CrashSpec, run_crash
+from repro.faults.plan import CUT_CQE, CUT_TLP, CrashPlan
+
+
+def show(title: str, report) -> None:
+    print(f"--- {title}")
+    print(f"    {report.label}")
+    print(f"    cut fired={report.cut_fired}  issued={report.issued}  "
+          f"acked before cut={report.acked}")
+    print(f"    scrubbed domains: {', '.join(report.scrubbed)}")
+    print(f"    recovery replayed {report.recovered_keys} live keys "
+          f"in {report.recovery_ns / 1000:.1f} us")
+    verdict = ("every acknowledged write survived" if report.ok else
+               f"LOST {len(report.lost)} acked writes, "
+               f"{len(report.torn)} torn findings")
+    print(f"    verdict: {verdict}")
+    print()
 
 
 def main() -> None:
-    tb = make_kv_testbed(memtable_entries=64)
-    store = KVStore(tb.driver, tb.method("byteexpress"))
+    # Arm 1: die while a TLP is crossing the link, mid-workload.  The
+    # capacitor (plp=True) flushes the active value-log segment and
+    # journals fresh metadata before volatile state is scrubbed.
+    spec = CrashSpec(plane="kv", method="byteexpress", qd=1, ops=12,
+                     payload_bytes=256, cut=CrashPlan(CUT_TLP, 30))
+    report = run_crash(spec)
+    show("power cut at TLP #30 (ByteExpress, PLP)", report)
+    assert report.cut_fired and report.ok
 
-    latest = {}
-    for op in MixGraphWorkload(ops=400, seed=0xDEAD, key_space=150):
-        store.put(op.key, op.value)
-        latest[op.key] = op.value
-    doomed = sorted(latest)[:10]
-    for key in doomed:
-        store.delete(key)
-        del latest[key]
-    print(f"state before crash: {len(latest)} live keys, "
-          f"{len(doomed)} deleted, "
-          f"{tb.personality.vlog.flushes} log segments on NAND")
+    # Arm 2: the same contract through a different datapath and a
+    # different protocol action — power dies as a CQE is being posted.
+    spec = CrashSpec(plane="kv", method="byteexpress", qd=1, ops=12,
+                     payload_bytes=256, cut=CrashPlan(CUT_CQE, 5))
+    report = run_crash(spec)
+    show("power cut at CQE #5 (ByteExpress, PLP)", report)
+    assert report.cut_fired and report.ok
 
-    live = tb.personality.crash_and_recover()
-    print(f"power failure!  recovery replayed the value log -> "
-          f"{live} live keys")
-    assert live == len(latest)
+    # pio_coherent has no doorbells and no CQEs by construction, so a
+    # TLP cut is the only place it can die.
+    spec = CrashSpec(plane="kv", method="pio_coherent", qd=1, ops=12,
+                     payload_bytes=256, cut=CrashPlan(CUT_TLP, 20))
+    report = run_crash(spec)
+    show("power cut at TLP #20 (pio_coherent, PLP)", report)
+    assert report.cut_fired and report.ok
 
-    errors = 0
-    for key, value in latest.items():
-        if store.get(key, max_value_len=65536) != value:
-            errors += 1
-    for key in doomed:
-        if store.exists(key):
-            errors += 1
-    print(f"verification: {len(latest)} values byte-exact, "
-          f"{len(doomed)} deletions honoured, {errors} errors")
-
-    store.put(b"post-crash-key-1", b"business as usual")
-    print(f"store is live again: "
-          f"{store.get(b'post-crash-key-1').decode()!r}")
+    # Arm 3: no capacitor.  The device boots from its boot-time
+    # checkpoint; acked-but-unflushed writes are genuinely gone, and
+    # the harness says so instead of pretending.
+    spec = CrashSpec(plane="kv", method="byteexpress", qd=1, ops=12,
+                     payload_bytes=256, cut=CrashPlan(CUT_TLP, 30),
+                     plp=False)
+    report = run_crash(spec)
+    show("the same cut WITHOUT power-loss protection", report)
+    assert report.cut_fired and not report.ok
+    print(f"without PLP the device lost {len(report.lost)} acknowledged "
+          f"writes — exactly what INV_DURABLE_ACK exists to catch "
+          f"(re-run with REPRO_VERIFY=1 to see it raise).")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ Commands:
 * ``engine``    — asynchronous multi-queue engine + concurrent load gen
 * ``virt``      — multi-tenant rig: namespaces, queue passthrough, QoS
 * ``serve``     — KV serving front-end: sessions, group commit, read cache
+* ``crash``     — power-cut + recovery: one seeded cut, or the full matrix
 * ``lint``      — project-specific AST lint (determinism, queue protocol)
 """
 
@@ -42,8 +43,8 @@ from repro.workloads import (
 )
 
 def _suite_methods() -> tuple:
-    """Methods the sweep/kv/pushdown testbeds can build: every
-    registered spec with a factory, minus the opt-in BAR window and
+    """Methods the kv/pushdown testbeds can build: every registered
+    spec with a factory, minus the opt-in BAR window and
     tagged-reassembly variants (those need a special testbed)."""
     return tuple(spec.name for spec in datapath_registry.specs()
                  if spec.factory is not None
@@ -51,8 +52,26 @@ def _suite_methods() -> tuple:
                  and not spec.caps.tag_reassembly)
 
 
+def _sweep_methods() -> tuple:
+    """Methods the Figure-5 sweep can drive: the sweep builds each
+    method its own rig, enabling the BAR byte window when the method
+    needs one (``mmio``, ``pio_coherent``), so only the
+    tagged-reassembly variant stays out."""
+    return tuple(spec.name for spec in datapath_registry.specs()
+                 if spec.factory is not None
+                 and not spec.caps.tag_reassembly)
+
+
 def _figure5_default() -> str:
     return ",".join(datapath_registry.method_names(figure5=True))
+
+
+def _figure5_suite_default() -> str:
+    """Figure-5 methods the stock kv/pushdown testbeds can build
+    (drops the BAR-window variants those rigs don't carve)."""
+    suite = set(_suite_methods())
+    return ",".join(m for m in datapath_registry.method_names(figure5=True)
+                    if m in suite)
 
 
 def _config(args) -> SimConfig:
@@ -107,7 +126,7 @@ def _fault_plan(args):
 def cmd_sweep(args) -> int:
     sizes = [int(s) for s in args.sizes.split(",")]
     methods = [m for m in args.methods.split(",")]
-    suite = _suite_methods()
+    suite = _sweep_methods()
     for m in methods:
         if m not in suite:
             print(f"unknown method {m!r}; pick from {suite}",
@@ -116,7 +135,8 @@ def cmd_sweep(args) -> int:
     rows = []
     latency_series = {m: [] for m in methods}
     for method in methods:
-        tb = make_block_testbed(config=_config(args), include_mmio=False,
+        bar = datapath_registry.resolve(method).caps.bar_window
+        tb = make_block_testbed(config=_config(args), include_mmio=bar,
                                 fault_plan=_fault_plan(args))
         for size in sizes:
             agg = tb.method(method).run_workload(
@@ -472,6 +492,67 @@ def cmd_serve(args) -> int:
     return 0 if report.errors == 0 else 1
 
 
+def cmd_crash(args) -> int:
+    """One seeded power cut (default) or the full crash-matrix sweep."""
+    import json as json_mod
+
+    from repro.durability.harness import CrashSpec, run_crash
+    from repro.durability.matrix import run_matrix
+    from repro.faults.plan import CrashPlan
+    from repro.verify import InvariantViolation
+
+    try:
+        if args.matrix:
+            result = run_matrix(cuts_per_cell=args.cuts_per_cell,
+                                seed=args.seed,
+                                progress=lambda line: print(f"  {line}"))
+            print()
+            print(f"crash matrix: {result.total_cuts} seeded cuts across "
+                  f"{len(result.methods)} methods "
+                  f"({', '.join(result.methods)})")
+            print(f"acked writes lost : {result.total_losses}")
+            print(f"torn-state finds  : {result.total_torn}")
+            print(f"cuts that missed  : {result.total_unfired}")
+            if args.json:
+                with open(args.json, "w") as fh:
+                    json_mod.dump(result.to_json(), fh, indent=2,
+                                  sort_keys=True)
+                    fh.write("\n")
+                print(f"wrote {args.json}")
+            return 0 if result.ok else 1
+        spec = CrashSpec(plane=args.plane, method=args.method, qd=args.qd,
+                         ops=args.ops, payload_bytes=args.payload,
+                         cut=CrashPlan(args.cut_kind, args.cut_index),
+                         plp=args.plp)
+        report = run_crash(spec)
+    except InvariantViolation as exc:
+        print(f"INVARIANT VIOLATION: {exc}", file=sys.stderr)
+        return 1
+    except (ValueError, RuntimeError) as exc:
+        print(f"bad crash configuration: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        ["cut fired", "yes" if report.cut_fired else "no"],
+        ["ops issued", report.issued],
+        ["acked before cut", report.acked],
+        ["domains scrubbed", len(report.scrubbed)],
+        ["recovered keys", report.recovered_keys],
+        ["recovery (us)", f"{report.recovery_ns / 1000:.1f}"],
+        ["acked writes lost", len(report.lost)],
+        ["torn-state findings", len(report.torn)],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"crash: {report.label}"))
+    for label in report.lost:
+        print(f"  LOST: {label}")
+    for finding in report.torn:
+        print(f"  TORN: {finding}")
+    verdict = ("every acknowledged write survived" if report.ok
+               else "DURABILITY CONTRACT BROKEN")
+    print(f"verdict: {verdict}")
+    return 0 if report.ok else 1
+
+
 def cmd_lint(args) -> int:
     from repro.verify.lint import run_lint
 
@@ -508,7 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", default="32,64,128,256,512,1024,4096")
     p.add_argument("--methods", default=_figure5_default(),
                    help="comma-separated methods (pick from "
-                        "%s)" % ",".join(_suite_methods()))
+                        "%s)" % ",".join(_sweep_methods()))
     p.add_argument("--ops", type=int, default=100)
     p.add_argument("--faults", type=float, default=0.0, metavar="RATE",
                    help="per-opportunity fault probability (0 disables)")
@@ -520,14 +601,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("kv", help="KV-SSD workload (Figure 6)")
     p.add_argument("--workload", choices=("mixgraph", "fillrandom"),
                    default="mixgraph")
-    p.add_argument("--methods", default=_figure5_default())
+    p.add_argument("--methods", default=_figure5_suite_default())
     p.add_argument("--ops", type=int, default=500)
     p.add_argument("--value-size", type=int, default=128)
     p.add_argument("--seed", type=_seed_int, default=0x5EED)
     p.set_defaults(func=cmd_kv)
 
     p = sub.add_parser("pushdown", help="CSD pushdown (Figure 7)")
-    p.add_argument("--methods", default=_figure5_default())
+    p.add_argument("--methods", default=_figure5_suite_default())
     p.add_argument("--ops", type=int, default=100)
     p.add_argument("--segment", action="store_true",
                    help="send table;predicate segments instead of full SQL")
@@ -649,6 +730,38 @@ def build_parser() -> argparse.ArgumentParser:
                        engine_capable=True))
     p.add_argument("--seed", type=_seed_int, default=0x5EED)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "crash",
+        help="power-cut + recovery: one seeded cut, or the full matrix")
+    p.add_argument("--matrix", action="store_true",
+                   help="run the seeded crash-matrix sweep instead of a "
+                        "single cut")
+    p.add_argument("--plane", choices=("block", "kv"), default="kv",
+                   help="device personality the workload runs against")
+    p.add_argument("--method", default=dp_names.BYTEEXPRESS,
+                   help="datapath method carrying the writes")
+    p.add_argument("--qd", type=int, default=1,
+                   help="queue depth (1 = synchronous per-op acks)")
+    p.add_argument("--ops", type=int, default=12,
+                   help="write operations the workload attempts")
+    p.add_argument("--payload", type=int, default=256,
+                   help="payload bytes per write (KV: value size)")
+    p.add_argument("--cut-kind", choices=("tlp", "doorbell", "cqe"),
+                   default="tlp",
+                   help="protocol action the power dies at")
+    p.add_argument("--cut-index", type=int, default=30,
+                   help="0-based opportunity index of the cut")
+    p.add_argument("--no-plp", dest="plp", action="store_false",
+                   help="disable power-loss protection: boot from the "
+                        "stale journal (the deliberate data-loss arm)")
+    p.add_argument("--cuts-per-cell", type=int, default=16,
+                   help="seeded cuts per matrix cell (matrix mode)")
+    p.add_argument("--seed", type=_seed_int, default=0xC0A57,
+                   help="seed for the matrix's cut-index draws")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the matrix results JSON here (matrix mode)")
+    p.set_defaults(func=cmd_crash, plp=True)
 
     p = sub.add_parser(
         "lint",

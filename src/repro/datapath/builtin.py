@@ -74,6 +74,15 @@ def _make_mmio(ssd: Any, driver: Any, built: Dict[str, Any]) -> Any:
     return MmioTransfer(ssd, MmioByteInterface(ssd))
 
 
+def _make_pio_coherent(ssd: Any, driver: Any, built: Dict[str, Any]) -> Any:
+    from repro.transfer.pio_transfer import (
+        PioCoherentInterface,
+        PioCoherentTransfer,
+    )
+
+    return PioCoherentTransfer(ssd, PioCoherentInterface(ssd))
+
+
 def _make_hybrid(ssd: Any, driver: Any, built: Dict[str, Any]) -> Any:
     from repro.transfer.hybrid_transfer import HybridTransfer
 
@@ -124,6 +133,12 @@ def register_builtin_methods() -> None:
         caps=DatapathCaps(bar_window=True),
         factory=_make_mmio,
         summary="naive comparison point: payload bytes through a BAR window"))
+    register(DatapathSpec(
+        name=names.PIO_COHERENT,
+        caps=DatapathCaps(bar_window=True, figure5=True),
+        factory=_make_pio_coherent,
+        summary="coherent-link PIO: cacheline loads/stores, no doorbells, "
+                "no DMA fetch, no CQEs (arXiv 2409.08141)"))
     register(DatapathSpec(
         name=names.HYBRID,
         caps=DatapathCaps(),

@@ -28,6 +28,7 @@ BYTEEXPRESS: str = "byteexpress"
 BYTEEXPRESS_TAGGED: str = "byteexpress-tagged"
 BANDSLIM: str = "bandslim"
 MMIO: str = "mmio"
+PIO_COHERENT: str = "pio_coherent"
 HYBRID: str = "hybrid"
 
 #: Transport tags (``CommandContext.transport``).  PRP/SGL/MMIO/BandSlim
@@ -37,11 +38,13 @@ TRANSPORT_INLINE: str = "inline"
 TRANSPORT_PRP: str = PRP
 TRANSPORT_SGL: str = SGL
 TRANSPORT_MMIO: str = MMIO
+TRANSPORT_PIO: str = "pio"
 TRANSPORT_BANDSLIM: str = BANDSLIM
 
 #: The literal spellings VER106 hunts for outside this package.  Kept
 #: deliberately to the *method* vocabulary — generic words such as
 #: ``"inline"`` collide with too much unrelated prose to lint on.
 METHOD_LITERALS: FrozenSet[str] = frozenset({
-    PRP, SGL, BYTEEXPRESS, BYTEEXPRESS_TAGGED, BANDSLIM, MMIO, HYBRID,
+    PRP, SGL, BYTEEXPRESS, BYTEEXPRESS_TAGGED, BANDSLIM, MMIO,
+    PIO_COHERENT, HYBRID,
 })

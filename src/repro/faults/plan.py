@@ -60,6 +60,65 @@ def fault_event(kind: str) -> str:
     return f"fault.{kind}"
 
 
+# -- crash cuts (repro.durability) ----------------------------------------
+
+#: Cut the simulation at the Nth data/MMIO TLP crossing the link.
+CUT_TLP = "tlp"
+#: Cut at the Nth SQ doorbell publication.
+CUT_DOORBELL = "doorbell"
+#: Cut at the Nth I/O CQE posting.
+CUT_CQE = "cqe"
+
+CUT_KINDS: Tuple[str, ...] = (CUT_TLP, CUT_DOORBELL, CUT_CQE)
+
+#: Fault kinds whose opportunity sites double as crash-cut sites: the
+#: injector ticks the mapped cut kind at the top of :meth:`fire`, so a
+#: cut lands *before* the action it interrupts takes effect.
+_CUT_OF_FAULT: Dict[str, str] = {
+    CORRUPT_TLP: CUT_TLP,
+    DROP_DOORBELL: CUT_DOORBELL,
+    DROP_CQE: CUT_CQE,
+}
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """A seeded power-cut point: stop the world at one protocol action.
+
+    ``cut_index`` is a 0-based opportunity index of ``cut_kind``,
+    counted from the moment the plan is armed — the same deterministic
+    opportunity-stream discipline the fault kinds use, so a given
+    (kind, index) pair cuts at exactly the same simulated instant on
+    every run.
+    """
+
+    cut_kind: str = CUT_TLP
+    cut_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cut_kind not in CUT_KINDS:
+            raise ValueError(f"unknown cut kind {self.cut_kind!r}; "
+                             f"pick from {CUT_KINDS}")
+        if self.cut_index < 0:
+            raise ValueError("cut_index must be non-negative")
+
+
+class CrashCut(Exception):
+    """The simulated power cut.
+
+    Raised out of the protocol action the armed :class:`CrashPlan`
+    names; the crash harness catches it at the workload boundary and
+    runs the power-loss + recovery sequence.  Nothing in the stack may
+    swallow it.
+    """
+
+    def __init__(self, cut_kind: str, cut_index: int) -> None:
+        super().__init__(f"power cut at {cut_kind} opportunity "
+                         f"#{cut_index}")
+        self.cut_kind = cut_kind
+        self.cut_index = cut_index
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Declarative description of which protocol actions fail.
@@ -130,6 +189,43 @@ class FaultInjector:
         if self.plan is not None:
             self._schedule = {k: frozenset(v)
                               for k, v in self.plan.schedule.items()}
+        # crash-cut state (armed by the repro.durability harness).
+        # ``crash_armed`` opens the same observation paths ``active``
+        # gates, so every TLP copy becomes a countable cut opportunity;
+        # it never makes ``fire`` inject anything on its own.
+        self.crash_plan: Optional[CrashPlan] = None
+        self.crash_armed = False
+        self.crash_opportunities: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # crash cuts (repro.durability)
+    # ------------------------------------------------------------------
+    def arm_crash(self, plan: CrashPlan) -> None:
+        """Arm a power-cut point; opportunity counting starts at zero."""
+        self.crash_plan = plan
+        self.crash_armed = True
+        self.crash_opportunities.clear()
+        self.active = True
+
+    def disarm_crash(self) -> None:
+        """Disarm the cut (recovery traffic must not re-cut)."""
+        self.crash_plan = None
+        self.crash_armed = False
+        self.active = self.plan is not None
+
+    def crash_tick(self, kind: str, count: int = 1) -> None:
+        """Count *count* cut opportunities of *kind*; raise at the cut.
+
+        The :class:`CrashCut` fires when the armed plan's index falls
+        inside the counted window — *before* the interrupted action
+        takes effect, which is exactly what a power cut does.
+        """
+        n = self.crash_opportunities[kind]
+        self.crash_opportunities[kind] = n + count
+        plan = self.crash_plan
+        if (plan is not None and plan.cut_kind == kind
+                and n <= plan.cut_index < n + count):
+            raise CrashCut(kind, plan.cut_index)
 
     @property
     def delay_cqe_ns(self) -> float:
@@ -148,6 +244,10 @@ class FaultInjector:
 
     def fire(self, kind: str) -> bool:
         """Record one opportunity for *kind*; True means inject now."""
+        if self.crash_armed:
+            cut = _CUT_OF_FAULT.get(kind)
+            if cut is not None:
+                self.crash_tick(cut)
         if self.plan is None:
             return False
         n = self.opportunities[kind]
@@ -185,6 +285,7 @@ class FaultInjector:
         self.opportunities.clear()
         self.injected.clear()
         self._rngs.clear()
+        self.crash_opportunities.clear()
 
 
 #: Shared inactive injector for components constructed without one.

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.driver_ext import submit_plain
 from repro.datapath import names as dp_names
+from repro.durability.domains import DEVICE_VOLATILE, HOST_VOLATILE
 from repro.datapath import registry as datapath_registry
 from repro.datapath.spec import DatapathSpec
 from repro.faults.plan import DROP_DOORBELL
@@ -186,6 +187,13 @@ class NvmeDriver:
         self.shadow_wakes = 0
         self._queues: Dict[int, _QueueResources] = {}
         self._admin = self._make_resources(0, _ADMIN_DEPTH, _ADMIN_DEPTH)
+        # Persistence domains: the driver's in-flight command table is
+        # host-volatile; SQ/CQ ring *contents* belong to the device's
+        # volatile domain (the rings are the protocol's shared state —
+        # a power cut tears both sides at once).
+        ssd.durability.register("host.driver", HOST_VOLATILE, self)
+        ssd.durability.register("nvme.sq0", DEVICE_VOLATILE, self._admin.sq)
+        ssd.durability.register("nvme.cq0", DEVICE_VOLATILE, self._admin.cq)
         self._enable_controller()
         self.identify = self._identify_controller()
         for qid in range(1, ssd.config.num_io_queues + 1):
@@ -270,6 +278,8 @@ class NvmeDriver:
         if not cqe.ok:
             raise DriverError(f"CREATE_SQ {qid} failed: {cqe.status:#x}")
         self._queues[qid] = res
+        self.ssd.durability.register(f"nvme.sq{qid}", DEVICE_VOLATILE, res.sq)
+        self.ssd.durability.register(f"nvme.cq{qid}", DEVICE_VOLATILE, res.cq)
 
     # ------------------------------------------------------------------
     # queue-pair lifecycle (runtime — repro.virt tenant provisioning)
@@ -315,6 +325,8 @@ class NvmeDriver:
             if not cqe.ok:
                 raise DriverError(f"{name} {qid} failed: {cqe.status:#x}")
         del self._queues[qid]
+        self.ssd.durability.unregister(f"nvme.sq{qid}")
+        self.ssd.durability.unregister(f"nvme.cq{qid}")
         # No completion can arrive for this queue anymore: quarantined
         # (zombie) CIDs die with it, and their pinned pages are released.
         for pages in res.pending_pages.values():
@@ -352,6 +364,44 @@ class NvmeDriver:
             raise DriverError(
                 f"DBBUF_CONFIG failed with status {cqe.status:#x}")
         self.shadow = shadow
+        self.ssd.durability.register("host.shadow", HOST_VOLATILE, shadow)
+
+    # ------------------------------------------------------------------
+    # persistence (repro.durability)
+    # ------------------------------------------------------------------
+    # The driver's own volatile surface is the in-flight command table:
+    # per-queue CID allocation, zombie quarantine, pinned-page tracking.
+    # Queue ring contents have their own registrations (nvme.sq*/cq*).
+
+    def _all_resources(self) -> List[Tuple[int, _QueueResources]]:
+        return [(0, self._admin)] + sorted(self._queues.items())
+
+    def snapshot(self) -> object:
+        return {qid: (res.next_cid, set(res.live_cids),
+                      set(res.zombie_cids),
+                      {cid: list(p) for cid, p in res.pending_pages.items()})
+                for qid, res in self._all_resources()}
+
+    def restore(self, state: object) -> None:
+        assert isinstance(state, dict)
+        for qid, res in self._all_resources():
+            if qid not in state:
+                continue
+            next_cid, live, zombie, pending = state[qid]
+            res.next_cid = next_cid
+            res.live_cids = set(live)
+            res.zombie_cids = set(zombie)
+            res.pending_pages = {cid: list(p) for cid, p in pending.items()}
+
+    def scrub(self) -> None:
+        """Power cut: the in-flight table is gone; nothing is pinned
+        anymore (the pages themselves are zeroed by the host-memory
+        scrub — there is no one left to free them to)."""
+        for _qid, res in self._all_resources():
+            res.next_cid = 0
+            res.live_cids.clear()
+            res.zombie_cids.clear()
+            res.pending_pages.clear()
 
     # ------------------------------------------------------------------
     # helpers

@@ -102,3 +102,27 @@ class HostMemory:
     @property
     def mapped_pages(self) -> int:
         return len(self._frames)
+
+    # -- persistence (repro.durability) -----------------------------------
+    def snapshot(self) -> object:
+        """Full image of mapped frames plus the allocation cursor."""
+        return {"next": self._next,
+                "frames": {addr: bytes(frame)
+                           for addr, frame in self._frames.items()}}
+
+    def restore(self, state: object) -> None:
+        assert isinstance(state, dict)
+        self._next = state["next"]
+        self._frames = {addr: bytearray(frame)
+                        for addr, frame in state["frames"].items()}
+
+    def scrub(self) -> None:
+        """Power-loss wipe: zero every mapped frame *in place*.
+
+        The mapping itself survives (a rebooted host re-zeroes its DRAM;
+        the physical frames do not move), so objects holding addresses
+        into host memory — queue rings, shadow pages — keep valid
+        addresses and can be scrubbed in any order.
+        """
+        for frame in self._frames.values():
+            frame[:] = bytes(PAGE_SIZE)

@@ -121,6 +121,33 @@ class ShadowDoorbells:
             self.memory.read(self.eventidx_addr + PARK_RECORD_OFFSET, 8))[0]
 
     # ------------------------------------------------------------------
+    # persistence (repro.durability) — the pages are plain host DRAM,
+    # gone at a power cut like any other host-volatile state.
+    # ------------------------------------------------------------------
+    _PAGE_BYTES = 4096
+
+    def snapshot(self) -> object:
+        return {
+            "shadow": self.memory.read(self.shadow_addr, self._PAGE_BYTES),
+            "eventidx": self.memory.read(self.eventidx_addr,
+                                         self._PAGE_BYTES),
+        }
+
+    def restore(self, state: object) -> None:
+        assert isinstance(state, dict)
+        shadow = state["shadow"]
+        eventidx = state["eventidx"]
+        assert isinstance(shadow, bytes) and isinstance(eventidx, bytes)
+        self.memory.write(self.shadow_addr, shadow)
+        self.memory.write(self.eventidx_addr, eventidx)
+
+    def scrub(self) -> None:
+        """Zero both pages in place (slots, eventidx, park record)."""
+        zeros = bytes(self._PAGE_BYTES)
+        self.memory.write(self.shadow_addr, zeros)
+        self.memory.write(self.eventidx_addr, zeros)
+
+    # ------------------------------------------------------------------
     # the host's wake decision
     # ------------------------------------------------------------------
     def needs_mmio_wake(self, qid: int, old_tail: int, new_tail: int,

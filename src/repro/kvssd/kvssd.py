@@ -22,6 +22,7 @@ from repro.kvssd.commands import (
     decode_store_payload,
     unpack_key_fields,
 )
+from repro.durability.domains import DEVICE_VOLATILE
 from repro.kvssd.lsm import LsmIndex
 from repro.kvssd.value_log import ValueLog
 from repro.nvme.constants import KvOpcode, StatusCode, VendorOpcode
@@ -55,6 +56,12 @@ class KvSsdPersonality:
                              data_phase=False)
         ctl.register_handler(KvOpcode.LIST, self._on_list, data_phase=False)
         ctl.register_handler(VendorOpcode.KV_BATCH_STORE, self._on_batch_store)
+        # Persistence domains: the log's metadata checkpoints at flush
+        # boundaries (its flushed-segment set *is* the durable
+        # watermark); the DRAM-pinned index is rebuilt by replay.
+        ssd.durability.register("kv.value_log", DEVICE_VOLATILE, self.vlog,
+                                checkpointed=True)
+        ssd.durability.register("kv.index", DEVICE_VOLATILE, self.index)
         #: Run value-log GC once dead space exceeds this many segments.
         self.gc_threshold_bytes = 2 * self.vlog.segment_bytes
         self.puts = 0
@@ -235,30 +242,17 @@ class KvSsdPersonality:
     # ------------------------------------------------------------------
     # crash recovery
     # ------------------------------------------------------------------
-    def crash_and_recover(self) -> int:
-        """Simulate power loss and rebuild the KV state from NAND.
+    def replay_value_log(self) -> int:
+        """Replay flushed value-log segments into the (empty) index.
 
-        Enterprise KV-SSDs back their DRAM write buffer with capacitors
-        (power-loss protection): on power fail the active value-log
-        segment is flushed to NAND, but the volatile index state — the
-        memtable and DRAM-pinned LSM levels — is gone.  Recovery replays
-        the value log in segment order, rebuilding the index; last-writer
-        wins falls out of replay order, and durable tombstone records
-        make deletions survive the crash.
-
-        Returns the number of live keys after recovery.
+        Walks the durable watermark — the flushed-segment set — in
+        segment order: last-writer-wins falls out of replay order, and
+        durable tombstone records make deletions survive the crash.
+        Returns the number of live keys replayed.
         """
-        # Power-loss protection: the capacitor-backed flush.
-        self.vlog.flush()
-        self.ssd.nand.drain()
-        # Volatile index state is lost; rebuild into a fresh LPN window
-        # (the stale window's pages are simply never referenced again).
-        self.index = LsmIndex(self.ssd.ftl,
-                              lpn_base=self.index.lpn_base + (1 << 14),
-                              memtable_entries=self.index.memtable_entries)
         restored: dict = {}
-        for segment in sorted(self.vlog._flushed):
-            for ptr, key, value, is_tomb in self.vlog._parse_segment(segment):
+        for segment in self.vlog.flushed_segments:
+            for ptr, key, value, is_tomb in self.vlog.parse_segment(segment):
                 if is_tomb:
                     restored.pop(key, None)
                 else:
@@ -266,3 +260,30 @@ class KvSsdPersonality:
         for key, ptr in restored.items():
             self.index.put(key, ptr)
         return len(restored)
+
+    def recover(self) -> int:
+        """Boot-time recovery: scrub the volatile index, replay the log.
+
+        The index object *survives* (same LPN window, same tuning) —
+        ``Persistable.scrub()`` resets its contents in place, so device
+        identity persists across a controller reset instead of leaking
+        a fresh index at a shifted LPN base per recovery.
+        """
+        self.index.scrub()
+        return self.replay_value_log()
+
+    def crash_and_recover(self) -> int:
+        """Simulate power loss and rebuild the KV state from NAND.
+
+        Enterprise KV-SSDs back their DRAM write buffer with capacitors
+        (power-loss protection): on power fail the active value-log
+        segment is flushed to NAND, but the volatile index state — the
+        memtable and DRAM-pinned LSM levels — is gone.  Recovery then
+        rebuilds the index by replaying the log (:meth:`recover`).
+
+        Returns the number of live keys after recovery.
+        """
+        # Power-loss protection: the capacitor-backed flush.
+        self.vlog.flush()
+        self.ssd.nand.drain()
+        return self.recover()

@@ -215,6 +215,46 @@ class LsmIndex:
                 yield key, view[key]
 
     # ------------------------------------------------------------------
+    # persistence (repro.durability) — the memtable and the DRAM-pinned
+    # level entries are DEVICE_VOLATILE: a power cut loses them all, and
+    # recovery rebuilds the index by replaying the value log.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> object:
+        return {
+            "memtable": dict(self._memtable),
+            "levels": [[(list(t.entries), list(t.lpns)) for t in level]
+                       for level in self.levels],
+            "next_lpn": self._next_lpn,
+            "counters": (self.flushes, self.compactions),
+        }
+
+    def restore(self, state: object) -> None:
+        assert isinstance(state, dict)
+        self._memtable = dict(state["memtable"])
+        self.levels = [
+            [SsTable(entries=list(entries), lpns=list(lpns))
+             for entries, lpns in level]
+            for level in state["levels"]]
+        self._next_lpn = state["next_lpn"]
+        self.flushes, self.compactions = state["counters"]
+
+    def scrub(self) -> None:
+        """Drop every in-DRAM structure; the LPN window resets too.
+
+        The index keeps its identity (ftl, lpn_base, tuning) so replay
+        re-persists SSTables into the same logical window the stale
+        pre-crash tables occupied — those were trimmed or are simply
+        overwritten as replay flushes.
+        """
+        for level in self.levels:
+            for table in level:
+                for lpn in table.lpns:
+                    self.ftl.trim(lpn)  # no-op when the FTL was scrubbed
+        self._memtable = {}
+        self.levels = [[]]
+        self._next_lpn = self.lpn_base
+
+    # ------------------------------------------------------------------
     @property
     def memtable_size(self) -> int:
         return len(self._memtable)

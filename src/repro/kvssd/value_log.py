@@ -142,6 +142,64 @@ class ValueLog:
     def active_bytes(self) -> int:
         return self._offset
 
+    @property
+    def flushed_segments(self) -> Tuple[int, ...]:
+        """Flushed (NAND-durable) segment numbers, in flush order."""
+        return tuple(sorted(self._flushed))
+
+    def parse_segment(
+            self, segment: int
+    ) -> Iterator[Tuple[LogPointer, bytes, bytes, bool]]:
+        """Public replay iterator over one flushed segment."""
+        return self._parse_segment(segment)
+
+    # ------------------------------------------------------------------
+    # persistence (repro.durability)
+    # ------------------------------------------------------------------
+    # The log's *metadata* (segment counters, flushed map) and its active
+    # DRAM buffer are DEVICE_VOLATILE; flushed segments live behind the
+    # FTL in the persistent NAND domain.  The log registers as
+    # *checkpointed*: real firmware journals this metadata alongside the
+    # mapping table at flush boundaries.  The durable watermark after a
+    # crash is exactly the flushed-segment set in the restored snapshot.
+
+    def snapshot(self) -> object:
+        return {
+            "segment": self._segment,
+            "offset": self._offset,
+            "flushed": dict(self._flushed),
+            "live": dict(self._live),
+            "used": dict(self._used),
+            "buffer": self._buffer.read(0, self.segment_bytes),
+            "counters": (self.appends, self.flushes,
+                         self.gc_runs, self.gc_relocated),
+        }
+
+    def restore(self, state: object) -> None:
+        assert isinstance(state, dict)
+        self._segment = state["segment"]
+        self._offset = state["offset"]
+        self._flushed = dict(state["flushed"])
+        self._live = dict(state["live"])
+        self._used = dict(state["used"])
+        self._buffer.write(0, state["buffer"])
+        (self.appends, self.flushes,
+         self.gc_runs, self.gc_relocated) = state["counters"]
+
+    def scrub(self) -> None:
+        """Power cut: the active segment and all metadata vanish.
+
+        The DRAM buffer region itself survives (same carve, zeroed) so
+        the log keeps its identity across a controller reset instead of
+        re-carving — which would raise on the duplicate region name.
+        """
+        self._segment = 0
+        self._offset = 0
+        self._flushed.clear()
+        self._live.clear()
+        self._used.clear()
+        self._buffer.scrub()
+
     # ------------------------------------------------------------------
     # garbage collection
     # ------------------------------------------------------------------

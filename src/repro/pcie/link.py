@@ -14,7 +14,7 @@ serialisation + propagation.
 
 from __future__ import annotations
 
-from repro.faults.plan import CORRUPT_TLP, NULL_INJECTOR
+from repro.faults.plan import CORRUPT_TLP, CUT_TLP, NULL_INJECTOR
 from repro.pcie import tlp as tlpmod
 from repro.pcie.tlp import TlpBatch
 from repro.pcie.traffic import EVT_TLP_REPLAY, TrafficCounter
@@ -69,6 +69,11 @@ class PCIeLink:
         Returns the one-way delivery latency.  The host CPU itself only
         pays the store cost from the timing model, not this latency.
         """
+        if self.faults.crash_armed:
+            # MMIO stores never call fire(); the power-cut stream must
+            # still see them (a cut mid-doorbell is a classic torn
+            # publication), so they tick the TLP cut stream directly.
+            self.faults.crash_tick(CUT_TLP)
         batch = tlpmod.host_mmio_write(nbytes, self.config)
         self.counter.record(category, batch)
         return self._one_way(batch.downstream_bytes)
@@ -76,6 +81,8 @@ class PCIeLink:
     def host_mmio_read(self, nbytes: int, category: str) -> float:
         """Host load from BAR space; returns the full round-trip latency
         the CPU stalls for (uncached read across the link)."""
+        if self.faults.crash_armed:
+            self.faults.crash_tick(CUT_TLP)
         batch = tlpmod.host_mmio_read(nbytes, self.config)
         self.counter.record(category, batch)
         request_ns = self._one_way(batch.downstream_bytes)

@@ -23,6 +23,8 @@ CAT_INLINE_CHUNK = "inline_chunk"
 CAT_CQE = "cqe"
 CAT_MSIX = "msix"
 CAT_MMIO_DATA = "mmio_data"
+#: Coherent-link PIO payload stores/polls (the pio_coherent datapath).
+CAT_PIO_DATA = "pio_data"
 CAT_PRP_LIST = "prp_list"
 #: Shadow-doorbell maintenance: the controller's DMA reads of the
 #: host-memory tail/head page and its eventidx/park-record writes.

@@ -204,5 +204,27 @@ class SimClock:
     def reset_spans(self) -> None:
         self._spans.clear()
 
+    # ------------------------------------------------------------------
+    # persistence (repro.durability)
+    # ------------------------------------------------------------------
+    # The clock is simulation scaffolding, not modelled state — a crash
+    # does not rewind time — but the crash harness snapshots it so a
+    # restore-then-replay run can be compared step-for-step against an
+    # uninterrupted one, jitter stream included.
+
+    def snapshot(self) -> object:
+        return {"now": self.now, "rng_state": self._rng_state,
+                "jitter": self.jitter, "spans": list(self._spans)}
+
+    def restore(self, state: object) -> None:
+        assert isinstance(state, dict)
+        self.now = float(state["now"])  # type: ignore[arg-type]
+        self._rng_state = int(state["rng_state"])  # type: ignore[arg-type]
+        self.jitter = float(state["jitter"])  # type: ignore[arg-type]
+        self._spans = list(state["spans"])  # type: ignore[call-overload]
+
+    def scrub(self) -> None:
+        """No-op: simulated time never rewinds, even across a crash."""
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimClock(now={self.now:.1f}ns, spans={len(self._spans)})"

@@ -143,6 +143,18 @@ class TimingModel:
     #: Device-side latch + buffer append per cacheline.
     mmio_latch_ns: float = 40.0
 
+    # --- coherent-link PIO comparator (CXL/coherent-interconnect style) ----
+    #: Host coherent store of one 64 B cacheline into the device buffer.
+    #: Cheaper than the uncached write-combined MMIO store: coherent
+    #: writes pipeline through the cache hierarchy (arXiv 2409.08141).
+    pio_store_ns: float = 40.0
+    #: Device-side latch per cacheline on the coherent path.
+    pio_latch_ns: float = 20.0
+    #: Host coherent poll of the device status word — a cacheline read
+    #: serviced by the coherence protocol, far below an uncached MMIO
+    #: round trip but still a link traversal.
+    pio_poll_ns: float = 80.0
+
     # --- NAND back-end (Figure 6 experiments only) -------------------------
     nand_page_program_ns: float = 350_000.0
     nand_page_read_ns: float = 60_000.0

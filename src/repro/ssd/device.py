@@ -12,6 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.durability.domains import (
+    DEVICE_VOLATILE,
+    HOST_VOLATILE,
+    PERSISTENT,
+    DurabilityMap,
+)
 from repro.host.memory import HostMemory
 from repro.nvme.constants import IoOpcode, StatusCode
 from repro.pcie.link import PCIeLink
@@ -59,6 +65,20 @@ class OpenSsd:
         self.controller = NvmeController(self.config, self.clock, self.link,
                                          self.host_memory, bar=self.bar,
                                          mode=mode, injector=self.faults)
+        #: Persistence-domain registry (``repro.durability``): every
+        #: state-holding component registers under the domain that
+        #: decides whether it survives a power cut.  The FTL mapping
+        #: cache is *checkpointed* — journaled at flush boundaries and
+        #: restored at boot, like real firmware.
+        self.durability = DurabilityMap()
+        self.durability.register("host.memory", HOST_VOLATILE,
+                                 self.host_memory)
+        self.durability.register("ssd.dram", DEVICE_VOLATILE, self.dram)
+        self.durability.register("ssd.controller", DEVICE_VOLATILE,
+                                 self.controller)
+        self.durability.register("ssd.ftl", DEVICE_VOLATILE, self.ftl,
+                                 checkpointed=True)
+        self.durability.register("ssd.nand", PERSISTENT, self.nand)
 
     @property
     def nand_enabled(self) -> bool:
@@ -85,6 +105,10 @@ class BlockSsdPersonality:
         ssd.controller.register_handler(IoOpcode.WRITE, self._on_write)
         ssd.controller.register_handler(IoOpcode.READ, self._on_read)
         ssd.controller.register_handler(IoOpcode.FLUSH, self._on_flush)
+        # The functional store stands in for the NAND medium when NAND is
+        # off — it is the device's persistent surface either way (with
+        # NAND on it merely mirrors what the FTL path wrote).
+        ssd.durability.register("block.medium", PERSISTENT, self)
 
     # ------------------------------------------------------------------
     def _stage(self, data: bytes) -> None:
@@ -181,6 +205,19 @@ class BlockSsdPersonality:
         if self.ssd.nand_enabled:
             self.ssd.nand.drain()
         return CommandResult()
+
+    # -- persistence (repro.durability) ------------------------------------
+    def snapshot(self) -> object:
+        return {lpn: bytes(page) for lpn, page in self._pages.items()}
+
+    def restore(self, state: object) -> None:
+        assert isinstance(state, dict)
+        self._pages = {lpn: bytearray(page) for lpn, page in state.items()}
+
+    def scrub(self) -> None:
+        """Explicit sanitize of the functional medium (never at a crash —
+        the medium is PERSISTENT).  Handlers and staging identity stay."""
+        self._pages.clear()
 
     # -- test/inspection hooks ---------------------------------------------
     def read_back(self, offset: int, nbytes: int) -> bytes:

@@ -43,6 +43,18 @@ class DramRegion:
                 f"'{self.name}' of {self.size} B")
         return bytes(self._data[offset:offset + nbytes])
 
+    # -- persistence (repro.durability) -----------------------------------
+    def snapshot(self) -> object:
+        return bytes(self._data)
+
+    def restore(self, state: object) -> None:
+        assert isinstance(state, bytes) and len(state) == self.size
+        self._data[:] = state
+
+    def scrub(self) -> None:
+        """Zero the region in place; name/base/size identity survives."""
+        self._data[:] = bytes(self.size)
+
 
 class DeviceDram:
     """Device DRAM: capacity-checked named regions."""
@@ -79,3 +91,23 @@ class DeviceDram:
     @property
     def free(self) -> int:
         return self.capacity - self._next
+
+    # -- persistence (repro.durability) -----------------------------------
+    def snapshot(self) -> object:
+        return {name: region.snapshot()
+                for name, region in self._regions.items()}
+
+    def restore(self, state: object) -> None:
+        assert isinstance(state, dict)
+        for name, image in state.items():
+            self._regions[name].restore(image)
+
+    def scrub(self) -> None:
+        """Zero every carved region in place.
+
+        The carve map survives — firmware re-finds its regions by name
+        after a reset instead of re-carving (which would raise on the
+        duplicate name and leak capacity).
+        """
+        for region in self._regions.values():
+            region.scrub()

@@ -194,6 +194,81 @@ class PageMappingFtl:
         self._reverse[(die, ppage.block, ppage.page)] = lpn
 
     # ------------------------------------------------------------------
+    # persistence (repro.durability)
+    # ------------------------------------------------------------------
+    # The mapping table lives in controller DRAM: DEVICE_VOLATILE, but
+    # *checkpointed* — real firmware journals it to NAND at flush
+    # boundaries and re-reads it at boot.  snapshot() is that journal
+    # image; scrub() is the power cut; restore() is the boot re-read.
+
+    def snapshot(self) -> object:
+        return {
+            "map": dict(self._map),
+            "reverse": dict(self._reverse),
+            "dies": [(s.active_block, s.next_page, list(s.free_blocks),
+                      {b: set(v) for b, v in s.valid.items()})
+                     for s in self._dies],
+            "next_die": self._next_die,
+            "counters": (self.gc_runs, self.gc_migrations,
+                         self.host_writes),
+        }
+
+    def restore(self, state: object) -> None:
+        assert isinstance(state, dict)
+        self._map = dict(state["map"])
+        self._reverse = dict(state["reverse"])
+        self._dies = []
+        for active_block, next_page, free_blocks, valid in state["dies"]:
+            self._dies.append(_DieState(
+                active_block=active_block, next_page=next_page,
+                free_blocks=list(free_blocks),
+                valid={b: set(v) for b, v in valid.items()}))
+        self._next_die = state["next_die"]
+        self.gc_runs, self.gc_migrations, self.host_writes = (
+            state["counters"])
+
+    def scrub(self) -> None:
+        """Drop the mapping cache in place (the NAND array is not ours
+        to touch — it survives in its own persistence domain)."""
+        g = self.nand.geometry
+        self._map.clear()
+        self._reverse.clear()
+        self._dies = []
+        for _ in range(g.dies):
+            state = _DieState(free_blocks=list(range(1, g.blocks_per_die)))
+            state.valid[0] = set()
+            self._dies.append(state)
+        self._next_die = 0
+
+    def resync_with_nand(self) -> int:
+        """Reconcile allocation state with the NAND write points.
+
+        After a crash restores a *stale* mapping checkpoint, the NAND
+        array may hold programs the restored die state never allocated;
+        handing those pages out again would violate flash program-order
+        discipline.  Real firmware scans blocks at boot to find the
+        true write points — this is that scan, skipping every die's
+        cursor past what NAND actually holds.  The skipped pages carry
+        no mapping, so they are plain garbage for GC.  Returns the
+        number of pages skipped.
+        """
+        g = self.nand.geometry
+        skipped = 0
+        for (die, block), point in self.nand._write_points.items():
+            state = self._dies[die]
+            if block == state.active_block:
+                if point > state.next_page:
+                    skipped += point - state.next_page
+                    state.next_page = point
+            elif block in state.free_blocks and point > 0:
+                # A "free" block with programmed pages: pull it out of
+                # the pool and park the cursor past its contents.
+                state.free_blocks.remove(block)
+                state.valid.setdefault(block, set())
+                skipped += point
+        return skipped
+
+    # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
     @property

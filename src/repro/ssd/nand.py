@@ -197,3 +197,36 @@ class NandArray:
     def drain(self) -> None:
         """Advance the clock until every die is idle."""
         self.clock.advance_to(self.max_busy_until)
+
+    # ------------------------------------------------------------------
+    # persistence (repro.durability) — the array is PERSISTENT: a crash
+    # never scrubs it.  scrub() models an explicit sanitize/erase-all,
+    # wiping contents *in place* so geometry and identity survive.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> object:
+        return {
+            "pages": dict(self._pages),
+            "write_points": dict(self._write_points),
+            "busy_until": list(self._busy_until),
+            "counters": (self.programs, self.reads, self.erases),
+        }
+
+    def restore(self, state: object) -> None:
+        assert isinstance(state, dict)
+        self._pages = dict(state["pages"])
+        self._write_points = dict(state["write_points"])
+        self._busy_until = list(state["busy_until"])
+        self.programs, self.reads, self.erases = state["counters"]
+
+    def scrub(self) -> None:
+        """Erase-all in place: data and write points gone, dies idle.
+
+        Deliberately does NOT re-allocate the array — the device keeps
+        its geometry (and whatever identity the personality hung off
+        it) across a simulated controller reset.
+        """
+        self._pages.clear()
+        self._write_points.clear()
+        for die in range(len(self._busy_until)):
+            self._busy_until[die] = 0.0
+        self._inject_fail.clear()

@@ -24,6 +24,7 @@ from repro.transfer.base import AggregateStats, TransferMethod, TransferStats
 from repro.transfer.byteexpress import ByteExpressTransfer, TaggedByteExpressTransfer
 from repro.transfer.hybrid_transfer import HybridTransfer
 from repro.transfer.mmio_transfer import MmioByteInterface, MmioTransfer
+from repro.transfer.pio_transfer import PioCoherentInterface, PioCoherentTransfer
 from repro.transfer.prp_transfer import PrpTransfer, SglTransfer
 
 
@@ -64,6 +65,8 @@ __all__ = [
     "FragmentView",
     "MmioTransfer",
     "MmioByteInterface",
+    "PioCoherentTransfer",
+    "PioCoherentInterface",
     "HybridTransfer",
     "make_methods",
 ]

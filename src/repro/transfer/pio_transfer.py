@@ -1,0 +1,119 @@
+"""Coherent-link PIO transfer (arXiv 2409.08141 style).
+
+The coherent-interconnect comparison point: the host maps the device's
+payload buffer cacheably over a coherent link (CXL.mem-class) and moves
+small payloads with plain loads and stores — **no doorbells, no DMA
+command fetch, no CQEs**.  A store burst lands the payload, one more
+store to the commit word hands it to firmware, and completion is
+observed by polling a status word that the coherence protocol keeps
+fresh (far cheaper than the MMIO comparator's uncached register read).
+
+Like the MMIO byte interface this bypasses NVMe entirely — it is the
+*other* "just use loads/stores" design the paper's compatibility
+argument weighs against.  Unlike MMIO, every access is a coherent
+cacheline transaction: stores pipeline instead of serialising at the
+write-combining buffer, which is why its per-line costs undercut
+``mmio_cacheline_ns``.
+
+Traffic accounting: every store and the status poll are charged to
+``CAT_PIO_DATA`` — the method produces zero doorbell, command-fetch,
+and CQE traffic by construction, which the crash harness also relies
+on (a ``pio_coherent`` run only offers TLP cut opportunities).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datapath import names as dp_names
+from repro.nvme.command import NvmeCommand
+from repro.nvme.constants import IoOpcode, StatusCode
+from repro.pcie.mmio import BYTE_WINDOW_SIZE
+from repro.pcie.traffic import CAT_PIO_DATA
+from repro.ssd.controller import CommandContext
+from repro.ssd.device import OpenSsd
+from repro.transfer.base import TransferMethod, TransferStats
+
+#: BAR word the host stores the payload length to, committing the write.
+PIO_COMMIT_REG = 0x3000
+#: Status word the host polls; coherently cached on real hardware.
+PIO_STATUS_REG = 0x3004
+
+_CACHELINE = 64
+
+
+class PioCoherentInterface:
+    """Device half: latch coherent stores, dispatch to firmware handlers."""
+
+    def __init__(self, ssd: OpenSsd,
+                 target_opcode: int = IoOpcode.WRITE) -> None:
+        self.ssd = ssd
+        self.target_opcode = target_opcode
+        self.payloads = 0
+        ssd.bar.on_write(PIO_COMMIT_REG, self._on_commit)
+
+    def _on_commit(self, length: int) -> None:
+        timing = self.ssd.config.timing
+        if length == 0 or length > BYTE_WINDOW_SIZE:
+            self.ssd.bar.write32(PIO_STATUS_REG, StatusCode.INVALID_FIELD)
+            return
+        lines = (length + _CACHELINE - 1) // _CACHELINE
+        self.ssd.clock.advance(timing.pio_latch_ns * lines)
+        payload = self.ssd.bar.window_read(0, length)
+        ctx = CommandContext(
+            cmd=NvmeCommand(opcode=self.target_opcode, cdw12=length),
+            qid=0, data=payload, transport=dp_names.TRANSPORT_PIO)
+        result = self.ssd.controller.dispatch_local(ctx)
+        self.payloads += 1
+        # Same write-once convention as the MMIO status register: 0 is
+        # in-progress, so publish status+1 and let the host subtract.
+        self.ssd.bar.write32(PIO_STATUS_REG, result.status + 1)
+
+
+class PioCoherentTransfer(TransferMethod):
+    """Host half: coherent cacheline stores + commit store + status poll."""
+
+    name = dp_names.PIO_COHERENT
+
+    def __init__(self, ssd: OpenSsd, interface: PioCoherentInterface) -> None:
+        self.ssd = ssd
+        self.interface = interface
+
+    def write(self, payload: bytes, opcode: int = IoOpcode.WRITE,
+              cdw10: int = 0, cdw11: int = 0, nsid: int = 1,
+              qid: Optional[int] = None) -> TransferStats:
+        if not payload:
+            raise ValueError("PIO transfer requires a payload")
+        if len(payload) > BYTE_WINDOW_SIZE:
+            raise ValueError(
+                f"payload exceeds the {BYTE_WINDOW_SIZE} B byte window")
+        clock = self.ssd.clock
+        timing = self.ssd.config.timing
+        link = self.ssd.link
+        counter = link.counter
+        start_ns, start_bytes = clock.now, counter.total_bytes
+
+        self.interface.target_opcode = opcode
+        self.ssd.bar.write32(PIO_STATUS_REG, 0)
+        # Coherent cacheline stores carrying the payload.
+        for off in range(0, len(payload), _CACHELINE):
+            line = payload[off:off + _CACHELINE]
+            self.ssd.bar.window_write(off, line)
+            link.host_mmio_write(len(line), CAT_PIO_DATA)
+            clock.advance(timing.pio_store_ns)
+        # The commit word is just one more coherent store — there is no
+        # doorbell on this path.
+        self.ssd.bar.write32(PIO_COMMIT_REG, len(payload))
+        link.host_mmio_write(4, CAT_PIO_DATA)
+        clock.advance(timing.pio_store_ns)
+        # Poll the status word: a coherence-protocol read, not an
+        # uncached MMIO round trip.
+        link.host_mmio_read(4, CAT_PIO_DATA)
+        clock.advance(timing.pio_poll_ns)
+        raw_status = self.ssd.bar.read32(PIO_STATUS_REG)
+        status = (raw_status - 1) if raw_status else StatusCode.INTERNAL_ERROR
+
+        return TransferStats(method=self.name, payload_len=len(payload),
+                             latency_ns=clock.now - start_ns,
+                             pcie_bytes=counter.total_bytes - start_bytes,
+                             commands=0, status=status)

@@ -31,7 +31,9 @@ from repro.verify.invariants import (
     INV_CID_UNIQUE,
     INV_CQ_OVERRUN,
     INV_CQ_PHASE,
+    INV_DURABLE_ACK,
     INV_INLINE_SEQ,
+    INV_NO_TORN_STATE,
     INV_QOS_BUDGET,
     INV_RR_FAIRNESS,
     INV_SHADOW,
@@ -55,7 +57,9 @@ __all__ = [
     "INV_CID_UNIQUE",
     "INV_CQ_OVERRUN",
     "INV_CQ_PHASE",
+    "INV_DURABLE_ACK",
     "INV_INLINE_SEQ",
+    "INV_NO_TORN_STATE",
     "INV_QOS_BUDGET",
     "INV_RR_FAIRNESS",
     "INV_SHADOW",

@@ -58,6 +58,16 @@ INV_CACHE_COHERENT  Serving-cache coherence: every value the KV serving
                     shadow read of the device's current state — a cache
                     hit is never older than the session's last
                     acknowledged write (invalidate-before-ack).
+INV_DURABLE_ACK     Acknowledged-write durability: every write-class
+                    command whose completion the host observed before a
+                    power cut is readable, with the acknowledged
+                    contents, after crash recovery (the durability
+                    contract a CQE implies; ``repro.durability``).
+INV_NO_TORN_STATE   Recovery structural integrity: after a crash cut,
+                    recovered state parses cleanly — flushed value-log
+                    segments decode end to end, the rebuilt index only
+                    points at durable entries, and volatile domains hold
+                    no pre-crash residue (no torn half-state).
 ==================  =====================================================
 """
 
@@ -77,6 +87,8 @@ INV_TENANT_QUEUE = "INV_TENANT_QUEUE"
 INV_TENANT_NS = "INV_TENANT_NS"
 INV_QOS_BUDGET = "INV_QOS_BUDGET"
 INV_CACHE_COHERENT = "INV_CACHE_COHERENT"
+INV_DURABLE_ACK = "INV_DURABLE_ACK"
+INV_NO_TORN_STATE = "INV_NO_TORN_STATE"
 
 #: Every rule the monitor can report, with a one-line description.
 ALL_RULES: Dict[str, str] = {
@@ -92,6 +104,9 @@ ALL_RULES: Dict[str, str] = {
     INV_TENANT_NS: "completed tenant commands carry the owner's nsid",
     INV_QOS_BUDGET: "QoS token buckets never go negative",
     INV_CACHE_COHERENT: "serving-cache hits match a device shadow read",
+    INV_DURABLE_ACK: "acknowledged writes survive a power cut + recovery",
+    INV_NO_TORN_STATE: "recovered state is structurally whole (no torn "
+                       "half-state)",
 }
 
 

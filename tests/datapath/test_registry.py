@@ -19,12 +19,14 @@ from repro.datapath.spec import DatapathCaps, DatapathSpec
 def test_builtin_methods_registered_in_order():
     assert registry.method_names() == (
         names.PRP, names.SGL, names.BANDSLIM, names.BYTEEXPRESS,
-        names.BYTEEXPRESS_TAGGED, names.MMIO, names.HYBRID)
+        names.BYTEEXPRESS_TAGGED, names.MMIO, names.PIO_COHERENT,
+        names.HYBRID)
 
 
 def test_figure5_filter_matches_paper_sweep():
     assert registry.method_names(figure5=True) == (
-        names.PRP, names.BANDSLIM, names.BYTEEXPRESS)
+        names.PRP, names.BANDSLIM, names.BYTEEXPRESS,
+        names.PIO_COHERENT)
 
 
 def test_engine_capable_filter():

@@ -1,0 +1,110 @@
+"""Reset paths scrub in place: device identity survives a reset.
+
+Satellite of the durability PR: `NandArray` and `ValueLog` (and the
+LSM index under them) must wipe contents via ``Persistable.scrub()``
+rather than re-allocating — a re-allocating reset would re-carve DRAM
+regions (raising on the duplicate name), shift LPN windows, and leak
+capacity on every simulated controller reset.
+"""
+
+import pytest
+
+from repro.nvme.constants import KvOpcode, StatusCode
+from repro.testbed import make_kv_testbed
+
+
+def store(tb, key: bytes, value: bytes) -> None:
+    from repro.kvssd.commands import encode_store_payload
+
+    stats = tb.method("byteexpress").write(
+        encode_store_payload(key, value), opcode=KvOpcode.STORE)
+    assert stats.status == StatusCode.SUCCESS
+
+
+class TestValueLogIdentity:
+    def test_scrub_keeps_the_dram_carve(self):
+        tb = make_kv_testbed()
+        vlog = tb.personality.vlog
+        region = tb.ssd.dram.region("kv.value_log")
+        store(tb, b"k1", b"v" * 256)
+        vlog.flush()
+        vlog.scrub()
+        # Same carved region object, zeroed in place.
+        assert tb.ssd.dram.region("kv.value_log") is region
+        assert region.read(0, 16) == bytes(16)
+        assert vlog.active_bytes == 0 and vlog.flushed_segments == ()
+        # A re-allocating reset would have to carve the name again —
+        # which the DRAM model refuses.  Scrub-in-place is the only
+        # reset that preserves identity.
+        with pytest.raises(ValueError, match="already exists"):
+            tb.ssd.dram.carve("kv.value_log", vlog.segment_bytes)
+
+    def test_dram_capacity_is_stable_across_resets(self):
+        tb = make_kv_testbed()
+        used = tb.ssd.dram.used
+        for _ in range(5):
+            tb.personality.vlog.scrub()
+        assert tb.ssd.dram.used == used
+
+    def test_scrubbed_log_appends_from_segment_zero_again(self):
+        tb = make_kv_testbed()
+        vlog = tb.personality.vlog
+        store(tb, b"k1", b"v" * 256)
+        vlog.flush()
+        vlog.scrub()
+        ptr = vlog.append(b"k2", b"w" * 8)
+        assert (ptr.segment, ptr.offset) == (0, 0)
+
+
+class TestNandIdentity:
+    def test_scrub_erases_in_place(self):
+        tb = make_kv_testbed()
+        nand = tb.ssd.nand
+        store(tb, b"k1", b"v" * 256)
+        tb.personality.vlog.flush()
+        nand.drain()
+        busy_lanes = len(nand._busy_until)
+        nand.scrub()
+        assert tb.ssd.nand is nand  # never replaced
+        assert len(nand._busy_until) == busy_lanes
+        assert nand.max_busy_until == 0.0
+
+    def test_crash_never_scrubs_the_nand(self):
+        tb = make_kv_testbed()
+        store(tb, b"k1", b"v" * 256)
+        tb.personality.vlog.flush()
+        tb.ssd.nand.drain()
+        programs = tb.ssd.nand.programs
+        scrubbed = tb.ssd.durability.crash(tb.ssd.durability.checkpoint())
+        assert "ssd.nand" not in scrubbed
+        assert tb.ssd.nand.programs == programs
+
+
+class TestIndexIdentity:
+    def test_recover_reuses_the_same_index_object(self):
+        tb = make_kv_testbed()
+        index = tb.personality.index
+        lpn_base = index.lpn_base
+        store(tb, b"alpha", b"a" * 200)
+        store(tb, b"beta", b"b" * 200)
+        tb.personality.vlog.flush()
+        tb.ssd.nand.drain()
+        recovered = tb.personality.recover()
+        assert recovered == 2
+        assert tb.personality.index is index
+        assert index.lpn_base == lpn_base
+        assert tb.personality.peek(b"alpha") == b"a" * 200
+
+    def test_recover_replays_into_the_same_lpn_window(self):
+        tb = make_kv_testbed(memtable_entries=4)
+        # Enough keys to force memtable flushes into SSTables, so the
+        # index actually persists tables into its LPN window.
+        for i in range(12):
+            store(tb, f"key-{i:03d}".encode(), bytes([i]) * 128)
+        tb.personality.vlog.flush()
+        tb.ssd.nand.drain()
+        tb.personality.recover()
+        assert tb.personality.index._next_lpn >= tb.personality.index.lpn_base
+        for i in range(12):
+            assert tb.personality.peek(f"key-{i:03d}".encode()) == \
+                bytes([i]) * 128

@@ -1,0 +1,101 @@
+"""Crash-matrix sweep: seeded cuts all fire, schema stays guardable.
+
+The full acceptance sweep (>=200 cuts) lives in
+``benchmarks/test_crash_matrix.py``; these tests pin the machinery on a
+small grid so the unit suite stays fast.
+"""
+
+import pytest
+
+from repro.datapath import names as dp_names
+from repro.durability import MatrixCell, run_matrix
+from repro.durability.harness import PLANE_BLOCK, PLANE_KV
+from repro.durability.matrix import default_cells, sweep_cell
+from repro.faults.plan import CUT_CQE, CUT_DOORBELL, CUT_TLP
+
+SMALL_GRID = (
+    MatrixCell(PLANE_BLOCK, dp_names.BYTEEXPRESS, CUT_TLP, qd=1, ops=8),
+    MatrixCell(PLANE_KV, dp_names.BYTEEXPRESS, CUT_CQE, qd=1, ops=8,
+               payload_bytes=256),
+)
+
+
+@pytest.fixture(autouse=True)
+def _unmonitored(monkeypatch):
+    monkeypatch.delenv("REPRO_VERIFY", raising=False)
+
+
+def test_small_sweep_fires_every_cut_and_loses_nothing():
+    result = run_matrix(SMALL_GRID, cuts_per_cell=4)
+    assert result.total_cuts == 8
+    assert result.total_unfired == 0
+    assert result.total_losses == 0 and result.total_torn == 0
+    assert result.ok
+
+
+def test_sweep_is_deterministic_in_the_seed():
+    a = sweep_cell(SMALL_GRID[0], cuts_per_cell=4, seed=0x5EED)
+    b = sweep_cell(SMALL_GRID[0], cuts_per_cell=4, seed=0x5EED)
+    assert a.cut_indices == b.cut_indices
+    assert [r.acked for r in a.reports] == [r.acked for r in b.reports]
+
+
+def test_cut_indices_are_distinct_and_inside_the_probe_bound():
+    swept = sweep_cell(SMALL_GRID[0], cuts_per_cell=4)
+    assert len(set(swept.cut_indices)) == len(swept.cut_indices) == 4
+    assert all(0 <= i < swept.opportunities for i in swept.cut_indices)
+
+
+def test_cell_with_fewer_opportunities_contributes_what_it_has():
+    cell = MatrixCell(PLANE_BLOCK, dp_names.BYTEEXPRESS, CUT_DOORBELL,
+                      qd=8, ops=16)
+    swept = sweep_cell(cell, cuts_per_cell=64)
+    # A QD-8 run kicks one doorbell per batch: far fewer than 64.
+    assert 0 < len(swept.reports) == swept.opportunities <= 16
+    assert swept.unfired == 0
+
+
+def test_pio_cell_offers_no_doorbell_opportunities():
+    # pio_coherent has no doorbells by construction: the probe counts
+    # zero, and the sweep must refuse rather than silently prove nothing.
+    cell = MatrixCell(PLANE_KV, dp_names.PIO_COHERENT, CUT_DOORBELL,
+                      qd=1, ops=4, payload_bytes=256)
+    with pytest.raises(RuntimeError, match="opportunities"):
+        sweep_cell(cell, cuts_per_cell=2)
+
+
+def test_perf_cell_schema_matches_the_guard():
+    result = run_matrix(SMALL_GRID[:1], cuts_per_cell=2)
+    cell = result.cells[0].to_perf_cell()
+    # check_perf_regression.py required keys + the recovery tail metric.
+    assert {"method", "doorbell", "burst", "kiops",
+            "tlps_per_op", "p99_us"} <= set(cell)
+    assert cell["doorbell"] == "block:cut-tlp"
+    assert cell["tlps_per_op"] == {}
+    assert cell["kiops"] > 0 and cell["p99_us"] > 0
+
+
+def test_matrix_json_artifact_shape():
+    result = run_matrix(SMALL_GRID, cuts_per_cell=2)
+    blob = result.to_json()
+    assert blob["benchmark"] == "crash_matrix"
+    assert blob["total_cuts"] == 4 and blob["total_losses"] == 0
+    assert blob["methods"] == [dp_names.BYTEEXPRESS]
+    assert len(blob["cells"]) == 2
+
+
+def test_default_grid_spans_three_methods_and_all_cut_kinds():
+    cells = default_cells()
+    methods = {c.method for c in cells}
+    assert methods == {dp_names.PRP, dp_names.BYTEEXPRESS,
+                       dp_names.PIO_COHERENT}
+    assert {c.cut_kind for c in cells} == {CUT_TLP, CUT_DOORBELL, CUT_CQE}
+    assert {c.qd for c in cells} == {1, 8}
+    # 16 cells x 16 cuts_per_cell is the >=200-cut acceptance budget
+    # (doorbell cells at QD 8 contribute fewer — the full-sweep
+    # benchmark asserts the realised total).
+    assert len(cells) == 16
+    # Perf-guard cell keys (method x doorbell x burst) must be unique,
+    # or baseline cells would silently shadow each other.
+    keys = {(c.method, f"{c.plane}:cut-{c.cut_kind}", c.qd) for c in cells}
+    assert len(keys) == len(cells)

@@ -1,0 +1,33 @@
+"""VER301 vector: replay that acks before the durable watermark.
+
+The crash-recovery shape ``repro.durability`` exists to outlaw: a
+replay loop walks flushed value-log segments through a DMA read buffer
+and bails out at the torn tail — *after* the caller was told the ack
+is durable, *before* the buffer is released.  The early return is the
+"acked past the watermark" escape hatch, and it leaks on every
+invocation that hits a torn segment.  Flat-lint clean on purpose.
+"""
+
+
+def replay_to_watermark_leaky(memory, segments, watermark):
+    buf = memory.alloc_read_buffer(4096)  # VER301 (lost at the torn tail)
+    for segment in segments:
+        if segment.seq > watermark:
+            # Torn tail past the durable watermark: bailing out here
+            # acknowledges replay without releasing the buffer.
+            return False
+        buf[:segment.size] = segment.data
+    memory.release_read_buffer(buf)
+    return True
+
+
+def replay_to_watermark_fixed(memory, segments, watermark):
+    buf = memory.alloc_read_buffer(4096)
+    try:
+        for segment in segments:
+            if segment.seq > watermark:
+                return False
+            buf[:segment.size] = segment.data
+    finally:
+        memory.release_read_buffer(buf)
+    return True

@@ -19,6 +19,7 @@ REPO = Path(__file__).resolve().parents[2]
 #: Every seeded flow bug: (file, line, code).  A corpus edit that
 #: stops one firing must update this table deliberately.
 EXPECTED = {
+    ("flow_ack_watermark.py", 13, "VER301"),
     ("flow_leak_cid.py", 11, "VER302"),
     ("flow_leak_qos.py", 12, "VER303"),
     ("flow_leak_reactor_pr8.py", 17, "VER301"),
